@@ -1,0 +1,71 @@
+// Ablation: Adaptive Two Phase vs Graefe's optimized Two Phase ([Gra93],
+// argued against in §3.2) vs plain Two Phase, on the engine. The paper's
+// three objections to the Graefe optimization: tuples forwarded to a
+// destination with no matching entry buy nothing; all tuples pass
+// through both phases; and the local table's memory is never freed.
+
+#include "bench_util.h"
+
+namespace adaptagg {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = BenchScale();
+  SystemParams params = SystemParams::Cluster8();
+  params.num_tuples = static_cast<int64_t>(500'000 * scale);
+  params.max_hash_entries =
+      std::max<int64_t>(64, static_cast<int64_t>(2'500 * scale));
+
+  PrintHeader("Ablation: A-2P vs Graefe-optimized 2P",
+              "modeled time across grouping selectivities",
+              params.ToString() + " scale=" + FmtSeconds(scale));
+
+  TablePrinter table({"S", "groups", "2P(s)", "Opt-2P(s)", "A-2P(s)",
+                      "Opt-2P spill", "A-2P spill"});
+  Cluster cluster(params);
+  for (double s : SelectivitySweep(params.num_tuples)) {
+    int64_t groups = std::max<int64_t>(
+        1, static_cast<int64_t>(s * static_cast<double>(params.num_tuples)));
+    WorkloadSpec wspec;
+    wspec.num_nodes = params.num_nodes;
+    wspec.num_tuples = params.num_tuples;
+    wspec.num_groups = groups;
+    wspec.seed = 77 + static_cast<uint64_t>(groups);
+    auto rel = GenerateRelation(wspec);
+    if (!rel.ok()) return;
+    auto spec = MakeBenchQuery(&rel->schema());
+    if (!spec.ok()) return;
+
+    AlgorithmOptions opts;
+    opts.gather_results = false;
+    EngineRunOutcome tp =
+        RunEngine(cluster, AlgorithmKind::kTwoPhase, *spec, *rel, opts);
+    EngineRunOutcome graefe = RunEngine(
+        cluster, AlgorithmKind::kGraefeTwoPhase, *spec, *rel, opts);
+    EngineRunOutcome a2p = RunEngine(
+        cluster, AlgorithmKind::kAdaptiveTwoPhase, *spec, *rel, opts);
+    table.AddRow({FmtSci(s), FmtInt(groups),
+                  tp.ok ? FmtSeconds(tp.sim_time_s) : "ERR",
+                  graefe.ok ? FmtSeconds(graefe.sim_time_s) : "ERR",
+                  a2p.ok ? FmtSeconds(a2p.sim_time_s) : "ERR",
+                  FmtInt(graefe.spilled_records),
+                  FmtInt(a2p.spilled_records)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: both beat plain 2P once tables overflow; A-2P\n"
+      "at least matches Opt-2P at high selectivity (it stops paying the\n"
+      "double-phase tax and frees the local table), which is the §3.2\n"
+      "argument for preferring the adaptive switch over the\n"
+      "forward-on-overflow optimization.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptagg
+
+int main() {
+  adaptagg::bench::Run();
+  return 0;
+}

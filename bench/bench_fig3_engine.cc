@@ -1,0 +1,85 @@
+// Engine-side companion to Figure 3: the adaptive algorithms vs the
+// static ones on a HIGH-bandwidth network, measured by executing the
+// algorithms (the paper's Figure 3 is analytical; this binary shows the
+// execution engine reproduces the same tracking behavior end to end).
+//
+// ADAPTAGG_BENCH_SCALE scales the tuple count and M together.
+
+#include "bench_util.h"
+
+namespace adaptagg {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = BenchScale();
+  SystemParams params = SystemParams::Cluster8();
+  params.network = NetworkKind::kHighBandwidth;
+  params.msg_latency_s = 2.0e-3;  // SP-2-class latency, as in Table 1
+  params.num_tuples =
+      static_cast<int64_t>(static_cast<double>(params.num_tuples) * scale);
+  params.max_hash_entries = std::max<int64_t>(
+      64, static_cast<int64_t>(
+              static_cast<double>(params.max_hash_entries) * scale));
+
+  PrintHeader("Figure 3 (engine)",
+              "adaptive vs static algorithms, high-bandwidth, executed",
+              params.ToString() + " scale=" + FmtSeconds(scale));
+
+  std::vector<std::string> cols = {"S", "groups"};
+  for (AlgorithmKind kind : Figure8Algorithms()) {
+    cols.push_back(AlgorithmKindToString(kind) + "(s)");
+  }
+  cols.push_back("worst-adaptive/best-static");
+  TablePrinter table(cols);
+
+  Cluster cluster(params);
+  for (double s : SelectivitySweep(params.num_tuples)) {
+    int64_t groups = std::max<int64_t>(
+        1, static_cast<int64_t>(s * static_cast<double>(params.num_tuples)));
+    WorkloadSpec wspec;
+    wspec.num_nodes = params.num_nodes;
+    wspec.num_tuples = params.num_tuples;
+    wspec.num_groups = groups;
+    wspec.seed = 3 + static_cast<uint64_t>(groups);
+    auto rel = GenerateRelation(wspec);
+    if (!rel.ok()) return;
+    auto spec = MakeBenchQuery(&rel->schema());
+    if (!spec.ok()) return;
+
+    AlgorithmOptions opts;
+    opts.gather_results = false;
+    std::vector<std::string> row = {FmtSci(s), FmtInt(groups)};
+    double static_best = 0, adaptive_worst = 0;
+    for (AlgorithmKind kind : Figure8Algorithms()) {
+      EngineRunOutcome out = RunEngine(cluster, kind, *spec, *rel, opts);
+      row.push_back(out.ok ? FmtSeconds(out.sim_time_s) : "ERR");
+      if (!out.ok) continue;
+      if (kind == AlgorithmKind::kTwoPhase ||
+          kind == AlgorithmKind::kRepartitioning) {
+        static_best = static_best == 0
+                          ? out.sim_time_s
+                          : std::min(static_best, out.sim_time_s);
+      } else {
+        adaptive_worst = std::max(adaptive_worst, out.sim_time_s);
+      }
+    }
+    row.push_back(FmtSeconds(adaptive_worst / static_best));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 3): with a fast network the ratio\n"
+      "column stays close to 1 across the entire selectivity range — the\n"
+      "adaptive algorithms track whichever static algorithm wins, paying\n"
+      "at most a small overhead near the crossover.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptagg
+
+int main() {
+  adaptagg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figure 9: performance under output skew. Eight nodes, four
+// of which hold exactly one group each while the remaining groups live
+// on the other four nodes (§6.2). The adaptive algorithms let each node
+// choose its own strategy, which the static algorithms cannot do — with
+// many groups they beat the best traditional approach.
+//
+// ADAPTAGG_BENCH_SCALE scales the tuple count as in Figure 8. (The
+// paper's y-axis starts at 20 s to zoom into the differences; here the
+// raw numbers are printed.)
+
+#include "bench_util.h"
+#include "workload/skew.h"
+
+namespace adaptagg {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = BenchScale();
+  SystemParams params = SystemParams::Cluster8();
+  params.num_tuples =
+      static_cast<int64_t>(static_cast<double>(params.num_tuples) * scale);
+  params.max_hash_entries = std::max<int64_t>(
+      64, static_cast<int64_t>(
+              static_cast<double>(params.max_hash_entries) * scale));
+
+  PrintHeader("Figure 9", "Performance under Output Skew",
+              params.ToString() + " scale=" + FmtSeconds(scale) +
+                  ", 4 of 8 nodes hold one group each");
+
+  std::vector<std::string> cols = {"S", "groups"};
+  for (AlgorithmKind kind : Figure8Algorithms()) {
+    cols.push_back(AlgorithmKindToString(kind) + "(s)");
+  }
+  cols.push_back("switched(A-2P)");
+  TablePrinter table(cols);
+
+  Cluster cluster(params);
+  // Sweep the mid-to-high group range where the skew effect shows.
+  for (double s : SelectivitySweep(params.num_tuples)) {
+    int64_t groups = std::max<int64_t>(
+        8, static_cast<int64_t>(s * static_cast<double>(params.num_tuples)));
+    OutputSkewSpec sspec;
+    sspec.num_nodes = params.num_nodes;
+    sspec.single_group_nodes = 4;
+    sspec.num_tuples = params.num_tuples;
+    sspec.num_groups = groups;
+    sspec.seed = 9 + static_cast<uint64_t>(groups);
+    auto rel = GenerateOutputSkewRelation(sspec);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   rel.status().ToString().c_str());
+      return;
+    }
+    auto spec = MakeBenchQuery(&rel->schema());
+    if (!spec.ok()) return;
+
+    std::vector<std::string> row = {FmtSci(s), FmtInt(groups)};
+    int switched = 0;
+    AlgorithmOptions opts;
+    opts.gather_results = false;
+    for (AlgorithmKind kind : Figure8Algorithms()) {
+      EngineRunOutcome out = RunEngine(cluster, kind, *spec, *rel, opts);
+      row.push_back(out.ok ? FmtSeconds(out.sim_time_s) : "ERR");
+      if (kind == AlgorithmKind::kAdaptiveTwoPhase) {
+        switched = out.nodes_switched;
+      }
+    }
+    row.push_back(FmtInt(switched));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 9): once the busy nodes' group counts\n"
+      "exceed M, A-2P switches exactly those nodes (column shows ~4, not\n"
+      "8) and outperforms both static algorithms — per-node adaptivity\n"
+      "is something no single global choice can match.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptagg
+
+int main() {
+  adaptagg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks of the hot building blocks (google-benchmark): the
+// aggregation hash table, the spilling aggregator, page building, key
+// hashing, and the workload generators.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+
+#include "agg/spilling_aggregator.h"
+#include "common/random.h"
+#include "storage/page.h"
+#include "workload/distributions.h"
+
+namespace adaptagg {
+namespace {
+
+void BM_HashTableUpsert(benchmark::State& state) {
+  Schema schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+  auto spec = MakeCountSumSpec(&schema, 0, 1);
+  const int64_t groups = state.range(0);
+  AggHashTable table(&*spec, groups);
+  uint8_t proj[16];
+  int64_t v = 1;
+  std::memcpy(proj + 8, &v, 8);
+  int64_t g = 0;
+  for (auto _ : state) {
+    std::memcpy(proj, &g, 8);
+    uint64_t h = spec->HashKey(proj);
+    benchmark::DoNotOptimize(table.UpsertProjected(proj, h));
+    g = (g + 1) % groups;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableUpsert)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_SpillingAggregatorOverflow(benchmark::State& state) {
+  Schema schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+  auto spec = MakeCountSumSpec(&schema, 0, 1);
+  const int64_t groups = state.range(0);
+  uint8_t proj[16];
+  int64_t v = 1;
+  std::memcpy(proj + 8, &v, 8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimDisk disk(4096);
+    SpillingAggregator agg(&*spec, &disk, /*max_entries=*/1024);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < 100'000; ++i) {
+      int64_t g = i % groups;
+      std::memcpy(proj, &g, 8);
+      benchmark::DoNotOptimize(agg.AddProjected(proj));
+    }
+    int64_t emitted = 0;
+    Status st = agg.Finish(
+        [&](const uint8_t*, const uint8_t*) { ++emitted; });
+    benchmark::DoNotOptimize(st.ok());
+    if (emitted != groups) state.SkipWithError("wrong group count");
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SpillingAggregatorOverflow)->Arg(512)->Arg(8192)->Arg(65536);
+
+void BM_PageBuildAndRead(benchmark::State& state) {
+  PageBuilder builder(2048, 16);
+  uint8_t rec[16] = {};
+  const int cap = PageBuilder::Capacity(2048, 16);
+  for (auto _ : state) {
+    for (int i = 0; i < cap; ++i) builder.Append(rec);
+    std::vector<uint8_t> page = builder.Finish();
+    PageReader reader(page.data(), 2048, 16);
+    int64_t sum = 0;
+    for (int i = 0; i < reader.count(); ++i) {
+      sum += reader.record(i)[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * cap);
+}
+BENCHMARK(BM_PageBuildAndRead);
+
+void BM_HashBytes(benchmark::State& state) {
+  std::vector<uint8_t> key(static_cast<size_t>(state.range(0)), 0x3c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashBytes(key.data(), key.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashBytes)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_ZipfGenerator(benchmark::State& state) {
+  ZipfGenerator zipf(1'000'000, 0.9, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfGenerator);
+
+void BM_PrngNextBelow(benchmark::State& state) {
+  Prng prng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prng.NextBelow(1'000'003));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrngNextBelow);
+
+}  // namespace
+}  // namespace adaptagg

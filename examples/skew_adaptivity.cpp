@@ -1,0 +1,73 @@
+// Output skew demo (§6.2 / Figure 9): four of eight nodes hold a single
+// group each; the other four hold thousands. A static algorithm must
+// treat every node the same; the adaptive algorithms let exactly the
+// overloaded nodes switch strategy. This is the paper's "better than the
+// best traditional algorithm" scenario.
+
+#include <cstdio>
+
+#include "agg/reference.h"
+#include "cluster/cluster.h"
+#include "core/algorithm.h"
+#include "workload/skew.h"
+
+using namespace adaptagg;
+
+int main() {
+  OutputSkewSpec sspec;
+  sspec.num_nodes = 8;
+  sspec.single_group_nodes = 4;
+  sspec.num_tuples = 400'000;
+  sspec.num_groups = 40'000;
+  auto rel = GenerateOutputSkewRelation(sspec);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "generate: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+
+  SystemParams params = SystemParams::Cluster8();
+  params.num_tuples = sspec.num_tuples;
+  params.max_hash_entries = 2'000;
+
+  auto query = MakeBenchQuery(&rel->schema());
+  if (!query.ok()) return 1;
+
+  Cluster cluster(params);
+  std::printf(
+      "8 nodes, %lld tuples, %lld groups; nodes 0-3 hold ONE group each\n\n",
+      static_cast<long long>(sspec.num_tuples),
+      static_cast<long long>(sspec.num_groups));
+
+  double best_static = 0, adaptive_time = 0;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTwoPhase, AlgorithmKind::kRepartitioning,
+        AlgorithmKind::kAdaptiveTwoPhase,
+        AlgorithmKind::kAdaptiveRepartitioning}) {
+    RunResult run = cluster.Run(*MakeAlgorithm(kind), *query, *rel);
+    if (!run.status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
+                   run.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s modeled=%8.3fs  spilled=%-8lld  per-node switch: ",
+                AlgorithmKindToString(kind).c_str(), run.sim_time_s,
+                static_cast<long long>(run.total_spilled_records()));
+    for (const auto& s : run.node_stats) {
+      std::printf("%c", s.switched ? 'S' : '.');
+    }
+    std::printf("\n");
+    if (kind == AlgorithmKind::kTwoPhase) {
+      best_static = run.sim_time_s;
+    } else if (kind == AlgorithmKind::kRepartitioning) {
+      best_static = std::min(best_static, run.sim_time_s);
+    } else if (kind == AlgorithmKind::kAdaptiveTwoPhase) {
+      adaptive_time = run.sim_time_s;
+    }
+  }
+
+  std::printf(
+      "\nA-2P switches only the overloaded nodes (pattern ....SSSS), so it"
+      "\nruns %.2fx the best static algorithm (<1 means faster).\n",
+      adaptive_time / best_static);
+  return 0;
+}

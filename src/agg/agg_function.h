@@ -1,0 +1,77 @@
+#ifndef ADAPTAGG_AGG_AGG_FUNCTION_H_
+#define ADAPTAGG_AGG_AGG_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "schema/value.h"
+
+namespace adaptagg {
+
+/// SQL aggregate function kinds supported by the library. All are
+/// *decomposable*: a partial state computed over a subset of a group's
+/// tuples can be merged with another partial state, which is what makes
+/// two-phase (local + global) aggregation possible (§2 of the paper;
+/// e.g. AVG carries (sum, count) in its partial state).
+enum class AggKind : uint8_t { kCount = 0, kSum, kAvg, kMin, kMax };
+
+std::string AggKindToString(AggKind kind);
+
+/// One aggregate column of a query: `kind(input_col) AS name`.
+/// `input_col` indexes the *input relation schema*; it is ignored (-1) for
+/// COUNT(*).
+struct AggDescriptor {
+  AggKind kind = AggKind::kCount;
+  int input_col = -1;
+  std::string name = "agg";
+};
+
+/// A fixed-width aggregate state machine for one (kind, input type) pair.
+/// States live inline in hash-table slots and in partial-aggregate
+/// records; all operations work on raw state bytes.
+///
+/// State layouts (little-endian, 8-byte fields):
+///   COUNT        : [int64 count]
+///   SUM(int64)   : [int64 sum]
+///   SUM(double)  : [double sum]
+///   AVG(T)       : [T sum][int64 count]
+///   MIN/MAX(T)   : [T extremum][int64 seen]   (seen distinguishes empty)
+class AggregateOp {
+ public:
+  /// `input_type` must be kInt64 or kDouble (or anything for kCount).
+  AggregateOp(AggKind kind, DataType input_type);
+
+  AggKind kind() const { return kind_; }
+  DataType input_type() const { return input_type_; }
+
+  /// Width in bytes of the partial state.
+  int state_width() const { return state_width_; }
+
+  /// Type of the finalized output value.
+  DataType output_type() const;
+
+  /// Initializes `state` to the identity (zero tuples seen).
+  void InitState(uint8_t* state) const;
+
+  /// Folds one raw input value into `state`. `value_bytes` points at the
+  /// 8-byte input column value (unused for COUNT).
+  void UpdateRaw(uint8_t* state, const uint8_t* value_bytes) const;
+
+  /// Merges another partial state of the same op into `state`.
+  void MergePartial(uint8_t* state, const uint8_t* other) const;
+
+  /// Produces the final value from a state.
+  Value Finalize(const uint8_t* state) const;
+
+  /// Writes the finalized value as its 8-byte wire representation.
+  void FinalizeTo(const uint8_t* state, uint8_t* out) const;
+
+ private:
+  AggKind kind_;
+  DataType input_type_;
+  int state_width_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_AGG_FUNCTION_H_

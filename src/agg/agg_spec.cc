@@ -1,0 +1,157 @@
+#include "agg/agg_spec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.h"
+
+namespace adaptagg {
+
+Result<AggregationSpec> AggregationSpec::Make(
+    const Schema* input_schema, std::vector<int> group_cols,
+    std::vector<AggDescriptor> aggs) {
+  if (group_cols.empty() && aggs.empty()) {
+    return Status::InvalidArgument(
+        "aggregation needs group columns or aggregates");
+  }
+  for (int c : group_cols) {
+    if (c < 0 || c >= input_schema->num_fields()) {
+      return Status::InvalidArgument("group column out of range");
+    }
+  }
+  for (const auto& a : aggs) {
+    if (a.kind == AggKind::kCount) continue;
+    if (a.input_col < 0 || a.input_col >= input_schema->num_fields()) {
+      return Status::InvalidArgument("aggregate input column out of range");
+    }
+    DataType t = input_schema->field(a.input_col).type;
+    if (t != DataType::kInt64 && t != DataType::kDouble) {
+      return Status::InvalidArgument("aggregate input must be numeric: " +
+                                     a.name);
+    }
+  }
+
+  AggregationSpec spec;
+  spec.input_ = input_schema;
+  spec.group_cols_ = std::move(group_cols);
+  spec.aggs_ = std::move(aggs);
+
+  // Key layout.
+  for (int c : spec.group_cols_) {
+    const Field& f = input_schema->field(c);
+    spec.key_parts_.emplace_back(input_schema->offset(c), f.width);
+    spec.key_width_ += f.width;
+  }
+
+  // Distinct aggregate input columns, assigned 8-byte slots after the key.
+  for (const auto& a : spec.aggs_) {
+    DataType in_type =
+        a.kind == AggKind::kCount
+            ? DataType::kInt64
+            : input_schema->field(a.input_col).type;
+    spec.ops_.emplace_back(a.kind, in_type);
+    if (a.kind == AggKind::kCount) {
+      spec.op_value_offsets_.push_back(-1);
+      continue;
+    }
+    auto it = std::find(spec.value_cols_.begin(), spec.value_cols_.end(),
+                        a.input_col);
+    int slot;
+    if (it == spec.value_cols_.end()) {
+      slot = static_cast<int>(spec.value_cols_.size());
+      spec.value_cols_.push_back(a.input_col);
+      spec.value_src_offsets_.push_back(input_schema->offset(a.input_col));
+    } else {
+      slot = static_cast<int>(it - spec.value_cols_.begin());
+    }
+    spec.op_value_offsets_.push_back(spec.key_width_ + slot * 8);
+  }
+  spec.projected_width_ =
+      spec.key_width_ + static_cast<int>(spec.value_cols_.size()) * 8;
+
+  // State layout.
+  for (const auto& op : spec.ops_) {
+    spec.op_state_offsets_.push_back(spec.state_width_);
+    spec.state_width_ += op.state_width();
+  }
+
+  // Final schema: group columns (by input name) then aggregate outputs.
+  std::vector<Field> out_fields;
+  for (int c : spec.group_cols_) {
+    out_fields.push_back(input_schema->field(c));
+  }
+  for (size_t i = 0; i < spec.aggs_.size(); ++i) {
+    Field f;
+    f.name = spec.aggs_[i].name;
+    f.type = spec.ops_[i].output_type();
+    f.width = 8;
+    out_fields.push_back(f);
+  }
+  spec.final_schema_ = Schema(std::move(out_fields));
+  return spec;
+}
+
+void AggregationSpec::ProjectRaw(const TupleView& tuple, uint8_t* out) const {
+  const uint8_t* src = tuple.data();
+  uint8_t* dst = out;
+  for (const auto& [off, width] : key_parts_) {
+    std::memcpy(dst, src + off, static_cast<size_t>(width));
+    dst += width;
+  }
+  for (size_t i = 0; i < value_cols_.size(); ++i) {
+    std::memcpy(dst, src + value_src_offsets_[i], 8);
+    dst += 8;
+  }
+}
+
+void AggregationSpec::InitState(uint8_t* state) const {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    ops_[i].InitState(state + op_state_offsets_[i]);
+  }
+}
+
+void AggregationSpec::UpdateFromProjected(uint8_t* state,
+                                          const uint8_t* proj) const {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const uint8_t* value =
+        op_value_offsets_[i] < 0 ? nullptr : proj + op_value_offsets_[i];
+    ops_[i].UpdateRaw(state + op_state_offsets_[i], value);
+  }
+}
+
+void AggregationSpec::MergeState(uint8_t* state,
+                                 const uint8_t* other_state) const {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    ops_[i].MergePartial(state + op_state_offsets_[i],
+                         other_state + op_state_offsets_[i]);
+  }
+}
+
+void AggregationSpec::FinalizeRecord(const uint8_t* key, const uint8_t* state,
+                                     uint8_t* out) const {
+  std::memcpy(out, key, static_cast<size_t>(key_width_));
+  uint8_t* dst = out + key_width_;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    ops_[i].FinalizeTo(state + op_state_offsets_[i], dst);
+    dst += 8;
+  }
+}
+
+uint64_t AggregationSpec::HashKey(const uint8_t* key) const {
+  return HashBytes(key, static_cast<size_t>(key_width_), /*seed=*/0x5ca1ab1e);
+}
+
+Result<AggregationSpec> MakeCountSumSpec(const Schema* input_schema,
+                                         int group_col, int value_col) {
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kCount, -1, "cnt"});
+  aggs.push_back({AggKind::kSum, value_col, "sum_v"});
+  return AggregationSpec::Make(input_schema, {group_col}, std::move(aggs));
+}
+
+Result<AggregationSpec> MakeDistinctSpec(const Schema* input_schema,
+                                         std::vector<int> cols) {
+  return AggregationSpec::Make(input_schema, std::move(cols), {});
+}
+
+}  // namespace adaptagg

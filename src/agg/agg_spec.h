@@ -1,0 +1,117 @@
+#ifndef ADAPTAGG_AGG_AGG_SPEC_H_
+#define ADAPTAGG_AGG_AGG_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/agg_function.h"
+#include "common/result.h"
+#include "schema/tuple.h"
+
+namespace adaptagg {
+
+/// The compiled form of a `SELECT <group cols>, <aggs> FROM R GROUP BY
+/// <group cols>` query. Precomputes the three record layouts every
+/// algorithm works with:
+///
+///  * projected record  = [group key bytes][one 8-byte slot per distinct
+///    aggregate input column]. This is the paper's "projected tuple" (p =
+///    16% of the 100-byte tuple): what gets copied off data pages and what
+///    the Repartitioning algorithm ships over the network.
+///  * partial record    = [group key bytes][aggregate state bytes]. What
+///    the two-phase algorithms ship between local and global phases and
+///    what overflow buckets spill.
+///  * final record      = final_schema() row: group columns followed by
+///    one output column per aggregate.
+///
+/// Duplicate elimination (SELECT DISTINCT) is the zero-aggregate case.
+class AggregationSpec {
+ public:
+  /// Creates an empty, unusable spec (placeholder for containers /
+  /// deferred assignment). Use Make() to build a real one.
+  AggregationSpec() = default;
+
+  /// Validates column indices/types and compiles the layouts.
+  static Result<AggregationSpec> Make(const Schema* input_schema,
+                                      std::vector<int> group_cols,
+                                      std::vector<AggDescriptor> aggs);
+
+  const Schema& input_schema() const { return *input_; }
+  const std::vector<int>& group_cols() const { return group_cols_; }
+  const std::vector<AggDescriptor>& aggs() const { return aggs_; }
+  const std::vector<AggregateOp>& ops() const { return ops_; }
+
+  int key_width() const { return key_width_; }
+  int state_width() const { return state_width_; }
+  int projected_width() const { return projected_width_; }
+  int partial_width() const { return key_width_ + state_width_; }
+
+  /// Schema of the final result rows.
+  const Schema& final_schema() const { return final_schema_; }
+
+  /// Copies the group key + aggregate input columns of a full input tuple
+  /// into `out` (which must have projected_width() bytes).
+  void ProjectRaw(const TupleView& tuple, uint8_t* out) const;
+
+  /// The group key of a projected record is its prefix.
+  const uint8_t* KeyOfProjected(const uint8_t* proj) const { return proj; }
+  const uint8_t* KeyOfPartial(const uint8_t* partial) const { return partial; }
+  const uint8_t* StateOfPartial(const uint8_t* partial) const {
+    return partial + key_width_;
+  }
+
+  /// Initializes all aggregate states in a state block.
+  void InitState(uint8_t* state) const;
+
+  /// Folds the aggregate inputs of one projected record into `state`.
+  void UpdateFromProjected(uint8_t* state, const uint8_t* proj) const;
+
+  /// Merges a partial state block into `state`.
+  void MergeState(uint8_t* state, const uint8_t* other_state) const;
+
+  /// Builds the final output row for (key, state) into `out`, which must
+  /// have final_schema().tuple_size() bytes.
+  void FinalizeRecord(const uint8_t* key, const uint8_t* state,
+                      uint8_t* out) const;
+
+  /// Hash of a group key (used for table probing and for partitioning
+  /// tuples to nodes; callers derive independent bits from the one hash).
+  uint64_t HashKey(const uint8_t* key) const;
+
+ private:
+  const Schema* input_ = nullptr;
+  std::vector<int> group_cols_;
+  std::vector<AggDescriptor> aggs_;
+  std::vector<AggregateOp> ops_;
+
+  int key_width_ = 0;
+  int state_width_ = 0;
+  int projected_width_ = 0;
+
+  // Per-group-col (offset in input row, width) pairs for projection.
+  std::vector<std::pair<int, int>> key_parts_;
+  // Distinct aggregate input columns, in first-use order.
+  std::vector<int> value_cols_;
+  // Per-value-col offset in the input row.
+  std::vector<int> value_src_offsets_;
+  // For each op: offset of its input value inside the projected record,
+  // and offset of its state inside the state block.
+  std::vector<int> op_value_offsets_;
+  std::vector<int> op_state_offsets_;
+
+  Schema final_schema_;
+};
+
+/// Convenience: builds the canonical benchmark query used throughout the
+/// paper reproduction — `SELECT g, COUNT(*), SUM(v) FROM R GROUP BY g` on
+/// a schema whose group column is `group_col` and value column `value_col`.
+Result<AggregationSpec> MakeCountSumSpec(const Schema* input_schema,
+                                         int group_col, int value_col);
+
+/// Duplicate elimination over the given columns (zero aggregates).
+Result<AggregationSpec> MakeDistinctSpec(const Schema* input_schema,
+                                         std::vector<int> cols);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_AGG_SPEC_H_

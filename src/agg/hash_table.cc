@@ -1,0 +1,112 @@
+#include "agg/hash_table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+namespace {
+
+int64_t NextPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AggHashTable::AggHashTable(const AggregationSpec* spec, int64_t max_entries)
+    : spec_(spec),
+      max_entries_(max_entries),
+      key_width_(spec->key_width()),
+      state_width_(spec->state_width()),
+      slot_width_(spec->key_width() + spec->state_width()) {
+  ADAPTAGG_CHECK(max_entries_ > 0) << "hash table needs capacity";
+  // Bucket array sized for <= ~70% load at max occupancy.
+  int64_t buckets = NextPow2(max_entries_ + max_entries_ / 2 + 1);
+  buckets_.assign(static_cast<size_t>(buckets), -1);
+  bucket_mask_ = static_cast<uint64_t>(buckets - 1);
+  arena_.reserve(static_cast<size_t>(
+      std::min<int64_t>(max_entries_, 1 << 16) * slot_width_));
+}
+
+int64_t AggHashTable::MemoryBytes() const {
+  return static_cast<int64_t>(arena_.capacity()) +
+         static_cast<int64_t>(buckets_.size() * sizeof(int64_t));
+}
+
+int64_t AggHashTable::Probe(const uint8_t* key, uint64_t hash,
+                            bool* found) const {
+  uint64_t pos = hash & bucket_mask_;
+  while (true) {
+    int64_t slot = buckets_[pos];
+    if (slot < 0) {
+      *found = false;
+      return static_cast<int64_t>(pos);
+    }
+    const uint8_t* slot_key = arena_.data() + slot * slot_width_;
+    if (std::memcmp(slot_key, key, static_cast<size_t>(key_width_)) == 0) {
+      *found = true;
+      return slot;
+    }
+    pos = (pos + 1) & bucket_mask_;
+  }
+}
+
+AggHashTable::UpsertResult AggHashTable::FindOrInsert(const uint8_t* key,
+                                                      uint64_t hash,
+                                                      uint8_t** state) {
+  bool found = false;
+  int64_t pos = Probe(key, hash, &found);
+  if (found) {
+    *state = arena_.data() + pos * slot_width_ + key_width_;
+    return UpsertResult::kUpdated;
+  }
+  if (size_ >= max_entries_) {
+    *state = nullptr;
+    return UpsertResult::kFull;
+  }
+  int64_t slot = size_++;
+  arena_.resize(static_cast<size_t>(size_) * slot_width_);
+  uint8_t* slot_ptr = arena_.data() + slot * slot_width_;
+  std::memcpy(slot_ptr, key, static_cast<size_t>(key_width_));
+  spec_->InitState(slot_ptr + key_width_);
+  buckets_[static_cast<size_t>(pos)] = slot;
+  *state = slot_ptr + key_width_;
+  return UpsertResult::kInserted;
+}
+
+AggHashTable::UpsertResult AggHashTable::UpsertProjected(const uint8_t* proj,
+                                                         uint64_t hash) {
+  uint8_t* state = nullptr;
+  UpsertResult r = FindOrInsert(spec_->KeyOfProjected(proj), hash, &state);
+  if (r != UpsertResult::kFull) {
+    spec_->UpdateFromProjected(state, proj);
+  }
+  return r;
+}
+
+AggHashTable::UpsertResult AggHashTable::UpsertPartial(const uint8_t* partial,
+                                                       uint64_t hash) {
+  uint8_t* state = nullptr;
+  UpsertResult r = FindOrInsert(spec_->KeyOfPartial(partial), hash, &state);
+  if (r != UpsertResult::kFull) {
+    spec_->MergeState(state, spec_->StateOfPartial(partial));
+  }
+  return r;
+}
+
+const uint8_t* AggHashTable::Find(const uint8_t* key, uint64_t hash) const {
+  bool found = false;
+  int64_t pos = Probe(key, hash, &found);
+  if (!found) return nullptr;
+  return arena_.data() + pos * slot_width_ + key_width_;
+}
+
+void AggHashTable::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), -1);
+  arena_.clear();
+  size_ = 0;
+}
+
+}  // namespace adaptagg

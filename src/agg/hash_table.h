@@ -1,0 +1,88 @@
+#ifndef ADAPTAGG_AGG_HASH_TABLE_H_
+#define ADAPTAGG_AGG_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/agg_spec.h"
+
+namespace adaptagg {
+
+/// Memory-bounded open-addressing aggregation hash table (the paper's
+/// in-memory hash table with a maximum of M entries, Table 1: M = 10K).
+///
+/// Slots are fixed-width [key bytes][state bytes] blocks stored in one
+/// flat arena; probing is linear over a power-of-two bucket array kept at
+/// <= 70% load. The table refuses inserts beyond `max_entries` — detecting
+/// that condition is exactly the adaptive algorithms' switch signal — but
+/// existing groups can always continue to update in place.
+///
+/// Not thread-safe: one table per node phase.
+class AggHashTable {
+ public:
+  /// Outcome of an upsert attempt.
+  enum class UpsertResult {
+    kUpdated,   ///< key existed; state updated/merged
+    kInserted,  ///< key was new and fit
+    kFull,      ///< key was new but the table is at max_entries
+  };
+
+  /// `spec` must outlive the table.
+  AggHashTable(const AggregationSpec* spec, int64_t max_entries);
+
+  int64_t size() const { return size_; }
+  int64_t max_entries() const { return max_entries_; }
+  bool full() const { return size_ >= max_entries_; }
+  const AggregationSpec& spec() const { return *spec_; }
+
+  /// Approximate bytes held by the table (arena + index).
+  int64_t MemoryBytes() const;
+
+  /// Finds the slot for `key` (with its precomputed hash), inserting an
+  /// initialized state when absent and capacity remains. On success,
+  /// `*state` points at the slot's mutable state block; on kFull, `*state`
+  /// is nullptr.
+  UpsertResult FindOrInsert(const uint8_t* key, uint64_t hash,
+                            uint8_t** state);
+
+  /// Upserts a projected raw record: init+update on insert, update on hit.
+  UpsertResult UpsertProjected(const uint8_t* proj, uint64_t hash);
+
+  /// Upserts a partial record: init+merge on insert, merge on hit.
+  UpsertResult UpsertPartial(const uint8_t* partial, uint64_t hash);
+
+  /// Pure lookup: state block of `key`, or nullptr.
+  const uint8_t* Find(const uint8_t* key, uint64_t hash) const;
+
+  /// Calls `fn(key_ptr, state_ptr)` for every entry, in slot order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int64_t i = 0; i < size_; ++i) {
+      const uint8_t* slot = arena_.data() + i * slot_width_;
+      fn(slot, slot + key_width_);
+    }
+  }
+
+  /// Empties the table, keeping capacity.
+  void Clear();
+
+ private:
+  int64_t Probe(const uint8_t* key, uint64_t hash, bool* found) const;
+
+  const AggregationSpec* spec_;
+  int64_t max_entries_;
+  int key_width_;
+  int state_width_;
+  int slot_width_;
+
+  // arena_ holds `size_` consecutive slots; buckets_ maps hash positions
+  // to slot indices (-1 = empty).
+  std::vector<uint8_t> arena_;
+  std::vector<int64_t> buckets_;
+  uint64_t bucket_mask_ = 0;
+  int64_t size_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_HASH_TABLE_H_

@@ -1,0 +1,42 @@
+#ifndef ADAPTAGG_AGG_REFERENCE_H_
+#define ADAPTAGG_AGG_REFERENCE_H_
+
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "common/result.h"
+#include "storage/partitioned_relation.h"
+
+namespace adaptagg {
+
+/// A materialized set of final aggregation rows. Rows use
+/// `spec.final_schema()`.
+struct ResultSet {
+  Schema schema;
+  std::vector<std::vector<uint8_t>> rows;
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+  TupleView row(int64_t i) const {
+    return TupleView(rows[static_cast<size_t>(i)].data(), &schema);
+  }
+
+  /// Sorts rows bytewise so result sets can be compared.
+  void Sort();
+};
+
+/// True when `a` and `b` contain the same rows (after sorting), comparing
+/// double columns with relative tolerance `eps` (parallel execution sums
+/// doubles in nondeterministic order).
+bool ResultSetsEqual(const ResultSet& a, const ResultSet& b,
+                     double eps = 1e-9);
+
+/// Single-threaded oracle: aggregates every partition of `rel` through a
+/// deliberately independent implementation (std::unordered_map keyed on
+/// key bytes) and returns the finalized, sorted result. Used as the
+/// correctness reference for all parallel algorithms in tests.
+Result<ResultSet> ReferenceAggregate(const AggregationSpec& spec,
+                                     PartitionedRelation& rel);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_REFERENCE_H_

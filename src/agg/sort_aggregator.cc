@@ -1,0 +1,81 @@
+#include "agg/sort_aggregator.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+namespace {
+
+constexpr uint8_t kRawTag = 0;
+constexpr uint8_t kPartialTag = 1;
+
+int FrameWidth(const AggregationSpec& spec) {
+  return 1 + std::max(spec.projected_width(), spec.partial_width());
+}
+
+}  // namespace
+
+SortAggregator::SortAggregator(const AggregationSpec* spec, Disk* disk,
+                               int64_t max_records, std::string name)
+    : spec_(spec),
+      record_width_(FrameWidth(*spec)),
+      // The group key is every frame's prefix after the tag byte, so
+      // raw and partial frames interleave correctly in key order.
+      sorter_(disk, record_width_, /*key_offset=*/1, spec->key_width(),
+              max_records, std::move(name)),
+      frame_(static_cast<size_t>(record_width_), 0) {}
+
+Status SortAggregator::Add(uint8_t tag, const uint8_t* record, int width) {
+  frame_[0] = tag;
+  std::memcpy(frame_.data() + 1, record, static_cast<size_t>(width));
+  // Zero the pad so runs are deterministic byte-for-byte.
+  std::memset(frame_.data() + 1 + width, 0,
+              static_cast<size_t>(record_width_ - 1 - width));
+  return sorter_.Add(frame_.data());
+}
+
+Status SortAggregator::AddProjected(const uint8_t* proj) {
+  return Add(kRawTag, proj, spec_->projected_width());
+}
+
+Status SortAggregator::AddPartial(const uint8_t* partial) {
+  return Add(kPartialTag, partial, spec_->partial_width());
+}
+
+Status SortAggregator::Finish(const EmitFn& emit) {
+  ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
+  finished_ = true;
+
+  ADAPTAGG_ASSIGN_OR_RETURN(SortedStream stream, sorter_.Finish());
+
+  const int key_width = spec_->key_width();
+  std::vector<uint8_t> current_key(static_cast<size_t>(key_width));
+  std::vector<uint8_t> state(
+      static_cast<size_t>(std::max(1, spec_->state_width())));
+  bool open = false;
+
+  const uint8_t* frame;
+  while ((frame = stream.Next()) != nullptr) {
+    const uint8_t* key = frame + 1;
+    if (!open ||
+        std::memcmp(key, current_key.data(),
+                    static_cast<size_t>(key_width)) != 0) {
+      if (open) emit(current_key.data(), state.data());
+      std::memcpy(current_key.data(), key,
+                  static_cast<size_t>(key_width));
+      spec_->InitState(state.data());
+      open = true;
+    }
+    if (frame[0] == kRawTag) {
+      spec_->UpdateFromProjected(state.data(), frame + 1);
+    } else {
+      spec_->MergeState(state.data(), spec_->StateOfPartial(frame + 1));
+    }
+  }
+  ADAPTAGG_RETURN_IF_ERROR(stream.status());
+  if (open) emit(current_key.data(), state.data());
+  return Status::OK();
+}
+
+}  // namespace adaptagg

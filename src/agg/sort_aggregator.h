@@ -1,0 +1,51 @@
+#ifndef ADAPTAGG_AGG_SORT_AGGREGATOR_H_
+#define ADAPTAGG_AGG_SORT_AGGREGATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "agg/agg_spec.h"
+#include "sort/external_sorter.h"
+
+namespace adaptagg {
+
+/// Sort-based aggregation — the [BBDW83] baseline the paper's §1 cites:
+/// externally sort the (tagged) records by group key with bounded
+/// memory, then aggregate each key's contiguous range in one pass.
+/// Interface-compatible with SpillingAggregator so the algorithms can
+/// use either engine; accepts the same mix of projected raw records and
+/// partial-aggregate records.
+class SortAggregator {
+ public:
+  using EmitFn =
+      std::function<void(const uint8_t* key, const uint8_t* state)>;
+
+  /// `max_records` bounds the in-memory sort buffer (the analogue of the
+  /// hash table bound M).
+  SortAggregator(const AggregationSpec* spec, Disk* disk,
+                 int64_t max_records, std::string name = "sortagg");
+
+  Status AddProjected(const uint8_t* proj);
+  Status AddPartial(const uint8_t* partial);
+
+  /// Emits every group exactly once, in ascending key order.
+  Status Finish(const EmitFn& emit);
+
+  int64_t num_records() const { return sorter_.num_records(); }
+  int64_t num_runs() const { return sorter_.num_runs(); }
+  int64_t run_pages_written() const { return sorter_.run_pages_written(); }
+
+ private:
+  Status Add(uint8_t tag, const uint8_t* record, int width);
+
+  const AggregationSpec* spec_;
+  int record_width_;  // 1 tag byte + max(projected, partial) width
+  ExternalSorter sorter_;
+  std::vector<uint8_t> frame_;
+  bool finished_ = false;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_SORT_AGGREGATOR_H_

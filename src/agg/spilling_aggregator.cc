@@ -1,0 +1,126 @@
+#include "agg/spilling_aggregator.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace adaptagg {
+namespace {
+
+/// Deepest allowed recursive repartitioning; hitting it means the key hash
+/// failed to split a bucket 24 times in a row, which indicates a bug (or
+/// an adversarial hash collision set), not a legitimate workload.
+constexpr int kMaxDepth = 24;
+
+}  // namespace
+
+void SpillStats::Accumulate(const SpillStats& other) {
+  overflow_records += other.overflow_records;
+  spill_pages_written += other.spill_pages_written;
+  spill_pages_read += other.spill_pages_read;
+  buckets_created += other.buckets_created;
+  max_depth = std::max(max_depth, other.max_depth);
+}
+
+SpillingAggregator::SpillingAggregator(const AggregationSpec* spec,
+                                       Disk* disk, int64_t max_entries,
+                                       int fanout, std::string name)
+    : SpillingAggregator(spec, disk, max_entries, fanout, std::move(name),
+                         /*depth=*/0) {}
+
+SpillingAggregator::SpillingAggregator(const AggregationSpec* spec,
+                                       Disk* disk, int64_t max_entries,
+                                       int fanout, std::string name,
+                                       int depth)
+    : spec_(spec),
+      disk_(disk),
+      max_entries_(max_entries),
+      fanout_(fanout),
+      name_(std::move(name)),
+      depth_(depth),
+      table_(spec, max_entries) {
+  ADAPTAGG_CHECK(fanout_ >= 2) << "spill fanout must be >= 2";
+  ADAPTAGG_CHECK(depth_ <= kMaxDepth)
+      << "aggregation overflow recursion too deep";
+}
+
+int SpillingAggregator::BucketOf(uint64_t hash) const {
+  // Re-mix with a per-depth seed so each recursion level splits on
+  // independent bits, even though the same base hash is reused.
+  uint64_t mixed = SplitMix64(hash ^ (0xa5a5a5a5ULL * (depth_ + 1)));
+  return static_cast<int>(mixed % static_cast<uint64_t>(fanout_));
+}
+
+Status SpillingAggregator::EnsureBuckets() {
+  if (!buckets_.empty()) return Status::OK();
+  buckets_.reserve(static_cast<size_t>(fanout_));
+  for (int b = 0; b < fanout_; ++b) {
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        SpillWriter w,
+        SpillWriter::Create(disk_,
+                            name_ + ".d" + std::to_string(depth_) + ".b" +
+                                std::to_string(b),
+                            spec_->projected_width(), spec_->partial_width()));
+    buckets_.push_back(std::make_unique<SpillWriter>(std::move(w)));
+  }
+  stats_.buckets_created += fanout_;
+  return Status::OK();
+}
+
+Status SpillingAggregator::Add(SpillTag tag, const uint8_t* record,
+                               uint64_t hash) {
+  AggHashTable::UpsertResult r =
+      tag == SpillTag::kRaw ? table_.UpsertProjected(record, hash)
+                            : table_.UpsertPartial(record, hash);
+  if (r != AggHashTable::UpsertResult::kFull) return Status::OK();
+  ADAPTAGG_RETURN_IF_ERROR(EnsureBuckets());
+  ++stats_.overflow_records;
+  return buckets_[static_cast<size_t>(BucketOf(hash))]->Append(tag, record);
+}
+
+Status SpillingAggregator::AddProjected(const uint8_t* proj) {
+  return Add(SpillTag::kRaw, proj, spec_->HashKey(spec_->KeyOfProjected(proj)));
+}
+
+Status SpillingAggregator::AddPartial(const uint8_t* partial) {
+  return Add(SpillTag::kPartial, partial,
+             spec_->HashKey(spec_->KeyOfPartial(partial)));
+}
+
+Status SpillingAggregator::Finish(const EmitFn& emit) {
+  ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
+  finished_ = true;
+
+  table_.ForEach(
+      [&](const uint8_t* key, const uint8_t* state) { emit(key, state); });
+  table_.Clear();
+
+  for (auto& bucket : buckets_) {
+    ADAPTAGG_RETURN_IF_ERROR(bucket->Flush());
+    stats_.spill_pages_written += bucket->num_pages();
+    if (bucket->num_records() == 0) {
+      ADAPTAGG_RETURN_IF_ERROR(bucket->Drop());
+      continue;
+    }
+    SpillingAggregator child(spec_, disk_, max_entries_, fanout_, name_,
+                             depth_ + 1);
+    SpillReader reader(bucket.get());
+    SpillTag tag;
+    const uint8_t* record = nullptr;
+    while (reader.Next(&tag, &record)) {
+      uint64_t hash =
+          spec_->HashKey(tag == SpillTag::kRaw ? spec_->KeyOfProjected(record)
+                                               : spec_->KeyOfPartial(record));
+      ADAPTAGG_RETURN_IF_ERROR(child.Add(tag, record, hash));
+    }
+    ADAPTAGG_RETURN_IF_ERROR(reader.status());
+    stats_.spill_pages_read += reader.pages_read();
+    ADAPTAGG_RETURN_IF_ERROR(bucket->Drop());
+    ADAPTAGG_RETURN_IF_ERROR(child.Finish(emit));
+    stats_.Accumulate(child.stats());
+    stats_.max_depth = std::max(stats_.max_depth, depth_ + 1);
+  }
+  buckets_.clear();
+  return Status::OK();
+}
+
+}  // namespace adaptagg

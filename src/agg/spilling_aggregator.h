@@ -1,0 +1,86 @@
+#ifndef ADAPTAGG_AGG_SPILLING_AGGREGATOR_H_
+#define ADAPTAGG_AGG_SPILLING_AGGREGATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/hash_table.h"
+#include "storage/spill_file.h"
+
+namespace adaptagg {
+
+/// Counters describing the overflow behavior of one aggregation.
+struct SpillStats {
+  int64_t overflow_records = 0;  ///< records routed to spill buckets
+  int64_t spill_pages_written = 0;
+  int64_t spill_pages_read = 0;
+  int buckets_created = 0;
+  int max_depth = 0;  ///< deepest recursive repartitioning level reached
+
+  void Accumulate(const SpillStats& other);
+};
+
+/// The paper's uniprocessor hash aggregation (§2, steps 1-3): build an
+/// in-memory hash table; when it fills, hash-partition the overflow into
+/// buckets spooled to disk; process each bucket recursively with a fresh
+/// table. Inputs can be a mix of projected raw records and partial
+/// aggregate records (the Adaptive Two Phase global phase receives both),
+/// and the spill format preserves that distinction.
+///
+/// Usage: Add* any number of records, then Finish(emit) exactly once.
+/// `emit` receives every group exactly once as (key, state).
+class SpillingAggregator {
+ public:
+  /// `spec` and `disk` must outlive the aggregator. `max_entries` is the
+  /// hash table bound M; `fanout` the number of overflow buckets per level
+  /// (>= 2).
+  SpillingAggregator(const AggregationSpec* spec, Disk* disk,
+                     int64_t max_entries, int fanout = 8,
+                     std::string name = "spill");
+
+  using EmitFn =
+      std::function<void(const uint8_t* key, const uint8_t* state)>;
+
+  Status AddProjected(const uint8_t* proj);
+  Status AddPartial(const uint8_t* partial);
+
+  /// Emits all groups (table first, then recursive buckets) and releases
+  /// the spill files.
+  Status Finish(const EmitFn& emit);
+
+  /// The resident table; adaptive algorithms watch its occupancy.
+  AggHashTable& table() { return table_; }
+  const AggHashTable& table() const { return table_; }
+
+  /// True once at least one record has overflowed to disk.
+  bool has_spilled() const { return !buckets_.empty(); }
+
+  const SpillStats& stats() const { return stats_; }
+
+ private:
+  SpillingAggregator(const AggregationSpec* spec, Disk* disk,
+                     int64_t max_entries, int fanout, std::string name,
+                     int depth);
+
+  Status Add(SpillTag tag, const uint8_t* record, uint64_t hash);
+  Status EnsureBuckets();
+  int BucketOf(uint64_t hash) const;
+
+  const AggregationSpec* spec_;
+  Disk* disk_;
+  int64_t max_entries_;
+  int fanout_;
+  std::string name_;
+  int depth_;
+
+  AggHashTable table_;
+  std::vector<std::unique_ptr<SpillWriter>> buckets_;
+  SpillStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_SPILLING_AGGREGATOR_H_

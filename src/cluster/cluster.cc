@@ -1,0 +1,130 @@
+#include "cluster/cluster.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+Cluster::Cluster(SystemParams params) : params_(std::move(params)) {
+  transport_factory_ = [](int n) -> Result<std::vector<std::unique_ptr<Transport>>> {
+    return MakeInprocMesh(n);
+  };
+}
+
+RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
+                       PartitionedRelation& rel, AlgorithmOptions options) {
+  RunResult result;
+  const int n = params_.num_nodes;
+  if (rel.num_nodes() != n) {
+    result.status = Status::InvalidArgument(
+        "relation has " + std::to_string(rel.num_nodes()) +
+        " partitions but cluster has " + std::to_string(n) + " nodes");
+    return result;
+  }
+
+  // Predicates are validated once, up front, against the schemas they
+  // will be evaluated on (this also resolves by-name column references
+  // before the node threads share the expression trees read-only).
+  if (options.where != nullptr) {
+    Status st = ValidatePredicate(*options.where, spec.input_schema());
+    if (!st.ok()) {
+      result.status = Status(st.code(), "WHERE: " + st.message());
+      return result;
+    }
+  }
+  if (options.having != nullptr) {
+    Status st = ValidatePredicate(*options.having, spec.final_schema());
+    if (!st.ok()) {
+      result.status = Status(st.code(), "HAVING: " + st.message());
+      return result;
+    }
+  }
+
+  Result<std::vector<std::unique_ptr<Transport>>> transports =
+      transport_factory_(n);
+  if (!transports.ok()) {
+    result.status = transports.status();
+    return result;
+  }
+
+  rel.ResetDiskStats();
+  NetworkModel net(params_);
+
+  std::mutex gather_mu;
+  std::vector<std::vector<uint8_t>> gathered;
+
+  std::vector<std::unique_ptr<NodeContext>> contexts;
+  contexts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    contexts.push_back(std::make_unique<NodeContext>(
+        i, params_, spec, options, &rel.partition(i), &rel.disk(i),
+        (*transports)[static_cast<size_t>(i)].get(), &net));
+    contexts.back()->SetGather(&gather_mu, &gathered);
+  }
+
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        NodeContext& ctx = *contexts[static_cast<size_t>(i)];
+        Status st = algo.RunNode(ctx);
+        if (!st.ok()) {
+          // Wake every peer that may be blocked waiting for this node's
+          // traffic; they will fail their runs with "aborted by peer".
+          Message abort;
+          abort.type = MessageType::kAbort;
+          for (int dest = 0; dest < n; ++dest) {
+            if (dest != i) (void)ctx.Send(dest, abort);
+          }
+        }
+        statuses[static_cast<size_t>(i)] = st;
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+  result.wall_time_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  // Report the root cause: a node that failed on its own, not one that
+  // merely observed a peer's abort.
+  bool have_root_cause = false;
+  for (int i = 0; i < n; ++i) {
+    const Status& st = statuses[static_cast<size_t>(i)];
+    if (st.ok()) continue;
+    bool is_cascade =
+        st.message().find("aborted by peer") != std::string::npos;
+    if (!have_root_cause || (!is_cascade && result.status.message().find(
+                                                "aborted by peer") !=
+                                                std::string::npos)) {
+      result.status = Status(
+          st.code(), "node " + std::to_string(i) + ": " + st.message());
+      have_root_cause = true;
+    }
+  }
+
+  result.clocks.reserve(static_cast<size_t>(n));
+  result.node_stats.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    NodeContext& ctx = *contexts[static_cast<size_t>(i)];
+    result.sim_time_s = std::max(result.sim_time_s, ctx.clock().now());
+    result.clocks.push_back(ctx.clock());
+    result.node_stats.push_back(ctx.stats());
+  }
+  // On the shared medium, the wire is a sequential resource whose total
+  // occupancy adds to the completion time (§2's no-overlap model).
+  result.wire_time_s = net.serialized_wire_s();
+  result.sim_time_s += result.wire_time_s;
+
+  result.results.schema = spec.final_schema();
+  result.results.rows = std::move(gathered);
+  return result;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,62 @@
+#include "cluster/exchange.h"
+
+#include "common/random.h"
+
+namespace adaptagg {
+
+int DestOfKeyHash(uint64_t key_hash, int num_nodes) {
+  return static_cast<int>(SplitMix64(key_hash ^ 0xd357a7e5ULL) %
+                          static_cast<uint64_t>(num_nodes));
+}
+
+Exchange::Exchange(NodeContext* ctx, MessageType type, int record_width,
+                   uint32_t phase)
+    : ctx_(ctx), type_(type), record_width_(record_width), phase_(phase) {
+  builders_.reserve(static_cast<size_t>(ctx->num_nodes()));
+  for (int i = 0; i < ctx->num_nodes(); ++i) {
+    builders_.emplace_back(ctx->params().message_page_bytes, record_width);
+  }
+}
+
+Status Exchange::SendPage(int dest) {
+  Message msg;
+  msg.type = type_;
+  msg.phase = phase_;
+  msg.payload = builders_[static_cast<size_t>(dest)].Finish();
+  return ctx_->Send(dest, std::move(msg));
+}
+
+Status Exchange::Add(int dest, const uint8_t* record) {
+  PageBuilder& b = builders_[static_cast<size_t>(dest)];
+  b.Append(record);
+  ++records_sent_;
+  if (b.full()) {
+    return SendPage(dest);
+  }
+  return Status::OK();
+}
+
+Status Exchange::FlushAll() {
+  for (int dest = 0; dest < ctx_->num_nodes(); ++dest) {
+    if (!builders_[static_cast<size_t>(dest)].empty()) {
+      ADAPTAGG_RETURN_IF_ERROR(SendPage(dest));
+    }
+  }
+  return Status::OK();
+}
+
+Status BroadcastEos(NodeContext* ctx, uint32_t phase) {
+  Message msg;
+  msg.type = MessageType::kEndOfStream;
+  msg.phase = phase;
+  return Broadcast(ctx, msg);
+}
+
+Status Broadcast(NodeContext* ctx, const Message& msg) {
+  for (int dest = 0; dest < ctx->num_nodes(); ++dest) {
+    ADAPTAGG_RETURN_IF_ERROR(ctx->Send(dest, msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace adaptagg

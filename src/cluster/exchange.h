@@ -1,0 +1,64 @@
+#ifndef ADAPTAGG_CLUSTER_EXCHANGE_H_
+#define ADAPTAGG_CLUSTER_EXCHANGE_H_
+
+#include <vector>
+
+#include "cluster/node_context.h"
+#include "storage/page.h"
+
+namespace adaptagg {
+
+/// Which node owns a group key: derived from the key hash with an
+/// independent bit mix so that node routing is uncorrelated with hash
+/// table probing and spill bucket selection.
+int DestOfKeyHash(uint64_t key_hash, int num_nodes);
+
+/// Batches fixed-width records per destination into message pages of
+/// `params.message_page_bytes` (the §5 implementation blocks messages into
+/// 2 KB pages) and sends them through the NodeContext. One Exchange per
+/// (record kind, phase); a node can operate several concurrently.
+class Exchange {
+ public:
+  Exchange(NodeContext* ctx, MessageType type, int record_width,
+           uint32_t phase);
+
+  /// Buffers one record for `dest`, sending a page when full.
+  Status Add(int dest, const uint8_t* record);
+
+  /// Sends all partially-filled pages.
+  Status FlushAll();
+
+  int64_t records_sent() const { return records_sent_; }
+
+ private:
+  Status SendPage(int dest);
+
+  NodeContext* ctx_;
+  MessageType type_;
+  int record_width_;
+  uint32_t phase_;
+  std::vector<PageBuilder> builders_;
+  int64_t records_sent_ = 0;
+};
+
+/// Sends an empty end-of-stream marker for `phase` to every node
+/// (including the sender itself; self-delivery keeps the drain protocol
+/// uniform).
+Status BroadcastEos(NodeContext* ctx, uint32_t phase);
+
+/// Sends an arbitrary small message to every node including self.
+Status Broadcast(NodeContext* ctx, const Message& msg);
+
+/// Iterates the records of a received page message.
+template <typename Fn>
+void ForEachRecordInPage(const Message& msg, int record_width,
+                         int message_page_bytes, Fn&& fn) {
+  PageReader reader(msg.payload.data(), message_page_bytes, record_width);
+  for (int i = 0; i < reader.count(); ++i) {
+    fn(reader.record(i));
+  }
+}
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CLUSTER_EXCHANGE_H_

@@ -1,0 +1,160 @@
+#include "cluster/node_context.h"
+
+#include "common/logging.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+
+namespace adaptagg {
+
+NodeContext::NodeContext(int node_id, const SystemParams& params,
+                         const AggregationSpec& spec,
+                         const AlgorithmOptions& options,
+                         HeapFile* local_partition, Disk* disk,
+                         Transport* transport, NetworkModel* net)
+    : node_id_(node_id),
+      params_(params),
+      spec_(spec),
+      options_(options),
+      local_partition_(local_partition),
+      disk_(disk),
+      transport_(transport),
+      net_(net),
+      row_buf_(static_cast<size_t>(spec.final_schema().tuple_size())) {
+  if (disk_ != nullptr) last_disk_ = disk_->stats();
+}
+
+int64_t NodeContext::max_hash_entries() const {
+  return options_.max_hash_entries > 0 ? options_.max_hash_entries
+                                       : params_.max_hash_entries;
+}
+
+int64_t NodeContext::crossover_threshold() const {
+  return options_.crossover_threshold > 0
+             ? options_.crossover_threshold
+             : 100LL * params_.num_nodes;
+}
+
+int64_t NodeContext::few_groups_threshold() const {
+  return options_.few_groups_threshold > 0 ? options_.few_groups_threshold
+                                           : crossover_threshold();
+}
+
+Status NodeContext::Send(int to, Message msg) {
+  net_->OnSend(clock_, msg);
+  ++stats_.messages_sent;
+  return transport_->Send(to, std::move(msg));
+}
+
+Result<Message> NodeContext::Recv() {
+  if (!stash_.empty()) {
+    Message msg = std::move(stash_.front());
+    stash_.pop_front();
+    return msg;  // receive costs were charged when first popped
+  }
+  ADAPTAGG_ASSIGN_OR_RETURN(Message msg, transport_->Recv());
+  net_->OnReceive(clock_, msg);
+  return msg;
+}
+
+std::optional<Message> NodeContext::TryRecv() {
+  if (!stash_.empty()) {
+    Message msg = std::move(stash_.front());
+    stash_.pop_front();
+    return msg;
+  }
+  std::optional<Message> msg = transport_->TryRecv();
+  if (msg.has_value()) net_->OnReceive(clock_, *msg);
+  return msg;
+}
+
+void NodeContext::SyncDiskIo() {
+  if (disk_ == nullptr) return;
+  const DiskStats& now = disk_->stats();
+  int64_t seq = (now.pages_read_seq - last_disk_.pages_read_seq) +
+                (now.pages_written - last_disk_.pages_written);
+  int64_t rand = now.pages_read_rand - last_disk_.pages_read_rand;
+  if (seq > 0) clock_.AddIo(static_cast<double>(seq) * params_.io_seq_s);
+  if (rand > 0) clock_.AddIo(static_cast<double>(rand) * params_.io_rand_s);
+  last_disk_ = now;
+}
+
+Status NodeContext::EmitFinalRow(const uint8_t* key, const uint8_t* state) {
+  spec_.FinalizeRecord(key, state, row_buf_.data());
+  // HAVING is evaluated after grouping (§2); rows failing it are never
+  // generated or stored.
+  if (options_.having != nullptr) {
+    clock_.AddCpu(params_.t_r());
+    TupleView row(row_buf_.data(), &spec_.final_schema());
+    if (!EvalPredicate(*options_.having, row)) {
+      ++stats_.rows_filtered_by_having;
+      return Status::OK();
+    }
+  }
+  clock_.AddCpu(params_.t_w());  // generating the result tuple
+  ++stats_.result_rows;
+  if (options_.store_results && disk_ != nullptr) {
+    if (result_file_ == nullptr) {
+      ADAPTAGG_ASSIGN_OR_RETURN(
+          HeapFile hf,
+          HeapFile::Create(disk_, &spec_.final_schema(),
+                           "result_n" + std::to_string(node_id_)));
+      result_file_ = std::make_unique<HeapFile>(std::move(hf));
+    }
+    ADAPTAGG_RETURN_IF_ERROR(result_file_->AppendRaw(row_buf_.data()));
+  }
+  if (options_.gather_results && gather_rows_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*gather_mu_);
+    gather_rows_->emplace_back(row_buf_.begin(), row_buf_.end());
+  }
+  return Status::OK();
+}
+
+Status NodeContext::FinishResults() {
+  if (result_file_ != nullptr) {
+    ADAPTAGG_RETURN_IF_ERROR(result_file_->Flush());
+  }
+  SyncDiskIo();
+  return Status::OK();
+}
+
+LocalScanner::LocalScanner(NodeContext* ctx)
+    : ctx_(ctx),
+      select_cost_(ctx->params().t_r() + ctx->params().t_w()) {
+  // The scan operator gets no clock: the node's disk I/O is accounted
+  // centrally by NodeContext::SyncDiskIo (one accountant per disk —
+  // a second baseline here would double-charge the scan pages). Select
+  // cost is charged per tuple below.
+  RowOperatorPtr scan = std::make_unique<ScanOperator>(
+      ctx->local_partition(), /*clock=*/nullptr, /*params=*/nullptr);
+  if (ctx->options().where != nullptr) {
+    // The WHERE predicate was validated by Cluster::Run; Make re-checks
+    // cheaply and wires the select into the pipeline.
+    Result<RowOperatorPtr> select =
+        SelectOperator::Make(std::move(scan), ctx->options().where,
+                             &ctx->clock(), &ctx->params());
+    if (!select.ok()) {
+      status_ = select.status();
+      return;
+    }
+    op_ = std::move(select).value();
+  } else {
+    op_ = std::move(scan);
+  }
+  status_ = op_->Open();
+}
+
+TupleView LocalScanner::Next() {
+  if (!status_.ok() || op_ == nullptr) return TupleView();
+  TupleView t = op_->Next();
+  if (t.valid()) {
+    ctx_->clock().AddCpu(select_cost_);
+    ++ctx_->stats().tuples_scanned;
+  } else {
+    status_ = op_->Close();
+    op_.reset();
+    ctx_->SyncDiskIo();
+  }
+  return t;
+}
+
+}  // namespace adaptagg

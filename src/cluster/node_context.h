@@ -1,0 +1,196 @@
+#ifndef ADAPTAGG_CLUSTER_NODE_CONTEXT_H_
+#define ADAPTAGG_CLUSTER_NODE_CONTEXT_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "agg/agg_spec.h"
+#include "agg/spilling_aggregator.h"
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "net/network_model.h"
+#include "net/transport.h"
+#include "sim/cost_clock.h"
+#include "sim/params.h"
+#include "storage/heap_file.h"
+
+namespace adaptagg {
+
+/// Tunables of one algorithm run. Negative values mean "derive the paper
+/// default from SystemParams".
+struct AlgorithmOptions {
+  /// Hash table bound M per node phase (-1: params.max_hash_entries).
+  int64_t max_hash_entries = -1;
+  /// Overflow buckets per spill level.
+  int spill_fanout = 8;
+
+  // --- Sampling algorithm (§3.1) ---
+  /// Groups below this choose Two Phase, at/above choose Repartitioning
+  /// (-1: 100 * N as in §4).
+  int64_t crossover_threshold = -1;
+  /// Total sample tuples across the cluster (-1: Erdős–Rényi bound for
+  /// the crossover threshold).
+  int64_t sample_size = -1;
+
+  // --- Adaptive Repartitioning (§3.3) ---
+  /// Tuples a node scans before judging whether repartitioning pays.
+  int64_t init_seg = 10'000;
+  /// "Too few groups" bound at decision time (-1: crossover threshold).
+  int64_t few_groups_threshold = -1;
+
+  // --- Adaptive Two Phase ablation knob ---
+  /// Fraction of M at which A-2P abandons local aggregation (1.0 = the
+  /// paper's memory-overflow switch point).
+  double switch_fill_fraction = 1.0;
+
+  /// Store final rows to each node's local disk (charged I/O), as the
+  /// paper's store operator does.
+  bool store_results = true;
+  /// Also gather rows centrally so callers/tests can inspect them.
+  bool gather_results = true;
+
+  /// Optional WHERE predicate over the input schema: every node's local
+  /// scan is wrapped in a select operator (§2's pipeline architecture).
+  /// Validated by Cluster::Run before execution.
+  ExprPtr where;
+  /// Optional HAVING predicate over the aggregation's final schema,
+  /// applied when result rows are emitted (§2: evaluated after GROUP BY).
+  ExprPtr having;
+
+  /// Seed for sampling randomness.
+  uint64_t seed = 42;
+};
+
+/// Per-node execution counters reported back by a run.
+struct NodeRunStats {
+  int64_t tuples_scanned = 0;
+  int64_t raw_records_sent = 0;
+  int64_t partial_records_sent = 0;
+  int64_t raw_records_received = 0;
+  int64_t partial_records_received = 0;
+  int64_t messages_sent = 0;
+  int64_t result_rows = 0;
+  /// Groups dropped by the HAVING predicate on this node.
+  int64_t rows_filtered_by_having = 0;
+  /// Did this node adaptively change strategy (A-2P overflow switch or
+  /// A-Rep end-of-phase)?
+  bool switched = false;
+  /// Tuples scanned before the switch (0 if none).
+  int64_t switch_at_tuple = 0;
+  SpillStats spill;
+};
+
+class Cluster;
+
+/// Everything one node's thread needs to execute an aggregation
+/// algorithm: its local partition, its disk, its simulated clock, its
+/// transport endpoint, and result emission. Algorithms are written purely
+/// against this interface.
+class NodeContext {
+ public:
+  NodeContext(int node_id, const SystemParams& params,
+              const AggregationSpec& spec, const AlgorithmOptions& options,
+              HeapFile* local_partition, Disk* disk, Transport* transport,
+              NetworkModel* net);
+
+  NodeContext(const NodeContext&) = delete;
+  NodeContext& operator=(const NodeContext&) = delete;
+
+  int node_id() const { return node_id_; }
+  int num_nodes() const { return params_.num_nodes; }
+  bool is_coordinator() const { return node_id_ == 0; }
+
+  const SystemParams& params() const { return params_; }
+  const AggregationSpec& spec() const { return spec_; }
+  const AlgorithmOptions& options() const { return options_; }
+
+  /// The resolved hash table bound M.
+  int64_t max_hash_entries() const;
+  int64_t crossover_threshold() const;
+  int64_t few_groups_threshold() const;
+
+  HeapFile* local_partition() { return local_partition_; }
+  Disk* disk() { return disk_; }
+
+  CostClock& clock() { return clock_; }
+  NodeRunStats& stats() { return stats_; }
+
+  // --- messaging (costs charged via the NetworkModel) ---
+  Status Send(int to, Message msg);
+  Result<Message> Recv();
+  std::optional<Message> TryRecv();
+
+  /// Re-queues a message this node popped but cannot handle yet (e.g. a
+  /// data-phase page arriving while waiting for a control message).
+  /// Stashed messages are returned by Recv/TryRecv — in stash order,
+  /// before new network traffic — without charging receive costs again.
+  void Stash(Message msg) { stash_.push_back(std::move(msg)); }
+
+  /// Charges any disk I/O performed since the last sync (sequential and
+  /// random page costs) onto the clock.
+  void SyncDiskIo();
+
+  // --- result emission ---
+  /// Finalizes (key, state) into a result row: charges t_w, stores to the
+  /// local result file (if store_results) and gathers it (if
+  /// gather_results).
+  Status EmitFinalRow(const uint8_t* key, const uint8_t* state);
+
+  /// Flushes the result file and syncs I/O. Call once per node at the end.
+  Status FinishResults();
+
+  /// Wires up central gathering (done by Cluster).
+  void SetGather(std::mutex* mu, std::vector<std::vector<uint8_t>>* rows) {
+    gather_mu_ = mu;
+    gather_rows_ = rows;
+  }
+
+ private:
+  int node_id_;
+  const SystemParams& params_;
+  const AggregationSpec& spec_;
+  const AlgorithmOptions& options_;
+  HeapFile* local_partition_;
+  Disk* disk_;
+  Transport* transport_;
+  NetworkModel* net_;
+
+  CostClock clock_;
+  NodeRunStats stats_;
+  DiskStats last_disk_;
+  std::deque<Message> stash_;
+
+  std::unique_ptr<HeapFile> result_file_;
+  std::vector<uint8_t> row_buf_;
+  std::mutex* gather_mu_ = nullptr;
+  std::vector<std::vector<uint8_t>>* gather_rows_ = nullptr;
+};
+
+/// This node's local input pipeline (§2's operator architecture): a
+/// cost-charging sequential scan of the partition — one sequential page
+/// I/O per page, select cost t_r + t_w per tuple — wrapped in a select
+/// operator when the run carries a WHERE predicate. Counts surviving
+/// tuples into the node's stats.
+class LocalScanner {
+ public:
+  explicit LocalScanner(NodeContext* ctx);
+
+  /// Next tuple, or an invalid view at end of input (or on error —
+  /// check status() after the loop).
+  TupleView Next();
+
+  /// OK unless opening or scanning the pipeline failed.
+  const Status& status() const { return status_; }
+
+ private:
+  NodeContext* ctx_;
+  RowOperatorPtr op_;
+  Status status_;
+  double select_cost_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CLUSTER_NODE_CONTEXT_H_

@@ -1,0 +1,50 @@
+#include "cluster/run_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adaptagg {
+
+std::string RunReport(const RunResult& run) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "status: %s\nmodeled time: %.6f s (wire %.6f s), wall "
+                "%.6f s\nresult rows: %lld, spilled records: %lld, nodes "
+                "switched: %d\n",
+                run.status.ToString().c_str(), run.sim_time_s,
+                run.wire_time_s, run.wall_time_s,
+                static_cast<long long>(run.total_result_rows()),
+                static_cast<long long>(run.total_spilled_records()),
+                run.nodes_switched());
+  os << buf;
+  for (size_t i = 0; i < run.clocks.size(); ++i) {
+    const NodeRunStats& s = run.node_stats[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  node %zu: %s scanned=%lld sent(raw=%lld,partial=%lld) "
+        "rows=%lld%s\n",
+        i, run.clocks[i].ToString().c_str(),
+        static_cast<long long>(s.tuples_scanned),
+        static_cast<long long>(s.raw_records_sent),
+        static_cast<long long>(s.partial_records_sent),
+        static_cast<long long>(s.result_rows),
+        s.switched ? " [switched]" : "");
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string RunSummaryLine(const RunResult& run) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sim=%.6f wire=%.6f wall=%.6f rows=%lld spilled=%lld "
+                "switched=%d",
+                run.sim_time_s, run.wire_time_s, run.wall_time_s,
+                static_cast<long long>(run.total_result_rows()),
+                static_cast<long long>(run.total_spilled_records()),
+                run.nodes_switched());
+  return buf;
+}
+
+}  // namespace adaptagg

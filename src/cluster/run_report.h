@@ -1,0 +1,21 @@
+#ifndef ADAPTAGG_CLUSTER_RUN_REPORT_H_
+#define ADAPTAGG_CLUSTER_RUN_REPORT_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+
+namespace adaptagg {
+
+/// Human-readable multi-line summary of a run: modeled/wall time, result
+/// rows, per-node clock breakdowns, adaptive switches, spill volume.
+/// What examples and the CLI print in verbose mode.
+std::string RunReport(const RunResult& run);
+
+/// One-line machine-readable summary:
+/// "sim=<s> wire=<s> wall=<s> rows=<n> spilled=<n> switched=<n>".
+std::string RunSummaryLine(const RunResult& run);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CLUSTER_RUN_REPORT_H_

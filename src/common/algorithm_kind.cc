@@ -1,0 +1,44 @@
+#include "common/algorithm_kind.h"
+
+namespace adaptagg {
+
+std::string AlgorithmKindToString(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kCentralizedTwoPhase:
+      return "C-2P";
+    case AlgorithmKind::kTwoPhase:
+      return "2P";
+    case AlgorithmKind::kRepartitioning:
+      return "Rep";
+    case AlgorithmKind::kSampling:
+      return "Samp";
+    case AlgorithmKind::kAdaptiveTwoPhase:
+      return "A-2P";
+    case AlgorithmKind::kAdaptiveRepartitioning:
+      return "A-Rep";
+    case AlgorithmKind::kGraefeTwoPhase:
+      return "Opt-2P";
+    case AlgorithmKind::kSortTwoPhase:
+      return "Sort-2P";
+  }
+  return "?";
+}
+
+std::vector<AlgorithmKind> AllAlgorithms() {
+  return {AlgorithmKind::kCentralizedTwoPhase,
+          AlgorithmKind::kTwoPhase,
+          AlgorithmKind::kRepartitioning,
+          AlgorithmKind::kSampling,
+          AlgorithmKind::kAdaptiveTwoPhase,
+          AlgorithmKind::kAdaptiveRepartitioning,
+          AlgorithmKind::kGraefeTwoPhase,
+          AlgorithmKind::kSortTwoPhase};
+}
+
+std::vector<AlgorithmKind> Figure8Algorithms() {
+  return {AlgorithmKind::kTwoPhase, AlgorithmKind::kRepartitioning,
+          AlgorithmKind::kSampling, AlgorithmKind::kAdaptiveTwoPhase,
+          AlgorithmKind::kAdaptiveRepartitioning};
+}
+
+}  // namespace adaptagg

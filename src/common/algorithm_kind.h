@@ -1,0 +1,39 @@
+#ifndef ADAPTAGG_COMMON_ALGORITHM_KIND_H_
+#define ADAPTAGG_COMMON_ALGORITHM_KIND_H_
+
+#include <string>
+#include <vector>
+
+namespace adaptagg {
+
+/// The parallel aggregation algorithms of the paper, plus Graefe's
+/// optimized Two Phase ([Gra93], discussed in §3.2) as an ablation
+/// baseline. Shared by the execution engine (core/) and the analytical
+/// cost models (model/).
+enum class AlgorithmKind {
+  kCentralizedTwoPhase = 0,  ///< C-2P (§2.1)
+  kTwoPhase,                 ///< 2P   (§2.2)
+  kRepartitioning,           ///< Rep  (§2.3)
+  kSampling,                 ///< Samp (§3.1)
+  kAdaptiveTwoPhase,         ///< A-2P (§3.2)
+  kAdaptiveRepartitioning,   ///< A-Rep (§3.3)
+  kGraefeTwoPhase,           ///< optimized 2P, [Gra93]
+  /// Two Phase with sort-based (external merge sort) aggregation in both
+  /// phases instead of hashing — the [BBDW83] baseline of §1.
+  kSortTwoPhase,
+};
+
+/// The paper's abbreviations: "C-2P", "2P", "Rep", "Samp", "A-2P",
+/// "A-Rep", plus "Opt-2P" and "Sort-2P" for the baselines.
+std::string AlgorithmKindToString(AlgorithmKind kind);
+
+/// All implemented algorithms.
+std::vector<AlgorithmKind> AllAlgorithms();
+
+/// The five algorithms compared in the paper's implementation study
+/// (Figures 8 and 9): 2P, Rep, Samp, A-2P, A-Rep.
+std::vector<AlgorithmKind> Figure8Algorithms();
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_COMMON_ALGORITHM_KIND_H_

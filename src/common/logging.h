@@ -1,0 +1,74 @@
+#ifndef ADAPTAGG_COMMON_LOGGING_H_
+#define ADAPTAGG_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adaptagg {
+
+/// Severity levels for the lightweight logger. kFatal aborts the process
+/// after emitting the message (used for invariant violations — the library
+/// does not use exceptions).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum level that is actually emitted (default kInfo,
+/// overridable with the ADAPTAGG_LOG_LEVEL environment variable: 0-4).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-line collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define ADAPTAGG_LOG_ENABLED(level) \
+  (::adaptagg::LogLevel::level >= ::adaptagg::GetLogLevel())
+
+#define ADAPTAGG_LOG(level)                                              \
+  if (!ADAPTAGG_LOG_ENABLED(level)) {                                    \
+  } else                                                                 \
+    ::adaptagg::internal::LogMessage(::adaptagg::LogLevel::level,        \
+                                     __FILE__, __LINE__)                 \
+        .stream()
+
+/// Fatal check macro: aborts with a message when `cond` does not hold.
+/// Used for invariants whose violation indicates a bug, never for
+/// recoverable errors (those return Status).
+#define ADAPTAGG_CHECK(cond)                                             \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::adaptagg::internal::LogMessage(::adaptagg::LogLevel::kFatal,       \
+                                     __FILE__, __LINE__)                 \
+        .stream()                                                        \
+        << "Check failed: " #cond " "
+
+#define ADAPTAGG_DCHECK(cond) ADAPTAGG_CHECK(cond)
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  size_t i = 0;
+  // Consume 8 bytes at a time for speed; FNV-style mixing per word.
+  while (i + 8 <= len) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * 1099511628211ULL;
+    i += 8;
+  }
+  for (; i < len; ++i) {
+    h = (h ^ p[i]) * 1099511628211ULL;
+  }
+  return SplitMix64(h);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Prng::Prng(uint64_t seed) {
+  // Seed the four xoshiro words with successive SplitMix64 outputs, per the
+  // generator author's recommendation.
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = sm;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    word = z ^ (z >> 31);
+  }
+}
+
+uint64_t Prng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Prng::NextBelow(uint64_t n) {
+  ADAPTAGG_CHECK(n > 0) << "NextBelow(0)";
+  // Rejection sampling over the largest multiple of n that fits in 2^64.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r < threshold);
+  return r % n;
+}
+
+double Prng::NextDouble() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::vector<uint64_t> Prng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  ADAPTAGG_CHECK(k <= n) << "sample size " << k << " > population " << n;
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  // Floyd's algorithm: k iterations, each adding exactly one element.
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextBelow(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<uint64_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,57 @@
+#ifndef ADAPTAGG_COMMON_RANDOM_H_
+#define ADAPTAGG_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adaptagg {
+
+/// SplitMix64 finalizer; also used as the library's 64-bit hash mixer.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes an arbitrary byte string to 64 bits (FNV-1a body + SplitMix64
+/// finalizer). Deterministic across platforms and runs.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// Deterministic xoshiro256** PRNG. Not cryptographic; used for workload
+/// generation and sampling so experiments are reproducible from a seed.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm); returned in ascending order. k must be <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_COMMON_RANDOM_H_

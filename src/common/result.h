@@ -1,0 +1,76 @@
+#ifndef ADAPTAGG_COMMON_RESULT_H_
+#define ADAPTAGG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace adaptagg {
+
+/// `Result<T>` holds either a value of type T or a non-OK Status,
+/// analogous to arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a `Result` expression, else assigns its value.
+#define ADAPTAGG_ASSIGN_OR_RETURN(lhs, expr)        \
+  ADAPTAGG_ASSIGN_OR_RETURN_IMPL(                   \
+      ADAPTAGG_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define ADAPTAGG_CONCAT_INNER_(a, b) a##b
+#define ADAPTAGG_CONCAT_(a, b) ADAPTAGG_CONCAT_INNER_(a, b)
+
+#define ADAPTAGG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_COMMON_RESULT_H_

@@ -1,0 +1,156 @@
+#include <unordered_set>
+
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// §3.3. Starts as Repartitioning (the right call when the optimizer
+/// expects many groups). Each node watches how many distinct groups it
+/// has seen in its first `init_seg` scanned tuples; if too few, it
+/// broadcasts an end-of-phase message and switches to the Adaptive Two
+/// Phase strategy for its remaining tuples. Nodes receiving end-of-phase
+/// follow suit. The global phase keeps the hash table built during the
+/// repartitioning segment, so nothing already shipped is lost.
+class AdaptiveRepartitioning : public Algorithm {
+ public:
+  std::string name() const override { return "adaptive-repartitioning"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    const SystemParams& p = ctx.params();
+    const AggregationSpec& spec = ctx.spec();
+    const int n = ctx.num_nodes();
+
+    SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                              ctx.options().spill_fanout,
+                              "garep_n" + std::to_string(ctx.node_id()));
+    DataReceiver recv(&ctx, &global, n);
+    Exchange ex_partial(&ctx, MessageType::kPartialPage,
+                        spec.partial_width(), kPhaseData);
+    Exchange ex_raw(&ctx, MessageType::kRawPage, spec.projected_width(),
+                    kPhaseData);
+    auto dest = [n](uint64_t h) { return DestOfKeyHash(h, n); };
+
+    AggHashTable local(&spec, ctx.max_hash_entries());
+
+    enum class Mode { kRepartition, kLocalAgg, kRepartitionAgain };
+    Mode mode = Mode::kRepartition;
+    bool broadcast_sent = false;
+
+    // Distinct groups among this node's first init_seg tuples (tracked by
+    // key hash; collisions only make the count conservative).
+    const int64_t init_seg = ctx.options().init_seg;
+    const int64_t few_groups = ctx.few_groups_threshold();
+    std::unordered_set<uint64_t> seen_groups;
+    bool judged = false;
+
+    auto switch_to_local = [&](bool own_decision) -> Status {
+      ctx.stats().switched = true;
+      ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
+      mode = Mode::kLocalAgg;
+      if (own_decision && !broadcast_sent) {
+        broadcast_sent = true;
+        Message eop;
+        eop.type = MessageType::kEndOfPhase;
+        eop.phase = kPhaseData;
+        ADAPTAGG_RETURN_IF_ERROR(Broadcast(&ctx, eop));
+      } else if (!own_decision && !broadcast_sent) {
+        // Follow suit (§3.3): acknowledge with our own end-of-phase.
+        broadcast_sent = true;
+        Message eop;
+        eop.type = MessageType::kEndOfPhase;
+        eop.phase = kPhaseData;
+        ADAPTAGG_RETURN_IF_ERROR(Broadcast(&ctx, eop));
+      }
+      return Status::OK();
+    };
+
+    {
+      LocalScanner scan(&ctx);
+      std::vector<uint8_t> proj(
+          static_cast<size_t>(spec.projected_width()));
+      const double route_cost = p.t_h() + p.t_d();
+      const double local_cost = p.t_r() + p.t_h() + p.t_a();
+      int64_t since_poll = 0;
+      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+        spec.ProjectRaw(t, proj.data());
+        uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
+        switch (mode) {
+          case Mode::kRepartition: {
+            ctx.clock().AddCpu(route_cost);
+            ++ctx.stats().raw_records_sent;
+            ADAPTAGG_RETURN_IF_ERROR(
+                ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+            if (!judged) {
+              if (static_cast<int64_t>(seen_groups.size()) <= few_groups) {
+                seen_groups.insert(h);
+              }
+              if (ctx.stats().tuples_scanned >= init_seg) {
+                judged = true;
+                if (static_cast<int64_t>(seen_groups.size()) < few_groups) {
+                  ADAPTAGG_RETURN_IF_ERROR(
+                      switch_to_local(/*own_decision=*/true));
+                }
+              }
+            }
+            break;
+          }
+          case Mode::kLocalAgg: {
+            ctx.clock().AddCpu(local_cost);
+            AggHashTable::UpsertResult r =
+                local.UpsertProjected(proj.data(), h);
+            if (r == AggHashTable::UpsertResult::kFull) {
+              // A-2P's own overflow switch: flush and repartition again.
+              ADAPTAGG_RETURN_IF_ERROR(
+                  SendTablePartials(ctx, local, ex_partial, dest));
+              mode = Mode::kRepartitionAgain;
+              ctx.clock().AddCpu(p.t_d());
+              ++ctx.stats().raw_records_sent;
+              ADAPTAGG_RETURN_IF_ERROR(
+                  ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+            }
+            break;
+          }
+          case Mode::kRepartitionAgain: {
+            ctx.clock().AddCpu(route_cost);
+            ++ctx.stats().raw_records_sent;
+            ADAPTAGG_RETURN_IF_ERROR(
+                ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+            break;
+          }
+        }
+        if (++since_poll >= kPollInterval) {
+          since_poll = 0;
+          ctx.SyncDiskIo();
+          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+          if (mode == Mode::kRepartition && recv.end_of_phase_seen()) {
+            ADAPTAGG_RETURN_IF_ERROR(
+                switch_to_local(/*own_decision=*/false));
+          }
+        }
+      }
+      ADAPTAGG_RETURN_IF_ERROR(scan.status());
+      ctx.SyncDiskIo();
+    }
+
+    if (mode == Mode::kLocalAgg && local.size() > 0) {
+      ADAPTAGG_RETURN_IF_ERROR(
+          SendTablePartials(ctx, local, ex_partial, dest));
+    }
+    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    return EmitFinalResults(ctx, global);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeAdaptiveRepartitioning() {
+  return std::make_unique<internal_core::AdaptiveRepartitioning>();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,103 @@
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// §3.2. Starts as Two Phase under the common-case assumption that groups
+/// are few. The moment a node's local hash table fills (the point where
+/// plain 2P would begin intermediate I/O), that node — independently of
+/// all others — flushes its accumulated partials to their owner nodes,
+/// frees the table, and repartitions its remaining raw tuples. The global
+/// phase merges partial and raw records into one hash table.
+class AdaptiveTwoPhase : public Algorithm {
+ public:
+  std::string name() const override { return "adaptive-two-phase"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    const SystemParams& p = ctx.params();
+    const AggregationSpec& spec = ctx.spec();
+    const int n = ctx.num_nodes();
+
+    SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                              ctx.options().spill_fanout,
+                              "ga2p_n" + std::to_string(ctx.node_id()));
+    DataReceiver recv(&ctx, &global, n);
+    Exchange ex_partial(&ctx, MessageType::kPartialPage,
+                        spec.partial_width(), kPhaseData);
+    Exchange ex_raw(&ctx, MessageType::kRawPage, spec.projected_width(),
+                    kPhaseData);
+    auto dest = [n](uint64_t h) { return DestOfKeyHash(h, n); };
+
+    // The switch threshold: the paper switches exactly at memory overflow
+    // (fraction 1.0); the ablation knob scales it down.
+    int64_t limit = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(ctx.max_hash_entries()) *
+                                ctx.options().switch_fill_fraction));
+    AggHashTable local(&spec, limit);
+
+    bool repartition_mode = false;
+    {
+      LocalScanner scan(&ctx);
+      std::vector<uint8_t> proj(
+          static_cast<size_t>(spec.projected_width()));
+      const double local_cost = p.t_r() + p.t_h() + p.t_a();
+      const double route_cost = p.t_h() + p.t_d();
+      int64_t since_poll = 0;
+      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+        spec.ProjectRaw(t, proj.data());
+        if (!repartition_mode) {
+          ctx.clock().AddCpu(local_cost);
+          uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
+          AggHashTable::UpsertResult r = local.UpsertProjected(proj.data(), h);
+          if (r == AggHashTable::UpsertResult::kFull) {
+            // Memory overflow: flush accumulated partials, free the
+            // table, and repartition from here on.
+            ctx.stats().switched = true;
+            ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
+            ADAPTAGG_RETURN_IF_ERROR(
+                SendTablePartials(ctx, local, ex_partial, dest));
+            repartition_mode = true;
+            ctx.clock().AddCpu(p.t_d());
+            ++ctx.stats().raw_records_sent;
+            ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(DestOfKeyHash(h, n),
+                                                proj.data()));
+          }
+        } else {
+          ctx.clock().AddCpu(route_cost);
+          uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
+          ++ctx.stats().raw_records_sent;
+          ADAPTAGG_RETURN_IF_ERROR(
+              ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+        }
+        if (++since_poll >= kPollInterval) {
+          since_poll = 0;
+          ctx.SyncDiskIo();
+          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+        }
+      }
+      ADAPTAGG_RETURN_IF_ERROR(scan.status());
+      ctx.SyncDiskIo();
+    }
+
+    if (!repartition_mode) {
+      // Never overflowed: behave exactly like Two Phase's handoff.
+      ADAPTAGG_RETURN_IF_ERROR(
+          SendTablePartials(ctx, local, ex_partial, dest));
+    }
+    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    return EmitFinalResults(ctx, global);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeAdaptiveTwoPhase() {
+  return std::make_unique<internal_core::AdaptiveTwoPhase>();
+}
+
+}  // namespace adaptagg

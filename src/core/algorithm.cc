@@ -1,0 +1,40 @@
+#include "core/algorithm.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+// Defined in the per-algorithm translation units.
+std::unique_ptr<Algorithm> MakeCentralizedTwoPhase();
+std::unique_ptr<Algorithm> MakeTwoPhase();
+std::unique_ptr<Algorithm> MakeRepartitioning();
+std::unique_ptr<Algorithm> MakeSampling();
+std::unique_ptr<Algorithm> MakeAdaptiveTwoPhase();
+std::unique_ptr<Algorithm> MakeAdaptiveRepartitioning();
+std::unique_ptr<Algorithm> MakeGraefeTwoPhase();
+std::unique_ptr<Algorithm> MakeSortTwoPhase();
+
+std::unique_ptr<Algorithm> MakeAlgorithm(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kCentralizedTwoPhase:
+      return MakeCentralizedTwoPhase();
+    case AlgorithmKind::kTwoPhase:
+      return MakeTwoPhase();
+    case AlgorithmKind::kRepartitioning:
+      return MakeRepartitioning();
+    case AlgorithmKind::kSampling:
+      return MakeSampling();
+    case AlgorithmKind::kAdaptiveTwoPhase:
+      return MakeAdaptiveTwoPhase();
+    case AlgorithmKind::kAdaptiveRepartitioning:
+      return MakeAdaptiveRepartitioning();
+    case AlgorithmKind::kGraefeTwoPhase:
+      return MakeGraefeTwoPhase();
+    case AlgorithmKind::kSortTwoPhase:
+      return MakeSortTwoPhase();
+  }
+  ADAPTAGG_CHECK(false) << "unknown algorithm kind";
+  return nullptr;
+}
+
+}  // namespace adaptagg

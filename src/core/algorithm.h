@@ -1,0 +1,18 @@
+#ifndef ADAPTAGG_CORE_ALGORITHM_H_
+#define ADAPTAGG_CORE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/algorithm_kind.h"
+
+namespace adaptagg {
+
+/// Builds an executable algorithm for the cluster engine. The returned
+/// object is stateless and reusable across runs and clusters.
+std::unique_ptr<Algorithm> MakeAlgorithm(AlgorithmKind kind);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CORE_ALGORITHM_H_

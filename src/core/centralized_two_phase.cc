@@ -1,0 +1,80 @@
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// §2.1. Every node aggregates its partition locally and sends the
+/// partial results to a single coordinator (node 0), which merges them
+/// sequentially and stores the final result. Simple, but the coordinator
+/// is a serial bottleneck as soon as the number of groups grows.
+class CentralizedTwoPhase : public Algorithm {
+ public:
+  std::string name() const override { return "centralized-two-phase"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    const SystemParams& p = ctx.params();
+    const AggregationSpec& spec = ctx.spec();
+    const int n = ctx.num_nodes();
+    const int kCoordinator = 0;
+
+    // Only the coordinator merges; workers expect no incoming traffic.
+    SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                              ctx.options().spill_fanout,
+                              "gc2p_n" + std::to_string(ctx.node_id()));
+    DataReceiver recv(&ctx, &global, ctx.is_coordinator() ? n : 0);
+
+    // Phase 1: local aggregation.
+    SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
+                             ctx.options().spill_fanout,
+                             "lc2p_n" + std::to_string(ctx.node_id()));
+    {
+      LocalScanner scan(&ctx);
+      std::vector<uint8_t> proj(
+          static_cast<size_t>(spec.projected_width()));
+      const double agg_cost = p.t_r() + p.t_h() + p.t_a();
+      int64_t since_poll = 0;
+      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+        spec.ProjectRaw(t, proj.data());
+        ctx.clock().AddCpu(agg_cost);
+        ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
+        if (ctx.is_coordinator() && ++since_poll >= kPollInterval) {
+          since_poll = 0;
+          ctx.SyncDiskIo();
+          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+        }
+      }
+      ADAPTAGG_RETURN_IF_ERROR(scan.status());
+      ctx.SyncDiskIo();
+    }
+
+    // All partials go to the coordinator.
+    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+                kPhaseData);
+    ADAPTAGG_RETURN_IF_ERROR(SendPartials(
+        ctx, local, ex, [](uint64_t) { return kCoordinator; }));
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    {
+      Message eos;
+      eos.type = MessageType::kEndOfStream;
+      eos.phase = kPhaseData;
+      ADAPTAGG_RETURN_IF_ERROR(ctx.Send(kCoordinator, eos));
+    }
+
+    if (!ctx.is_coordinator()) {
+      return ctx.FinishResults();
+    }
+
+    // Phase 2 (coordinator only): sequential merge and store.
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    return EmitFinalResults(ctx, global);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeCentralizedTwoPhase() {
+  return std::make_unique<internal_core::CentralizedTwoPhase>();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,84 @@
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// [Gra93]'s optimized Two Phase, discussed (and argued against) in §3.2:
+/// when the local hash table fills, locally generated tuples that miss
+/// the table are hash-partitioned and forwarded to their owner's global
+/// phase instead of being spooled locally — but the local table is kept
+/// (and keeps absorbing hits) until the scan ends. Compared with A-2P it
+/// (1) still sends tuples that find no entry at the destination, (2)
+/// passes every tuple through both phases, and (3) never frees the local
+/// phase's memory. Implemented as an ablation baseline.
+class GraefeTwoPhase : public Algorithm {
+ public:
+  std::string name() const override { return "graefe-two-phase"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    const SystemParams& p = ctx.params();
+    const AggregationSpec& spec = ctx.spec();
+    const int n = ctx.num_nodes();
+
+    SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                              ctx.options().spill_fanout,
+                              "ggra_n" + std::to_string(ctx.node_id()));
+    DataReceiver recv(&ctx, &global, n);
+    Exchange ex_partial(&ctx, MessageType::kPartialPage,
+                        spec.partial_width(), kPhaseData);
+    Exchange ex_raw(&ctx, MessageType::kRawPage, spec.projected_width(),
+                    kPhaseData);
+    auto dest = [n](uint64_t h) { return DestOfKeyHash(h, n); };
+
+    AggHashTable local(&spec, ctx.max_hash_entries());
+    {
+      LocalScanner scan(&ctx);
+      std::vector<uint8_t> proj(
+          static_cast<size_t>(spec.projected_width()));
+      const double local_cost = p.t_r() + p.t_h() + p.t_a();
+      int64_t since_poll = 0;
+      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+        spec.ProjectRaw(t, proj.data());
+        ctx.clock().AddCpu(local_cost);
+        uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
+        AggHashTable::UpsertResult r = local.UpsertProjected(proj.data(), h);
+        if (r == AggHashTable::UpsertResult::kFull) {
+          if (!ctx.stats().switched) {
+            ctx.stats().switched = true;
+            ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
+          }
+          // Forward the overflow tuple to its owner's global phase.
+          ctx.clock().AddCpu(p.t_d());
+          ++ctx.stats().raw_records_sent;
+          ADAPTAGG_RETURN_IF_ERROR(
+              ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+        }
+        if (++since_poll >= kPollInterval) {
+          since_poll = 0;
+          ctx.SyncDiskIo();
+          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+        }
+      }
+      ADAPTAGG_RETURN_IF_ERROR(scan.status());
+      ctx.SyncDiskIo();
+    }
+
+    ADAPTAGG_RETURN_IF_ERROR(
+        SendTablePartials(ctx, local, ex_partial, dest));
+    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    return EmitFinalResults(ctx, global);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeGraefeTwoPhase() {
+  return std::make_unique<internal_core::GraefeTwoPhase>();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,187 @@
+#include "core/phases.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+DataReceiver::DataReceiver(NodeContext* ctx, SpillingAggregator* agg,
+                           int expected_eos)
+    : DataReceiver(
+          ctx,
+          [agg](const uint8_t* rec) { return agg->AddProjected(rec); },
+          [agg](const uint8_t* rec) { return agg->AddPartial(rec); },
+          expected_eos) {}
+
+DataReceiver::DataReceiver(NodeContext* ctx, RecordSink on_raw,
+                           RecordSink on_partial, int expected_eos)
+    : ctx_(ctx),
+      on_raw_(std::move(on_raw)),
+      on_partial_(std::move(on_partial)),
+      expected_eos_(expected_eos) {
+  const SystemParams& p = ctx->params();
+  // Global-phase merge costs (§2.2): reading the record and computing the
+  // cumulative value. Hashing was charged on the sending side.
+  partial_cost_ = p.t_r() + p.t_a();
+  raw_cost_ = p.t_r() + p.t_a();
+}
+
+Status DataReceiver::Handle(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kPartialPage: {
+      Status status;
+      ForEachRecordInPage(
+          msg, ctx_->spec().partial_width(),
+          ctx_->params().message_page_bytes, [&](const uint8_t* rec) {
+            if (!status.ok()) return;
+            ctx_->clock().AddCpu(partial_cost_);
+            ++ctx_->stats().partial_records_received;
+            status = on_partial_(rec);
+          });
+      ctx_->SyncDiskIo();
+      return status;
+    }
+    case MessageType::kRawPage: {
+      Status status;
+      ForEachRecordInPage(
+          msg, ctx_->spec().projected_width(),
+          ctx_->params().message_page_bytes, [&](const uint8_t* rec) {
+            if (!status.ok()) return;
+            ctx_->clock().AddCpu(raw_cost_);
+            ++ctx_->stats().raw_records_received;
+            status = on_raw_(rec);
+          });
+      ctx_->SyncDiskIo();
+      return status;
+    }
+    case MessageType::kEndOfStream:
+      if (msg.phase == kPhaseData) ++eos_seen_;
+      return Status::OK();
+    case MessageType::kEndOfPhase:
+      end_of_phase_seen_ = true;
+      return Status::OK();
+    case MessageType::kControl:
+      return Status::Internal("unexpected control message in data phase");
+    case MessageType::kAbort:
+      return Status::Internal("aborted by peer node " +
+                              std::to_string(msg.from));
+  }
+  return Status::OK();
+}
+
+Status DataReceiver::Poll() {
+  while (std::optional<Message> msg = ctx_->TryRecv()) {
+    ADAPTAGG_RETURN_IF_ERROR(Handle(*msg));
+  }
+  return Status::OK();
+}
+
+Status DataReceiver::Drain() {
+  while (!done()) {
+    ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx_->Recv());
+    ADAPTAGG_RETURN_IF_ERROR(Handle(msg));
+  }
+  return Status::OK();
+}
+
+Status EmitFinalResults(NodeContext& ctx, SpillingAggregator& global) {
+  Status status;
+  Status finish =
+      global.Finish([&](const uint8_t* key, const uint8_t* state) {
+        if (!status.ok()) return;
+        status = ctx.EmitFinalRow(key, state);
+      });
+  ctx.stats().spill.Accumulate(global.stats());
+  ctx.SyncDiskIo();
+  if (!finish.ok()) return finish;
+  if (!status.ok()) return status;
+  return ctx.FinishResults();
+}
+
+Status RunTwoPhaseBody(NodeContext& ctx) {
+  const SystemParams& p = ctx.params();
+  const AggregationSpec& spec = ctx.spec();
+  const int n = ctx.num_nodes();
+
+  SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                            ctx.options().spill_fanout,
+                            "g2p_n" + std::to_string(ctx.node_id()));
+  DataReceiver recv(&ctx, &global, n);
+
+  // Phase 1: aggregate the local partition.
+  SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
+                           ctx.options().spill_fanout,
+                           "l2p_n" + std::to_string(ctx.node_id()));
+  {
+    LocalScanner scan(&ctx);
+    std::vector<uint8_t> proj(static_cast<size_t>(spec.projected_width()));
+    const double agg_cost = p.t_r() + p.t_h() + p.t_a();
+    int64_t since_poll = 0;
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      spec.ProjectRaw(t, proj.data());
+      ctx.clock().AddCpu(agg_cost);
+      ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
+      if (++since_poll >= kPollInterval) {
+        since_poll = 0;
+        ctx.SyncDiskIo();
+        ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+      }
+    }
+    ADAPTAGG_RETURN_IF_ERROR(scan.status());
+    ctx.SyncDiskIo();
+  }
+
+  // Ship local partials to their owner nodes.
+  Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+              kPhaseData);
+  ADAPTAGG_RETURN_IF_ERROR(SendPartials(
+      ctx, local, ex, [n](uint64_t h) { return DestOfKeyHash(h, n); }));
+  ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+
+  // Phase 2: merge everything routed here and emit final rows.
+  ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+  return EmitFinalResults(ctx, global);
+}
+
+Status RunRepartitioningBody(NodeContext& ctx) {
+  const SystemParams& p = ctx.params();
+  const AggregationSpec& spec = ctx.spec();
+  const int n = ctx.num_nodes();
+
+  SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                            ctx.options().spill_fanout,
+                            "grep_n" + std::to_string(ctx.node_id()));
+  DataReceiver recv(&ctx, &global, n);
+  Exchange ex(&ctx, MessageType::kRawPage, spec.projected_width(),
+              kPhaseData);
+
+  {
+    LocalScanner scan(&ctx);
+    std::vector<uint8_t> proj(static_cast<size_t>(spec.projected_width()));
+    // Select already charged t_r + t_w; Rep adds hashing and destination
+    // computation (§2.3).
+    const double route_cost = p.t_h() + p.t_d();
+    int64_t since_poll = 0;
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      spec.ProjectRaw(t, proj.data());
+      ctx.clock().AddCpu(route_cost);
+      uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
+      ++ctx.stats().raw_records_sent;
+      ADAPTAGG_RETURN_IF_ERROR(ex.Add(DestOfKeyHash(h, n), proj.data()));
+      if (++since_poll >= kPollInterval) {
+        since_poll = 0;
+        ctx.SyncDiskIo();
+        ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+      }
+    }
+    ADAPTAGG_RETURN_IF_ERROR(scan.status());
+    ctx.SyncDiskIo();
+  }
+
+  ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+  ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+  return EmitFinalResults(ctx, global);
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,121 @@
+#ifndef ADAPTAGG_CORE_PHASES_H_
+#define ADAPTAGG_CORE_PHASES_H_
+
+#include <vector>
+
+#include "cluster/exchange.h"
+#include "cluster/node_context.h"
+
+namespace adaptagg {
+
+/// Message phase ids. The Sampling algorithm runs a phase-0 estimation
+/// round before the data phase all algorithms use.
+inline constexpr uint32_t kPhaseSample = 0;
+inline constexpr uint32_t kPhaseData = 1;
+
+/// How often scanning loops service their inbox (tuples between polls).
+/// Polling while producing is what lets Adaptive Repartitioning react to
+/// end-of-phase messages mid-scan, and keeps inbox queues short.
+inline constexpr int64_t kPollInterval = 128;
+
+/// Consumes data-phase messages for one node: raw pages and partial pages
+/// are folded into the node's global-phase aggregator with the paper's
+/// per-record merge costs; end-of-stream markers are counted;
+/// end-of-phase signals (A-Rep) are latched for the caller to observe.
+class DataReceiver {
+ public:
+  using RecordSink = std::function<Status(const uint8_t* record)>;
+
+  /// `expected_eos` is the number of kEndOfStream(kPhaseData) messages
+  /// that conclude this node's global phase (N for partitioned exchanges,
+  /// 0 for nodes that receive nothing, as in C-2P workers).
+  DataReceiver(NodeContext* ctx, SpillingAggregator* agg, int expected_eos);
+
+  /// Generic form: routes raw/partial records into arbitrary sinks (used
+  /// by the sort-based algorithm, whose aggregator is not a
+  /// SpillingAggregator).
+  DataReceiver(NodeContext* ctx, RecordSink on_raw, RecordSink on_partial,
+               int expected_eos);
+
+  /// Processes everything currently queued; never blocks.
+  Status Poll();
+
+  /// Blocks until all expected end-of-stream markers have arrived.
+  Status Drain();
+
+  bool done() const { return eos_seen_ >= expected_eos_; }
+  bool end_of_phase_seen() const { return end_of_phase_seen_; }
+
+ private:
+  Status Handle(const Message& msg);
+
+  NodeContext* ctx_;
+  RecordSink on_raw_;
+  RecordSink on_partial_;
+  int expected_eos_;
+  int eos_seen_ = 0;
+  bool end_of_phase_seen_ = false;
+  double partial_cost_;
+  double raw_cost_;
+};
+
+/// Emits every group of a finished local aggregation as a partial record,
+/// charging t_w per record, routed by `dest_of_key` (a callable mapping
+/// key hash -> node). Returns the first error.
+template <typename DestFn>
+Status SendPartials(NodeContext& ctx, SpillingAggregator& agg, Exchange& ex,
+                    DestFn&& dest_of_key) {
+  const AggregationSpec& spec = ctx.spec();
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  Status finish = agg.Finish([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    ctx.clock().AddCpu(ctx.params().t_w());
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    ++ctx.stats().partial_records_sent;
+    status = ex.Add(dest_of_key(spec.HashKey(key)), rec.data());
+  });
+  ctx.stats().spill.Accumulate(agg.stats());
+  ctx.SyncDiskIo();
+  if (!finish.ok()) return finish;
+  return status;
+}
+
+/// Same, but draining a bare (non-spilling) hash table; used by the
+/// adaptive algorithms when flushing their local table on a switch.
+template <typename DestFn>
+Status SendTablePartials(NodeContext& ctx, AggHashTable& table, Exchange& ex,
+                         DestFn&& dest_of_key) {
+  const AggregationSpec& spec = ctx.spec();
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  table.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    ctx.clock().AddCpu(ctx.params().t_w());
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    ++ctx.stats().partial_records_sent;
+    status = ex.Add(dest_of_key(spec.HashKey(key)), rec.data());
+  });
+  table.Clear();
+  return status;
+}
+
+/// Finishes the global aggregation: emits every group as a final result
+/// row on this node.
+Status EmitFinalResults(NodeContext& ctx, SpillingAggregator& global);
+
+/// The Two Phase algorithm body (§2.2). Also invoked by Sampling when the
+/// sample finds few groups.
+Status RunTwoPhaseBody(NodeContext& ctx);
+
+/// The Repartitioning algorithm body (§2.3). Also invoked by Sampling
+/// when the sample finds many groups.
+Status RunRepartitioningBody(NodeContext& ctx);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CORE_PHASES_H_

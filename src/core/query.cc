@@ -1,0 +1,110 @@
+#include "core/query.h"
+
+#include "core/algorithm.h"
+
+namespace adaptagg {
+
+RunResult Query::Execute(Cluster& cluster, PartitionedRelation& rel,
+                         AlgorithmKind algorithm,
+                         AlgorithmOptions options) const {
+  options.where = where;
+  options.having = having;
+  return cluster.Run(*MakeAlgorithm(algorithm), spec, rel, options);
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  const Schema& fin = spec.final_schema();
+  for (int i = 0; i < fin.num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fin.field(i).name;
+  }
+  out += " FROM R";
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!spec.group_cols().empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < spec.group_cols().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += spec.input_schema().field(spec.group_cols()[i]).name;
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  return out;
+}
+
+QueryBuilder& QueryBuilder::Where(ExprPtr predicate) {
+  where_ = std::move(predicate);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::GroupBy(std::vector<std::string> columns) {
+  group_by_ = std::move(columns);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Count(std::string as) {
+  aggs_.push_back({AggKind::kCount, "", std::move(as)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Sum(const std::string& column, std::string as) {
+  aggs_.push_back({AggKind::kSum, column, std::move(as)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Avg(const std::string& column, std::string as) {
+  aggs_.push_back({AggKind::kAvg, column, std::move(as)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Min(const std::string& column, std::string as) {
+  aggs_.push_back({AggKind::kMin, column, std::move(as)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Max(const std::string& column, std::string as) {
+  aggs_.push_back({AggKind::kMax, column, std::move(as)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Having(ExprPtr predicate) {
+  having_ = std::move(predicate);
+  return *this;
+}
+
+Result<Query> QueryBuilder::Build() const {
+  std::vector<int> group_cols;
+  for (const std::string& name : group_by_) {
+    ADAPTAGG_ASSIGN_OR_RETURN(int idx, input_->FieldIndex(name));
+    group_cols.push_back(idx);
+  }
+  std::vector<AggDescriptor> descriptors;
+  for (const PendingAgg& a : aggs_) {
+    AggDescriptor d;
+    d.kind = a.kind;
+    d.name = a.as;
+    if (a.kind == AggKind::kCount) {
+      d.input_col = -1;
+    } else {
+      ADAPTAGG_ASSIGN_OR_RETURN(d.input_col, input_->FieldIndex(a.column));
+    }
+    descriptors.push_back(std::move(d));
+  }
+
+  Query q;
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      q.spec, AggregationSpec::Make(input_, std::move(group_cols),
+                                    std::move(descriptors)));
+  if (where_ != nullptr) {
+    ADAPTAGG_RETURN_IF_ERROR(ValidatePredicate(*where_, *input_));
+    q.where = where_;
+  }
+  if (having_ != nullptr) {
+    ADAPTAGG_RETURN_IF_ERROR(
+        ValidatePredicate(*having_, q.spec.final_schema()));
+    q.having = having_;
+  }
+  return q;
+}
+
+}  // namespace adaptagg

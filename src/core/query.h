@@ -1,0 +1,78 @@
+#ifndef ADAPTAGG_CORE_QUERY_H_
+#define ADAPTAGG_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/algorithm_kind.h"
+#include "exec/expression.h"
+
+namespace adaptagg {
+
+/// A compiled aggregate query: the paper's canonical form
+///
+///   SELECT <group cols>, <aggregates> FROM R
+///   [WHERE <predicate>] GROUP BY <cols> [HAVING <predicate>]
+///
+/// ready to execute on a Cluster with any of the parallel algorithms.
+struct Query {
+  AggregationSpec spec;
+  ExprPtr where;   ///< over the input schema; may be null
+  ExprPtr having;  ///< over spec.final_schema(); may be null
+
+  /// Runs the query. `options.where/having` are overwritten from the
+  /// query; everything else in `options` is honored.
+  RunResult Execute(Cluster& cluster, PartitionedRelation& rel,
+                    AlgorithmKind algorithm,
+                    AlgorithmOptions options = {}) const;
+
+  std::string ToString() const;
+};
+
+/// Fluent builder for Query. Columns are referenced by name against the
+/// input schema; Build() resolves and validates everything.
+///
+///   auto q = QueryBuilder(&schema)
+///                .Where(Gt(ColNamed("v"), Lit(int64_t{100})))
+///                .GroupBy({"g"})
+///                .Count("cnt")
+///                .Sum("v", "total")
+///                .Having(Ge(ColNamed("cnt"), Lit(int64_t{2})))
+///                .Build();
+class QueryBuilder {
+ public:
+  /// `input` must outlive the built Query.
+  explicit QueryBuilder(const Schema* input) : input_(input) {}
+
+  QueryBuilder& Where(ExprPtr predicate);
+  QueryBuilder& GroupBy(std::vector<std::string> columns);
+  QueryBuilder& Count(std::string as);
+  QueryBuilder& Sum(const std::string& column, std::string as);
+  QueryBuilder& Avg(const std::string& column, std::string as);
+  QueryBuilder& Min(const std::string& column, std::string as);
+  QueryBuilder& Max(const std::string& column, std::string as);
+  QueryBuilder& Having(ExprPtr predicate);
+
+  /// Resolves names, compiles the AggregationSpec, validates predicates.
+  /// Zero aggregates with a GROUP BY is duplicate elimination
+  /// (SELECT DISTINCT).
+  Result<Query> Build() const;
+
+ private:
+  struct PendingAgg {
+    AggKind kind;
+    std::string column;  // empty for COUNT(*)
+    std::string as;
+  };
+
+  const Schema* input_;
+  ExprPtr where_;
+  ExprPtr having_;
+  std::vector<std::string> group_by_;
+  std::vector<PendingAgg> aggs_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CORE_QUERY_H_

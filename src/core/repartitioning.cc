@@ -1,0 +1,27 @@
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// §2.3. Hash-partitions the raw (projected) tuples on the GROUP BY
+/// attributes first, then every node aggregates its share once. No
+/// duplicated work and minimal memory per node, at the price of shipping
+/// the whole relation across the interconnect; underutilizes the cluster
+/// when there are fewer groups than nodes.
+class Repartitioning : public Algorithm {
+ public:
+  std::string name() const override { return "repartitioning"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    return RunRepartitioningBody(ctx);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeRepartitioning() {
+  return std::make_unique<internal_core::Repartitioning>();
+}
+
+}  // namespace adaptagg

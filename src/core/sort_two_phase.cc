@@ -1,0 +1,111 @@
+#include "agg/sort_aggregator.h"
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// Sort-based Two Phase — the [BBDW83]-style baseline the paper's §1
+/// discusses before settling on hashing: both the local and the global
+/// aggregation use external merge sort (bounded to M records in memory,
+/// runs spooled to the node's disk) followed by a one-pass aggregation
+/// of each key range.
+///
+/// The structural difference from hash 2P: sorting's spill volume is
+/// proportional to the *input* size whenever tuples exceed the memory
+/// bound, while hashing's is proportional to the *group* count — so at
+/// low grouping selectivity the sort baseline pays run I/O that hash
+/// aggregation avoids entirely. `bench_ablation_sort_vs_hash` plots it.
+class SortTwoPhase : public Algorithm {
+ public:
+  std::string name() const override { return "sort-two-phase"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    const SystemParams& p = ctx.params();
+    const AggregationSpec& spec = ctx.spec();
+    const int n = ctx.num_nodes();
+
+    SortAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
+                          "gsort_n" + std::to_string(ctx.node_id()));
+    DataReceiver recv(
+        &ctx,
+        [&global](const uint8_t* rec) { return global.AddProjected(rec); },
+        [&global](const uint8_t* rec) { return global.AddPartial(rec); },
+        n);
+
+    // Phase 1: sort-aggregate the local partition. Each record costs
+    // t_r + t_a plus ~log2(M) key comparisons charged as one t_h
+    // (hashing and comparison-based grouping differ in constants, not
+    // in the Table 1 cost vocabulary).
+    SortAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
+                         "lsort_n" + std::to_string(ctx.node_id()));
+    {
+      LocalScanner scan(&ctx);
+      std::vector<uint8_t> proj(
+          static_cast<size_t>(spec.projected_width()));
+      const double agg_cost = p.t_r() + p.t_h() + p.t_a();
+      int64_t since_poll = 0;
+      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+        spec.ProjectRaw(t, proj.data());
+        ctx.clock().AddCpu(agg_cost);
+        ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
+        if (++since_poll >= kPollInterval) {
+          since_poll = 0;
+          ctx.SyncDiskIo();
+          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+        }
+      }
+      ADAPTAGG_RETURN_IF_ERROR(scan.status());
+      ctx.SyncDiskIo();
+    }
+
+    // Ship local partials to their owner nodes.
+    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+                kPhaseData);
+    {
+      std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+      Status status;
+      Status finish =
+          local.Finish([&](const uint8_t* key, const uint8_t* state) {
+            if (!status.ok()) return;
+            ctx.clock().AddCpu(p.t_w());
+            std::memcpy(rec.data(), key,
+                        static_cast<size_t>(spec.key_width()));
+            std::memcpy(rec.data() + spec.key_width(), state,
+                        static_cast<size_t>(spec.state_width()));
+            ++ctx.stats().partial_records_sent;
+            status = ex.Add(DestOfKeyHash(spec.HashKey(key), n), rec.data());
+          });
+      ctx.stats().spill.spill_pages_written += local.run_pages_written();
+      ctx.SyncDiskIo();
+      ADAPTAGG_RETURN_IF_ERROR(finish);
+      ADAPTAGG_RETURN_IF_ERROR(status);
+    }
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+
+    // Phase 2: merge everything routed here, emit in key order.
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    {
+      Status status;
+      Status finish =
+          global.Finish([&](const uint8_t* key, const uint8_t* state) {
+            if (!status.ok()) return;
+            status = ctx.EmitFinalRow(key, state);
+          });
+      ctx.stats().spill.spill_pages_written += global.run_pages_written();
+      ctx.SyncDiskIo();
+      ADAPTAGG_RETURN_IF_ERROR(finish);
+      ADAPTAGG_RETURN_IF_ERROR(status);
+    }
+    return ctx.FinishResults();
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeSortTwoPhase() {
+  return std::make_unique<internal_core::SortTwoPhase>();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,26 @@
+#include "core/algorithm.h"
+#include "core/phases.h"
+
+namespace adaptagg {
+namespace internal_core {
+
+/// §2.2. Phase 1 aggregates each node's partition locally; phase 2
+/// hash-partitions the partial results so every node merges and emits its
+/// share of groups in parallel. Strong when groups are few; duplicates
+/// aggregation work and strains memory when groups are many.
+class TwoPhase : public Algorithm {
+ public:
+  std::string name() const override { return "two-phase"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    return RunTwoPhaseBody(ctx);
+  }
+};
+
+}  // namespace internal_core
+
+std::unique_ptr<Algorithm> MakeTwoPhase() {
+  return std::make_unique<internal_core::TwoPhase>();
+}
+
+}  // namespace adaptagg

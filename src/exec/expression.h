@@ -1,0 +1,93 @@
+#ifndef ADAPTAGG_EXEC_EXPRESSION_H_
+#define ADAPTAGG_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/tuple.h"
+
+namespace adaptagg {
+
+/// A scalar expression over one row: column references, literals,
+/// arithmetic, comparisons, and boolean connectives. Used for WHERE
+/// predicates (over the input schema) and HAVING predicates (over the
+/// aggregation's final schema), §2 of the paper.
+///
+/// Expressions are immutable trees shared via shared_ptr; `Validate`
+/// type-checks against a schema once, `Eval` is then called per row.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Type-checks the expression against `schema` and returns its result
+  /// type. Must be called (and succeed) before Eval.
+  virtual Result<DataType> Validate(const Schema& schema) const = 0;
+
+  /// Evaluates on one row. Behavior is undefined unless Validate
+  /// succeeded for the row's schema.
+  virtual Value Eval(const TupleView& row) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string CmpOpToString(CmpOp op);
+
+/// Arithmetic operators (numeric operands; int64 op int64 -> int64,
+/// anything involving double -> double).
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+std::string ArithOpToString(ArithOp op);
+
+// --- factories ---
+
+/// Reference to column `index` of the schema.
+ExprPtr Col(int index);
+/// Reference by name (resolved at Validate time against the schema it is
+/// validated with; prefer Col(index) on hot paths).
+ExprPtr ColNamed(std::string name);
+/// Literal constant.
+ExprPtr Lit(Value v);
+inline ExprPtr Lit(int64_t v) { return Lit(Value(v)); }
+inline ExprPtr Lit(double v) { return Lit(Value(v)); }
+inline ExprPtr LitBytes(std::string v) { return Lit(Value(std::move(v))); }
+
+/// lhs <op> rhs -> int64 0/1. Numeric operands compare numerically
+/// (int64 widened to double when mixed); bytes compare lexicographically
+/// against bytes.
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+
+/// Boolean connectives over int64 0/1 operands.
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+
+/// Arithmetic.
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+/// Evaluates a validated boolean predicate on a row: nonzero = true.
+bool EvalPredicate(const Expr& expr, const TupleView& row);
+
+/// Validates `expr` as a predicate over `schema`: must type-check to a
+/// numeric type (0 = false).
+Status ValidatePredicate(const Expr& expr, const Schema& schema);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_EXEC_EXPRESSION_H_

@@ -1,0 +1,44 @@
+#ifndef ADAPTAGG_EXEC_OPERATOR_H_
+#define ADAPTAGG_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "schema/tuple.h"
+
+namespace adaptagg {
+
+/// A Volcano-style row operator: the paper assumes a Gamma-like
+/// architecture where "the data flows through the operators in a
+/// pipelined fashion" (§2). Aggregation algorithms consume their node's
+/// local input through this interface, so the child can be a bare scan,
+/// a scan+select (WHERE clause), or any other pipeline.
+///
+/// Protocol: Open() once, then Next() until an invalid view, then
+/// Close(). Views returned by Next() are valid until the following
+/// Next()/Close() call.
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+
+  virtual const Schema& schema() const = 0;
+
+  virtual Status Open() = 0;
+
+  /// Next row, or an invalid view at end of stream.
+  virtual TupleView Next() = 0;
+
+  virtual Status Close() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Rows produced so far (diagnostics).
+  virtual int64_t rows_produced() const = 0;
+};
+
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_EXEC_OPERATOR_H_

@@ -1,0 +1,50 @@
+#include "exec/project.h"
+
+namespace adaptagg {
+
+ProjectOperator::ProjectOperator(RowOperatorPtr child,
+                                 std::vector<ProjectedColumn> columns,
+                                 Schema out_schema)
+    : child_(std::move(child)),
+      columns_(std::move(columns)),
+      out_schema_(std::move(out_schema)),
+      buffer_(std::make_unique<TupleBuffer>(&out_schema_)) {}
+
+Result<RowOperatorPtr> ProjectOperator::Make(
+    RowOperatorPtr child, std::vector<ProjectedColumn> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("projection needs columns");
+  }
+  std::vector<Field> fields;
+  for (const auto& col : columns) {
+    if (col.expr == nullptr) {
+      return Status::InvalidArgument("projection column without expr: " +
+                                     col.name);
+    }
+    ADAPTAGG_ASSIGN_OR_RETURN(DataType type,
+                              col.expr->Validate(child->schema()));
+    Field f;
+    f.name = col.name;
+    f.type = type;
+    f.width = type == DataType::kBytes ? col.width : 8;
+    fields.push_back(std::move(f));
+  }
+  ADAPTAGG_ASSIGN_OR_RETURN(Schema out, Schema::Make(std::move(fields)));
+  return RowOperatorPtr(new ProjectOperator(std::move(child),
+                                            std::move(columns),
+                                            std::move(out)));
+}
+
+TupleView ProjectOperator::Next() {
+  TupleView in = child_->Next();
+  if (!in.valid()) return in;
+  // The buffer references the operator's own schema object, so the
+  // produced views stay valid until the next call.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    buffer_->SetValue(static_cast<int>(i), columns_[i].expr->Eval(in));
+  }
+  ++rows_;
+  return buffer_->view();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,49 @@
+#ifndef ADAPTAGG_EXEC_PROJECT_H_
+#define ADAPTAGG_EXEC_PROJECT_H_
+
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace adaptagg {
+
+/// One output column of a projection: `expr AS name`.
+struct ProjectedColumn {
+  std::string name;
+  ExprPtr expr;
+  /// Width for bytes-typed outputs (ignored for numerics).
+  int width = 8;
+};
+
+/// Computes expressions over the child's rows, producing rows of a new
+/// schema (derived from the expressions' validated types). Rows are
+/// materialized into an internal buffer valid until the next Next().
+class ProjectOperator : public RowOperator {
+ public:
+  /// Validates all expressions against `child->schema()` and derives the
+  /// output schema.
+  static Result<RowOperatorPtr> Make(RowOperatorPtr child,
+                                     std::vector<ProjectedColumn> columns);
+
+  const Schema& schema() const override { return out_schema_; }
+  Status Open() override { return child_->Open(); }
+  TupleView Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override { return "project"; }
+  int64_t rows_produced() const override { return rows_; }
+
+ private:
+  ProjectOperator(RowOperatorPtr child,
+                  std::vector<ProjectedColumn> columns, Schema out_schema);
+
+  RowOperatorPtr child_;
+  std::vector<ProjectedColumn> columns_;
+  Schema out_schema_;
+  std::unique_ptr<TupleBuffer> buffer_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_EXEC_PROJECT_H_

@@ -1,0 +1,53 @@
+#include "exec/scan.h"
+
+namespace adaptagg {
+
+ScanOperator::ScanOperator(const HeapFile* file, CostClock* clock,
+                           const SystemParams* params)
+    : file_(file), clock_(clock), params_(params) {
+  if (params_ != nullptr) {
+    select_cost_ = params_->t_r() + params_->t_w();
+  }
+}
+
+void ScanOperator::ChargeDiskDelta() {
+  if (clock_ == nullptr || params_ == nullptr) return;
+  const DiskStats& now = file_->disk()->stats();
+  int64_t seq = (now.pages_read_seq - last_disk_.pages_read_seq) +
+                (now.pages_written - last_disk_.pages_written);
+  int64_t rand = now.pages_read_rand - last_disk_.pages_read_rand;
+  if (seq > 0) clock_->AddIo(static_cast<double>(seq) * params_->io_seq_s);
+  if (rand > 0) {
+    clock_->AddIo(static_cast<double>(rand) * params_->io_rand_s);
+  }
+  last_disk_ = now;
+}
+
+Status ScanOperator::Open() {
+  scanner_ = std::make_unique<HeapFileScanner>(file_);
+  last_disk_ = file_->disk()->stats();
+  rows_ = 0;
+  return Status::OK();
+}
+
+TupleView ScanOperator::Next() {
+  int64_t pages_before = scanner_->pages_read();
+  TupleView t = scanner_->Next();
+  if (scanner_->pages_read() != pages_before) {
+    ChargeDiskDelta();
+  }
+  if (t.valid()) {
+    if (clock_ != nullptr) clock_->AddCpu(select_cost_);
+    ++rows_;
+  }
+  return t;
+}
+
+Status ScanOperator::Close() {
+  ChargeDiskDelta();
+  Status st = scanner_ != nullptr ? scanner_->status() : Status::OK();
+  scanner_.reset();
+  return st;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,43 @@
+#ifndef ADAPTAGG_EXEC_SCAN_H_
+#define ADAPTAGG_EXEC_SCAN_H_
+
+#include "exec/operator.h"
+#include "sim/cost_clock.h"
+#include "sim/params.h"
+#include "storage/heap_file.h"
+
+namespace adaptagg {
+
+/// Sequential scan of a heap file. When given a clock, charges the
+/// paper's costs: one sequential page I/O per page read (via the disk's
+/// counters) and the select cost t_r + t_w per tuple (reading the tuple
+/// and copying it off the data page).
+class ScanOperator : public RowOperator {
+ public:
+  /// `file` must outlive the operator. `clock`/`params` may be null for
+  /// cost-free scanning (tests, loading).
+  ScanOperator(const HeapFile* file, CostClock* clock,
+               const SystemParams* params);
+
+  const Schema& schema() const override { return file_->schema(); }
+  Status Open() override;
+  TupleView Next() override;
+  Status Close() override;
+  std::string name() const override { return "scan"; }
+  int64_t rows_produced() const override { return rows_; }
+
+ private:
+  void ChargeDiskDelta();
+
+  const HeapFile* file_;
+  CostClock* clock_;
+  const SystemParams* params_;
+  std::unique_ptr<HeapFileScanner> scanner_;
+  DiskStats last_disk_;
+  double select_cost_ = 0;
+  int64_t rows_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_EXEC_SCAN_H_

@@ -1,0 +1,42 @@
+#include "exec/select.h"
+
+namespace adaptagg {
+
+SelectOperator::SelectOperator(RowOperatorPtr child, ExprPtr predicate,
+                               CostClock* clock, const SystemParams* params)
+    : child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      clock_(clock) {
+  if (params != nullptr) {
+    eval_cost_ = params->t_r();
+  }
+}
+
+Result<RowOperatorPtr> SelectOperator::Make(RowOperatorPtr child,
+                                            ExprPtr predicate,
+                                            CostClock* clock,
+                                            const SystemParams* params) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("select needs a predicate");
+  }
+  ADAPTAGG_RETURN_IF_ERROR(
+      ValidatePredicate(*predicate, child->schema()));
+  return RowOperatorPtr(new SelectOperator(std::move(child),
+                                           std::move(predicate), clock,
+                                           params));
+}
+
+TupleView SelectOperator::Next() {
+  while (true) {
+    TupleView t = child_->Next();
+    if (!t.valid()) return t;
+    ++seen_;
+    if (clock_ != nullptr) clock_->AddCpu(eval_cost_);
+    if (EvalPredicate(*predicate_, t)) {
+      ++rows_;
+      return t;
+    }
+  }
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,50 @@
+#ifndef ADAPTAGG_EXEC_SELECT_H_
+#define ADAPTAGG_EXEC_SELECT_H_
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "sim/cost_clock.h"
+#include "sim/params.h"
+
+namespace adaptagg {
+
+/// Filters the child's rows by a predicate (the WHERE clause). Charges
+/// t_r per evaluated row when given a clock (reading the tuple to test
+/// it; the paper folds predicate evaluation into per-tuple CPU work).
+///
+/// The predicate must have been validated against the child schema
+/// (Make enforces this).
+class SelectOperator : public RowOperator {
+ public:
+  /// Validates `predicate` against `child->schema()`.
+  static Result<RowOperatorPtr> Make(RowOperatorPtr child,
+                                     ExprPtr predicate, CostClock* clock,
+                                     const SystemParams* params);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override { return child_->Open(); }
+  TupleView Next() override;
+  Status Close() override { return child_->Close(); }
+  std::string name() const override {
+    return "select(" + predicate_->ToString() + ")";
+  }
+  int64_t rows_produced() const override { return rows_; }
+
+  /// Rows evaluated (passed + filtered).
+  int64_t rows_seen() const { return seen_; }
+
+ private:
+  SelectOperator(RowOperatorPtr child, ExprPtr predicate, CostClock* clock,
+                 const SystemParams* params);
+
+  RowOperatorPtr child_;
+  ExprPtr predicate_;
+  CostClock* clock_;
+  double eval_cost_ = 0;
+  int64_t rows_ = 0;
+  int64_t seen_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_EXEC_SELECT_H_

@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <cmath>
+
+#include "model/cost_model.h"
+#include "model/sampling_model.h"
+
+namespace adaptagg {
+
+CostBreakdown CostModel::Sampling(double S) const {
+  const SystemParams& p = cfg_.params;
+  const double n = p.num_nodes;
+  const double total_tuples = static_cast<double>(p.num_tuples);
+  const double groups = std::max(1.0, S * total_tuples);
+  const double groups_pn = std::min(groups, p.tuples_per_node());
+
+  const double sample_tuples = static_cast<double>(sample_total());
+  const double per_node = sample_tuples / n;
+
+  // Estimation phase (§3.1): random page reads, local aggregation of the
+  // sample, distinct keys to the coordinator, union + count there.
+  const double tuples_per_page =
+      static_cast<double>(p.page_bytes) / p.tuple_bytes;
+  const double pages_sampled = per_node / tuples_per_page;
+  const double distinct_local = ExpectedDistinct(per_node, groups_pn);
+  const double distinct_total = ExpectedDistinct(sample_tuples, groups);
+
+  CostBreakdown sample;
+  sample.scan_io = pages_sampled * p.io_rand_s;
+  sample.select_cpu = per_node * (p.t_r() + p.t_w());
+  sample.agg_cpu = per_node * (p.t_r() + p.t_h() + p.t_a());
+  sample.emit_cpu = distinct_local * p.t_w();
+  const double key_bytes = distinct_local * p.projectivity * p.tuple_bytes;
+  sample.net_protocol = Pages(key_bytes) * p.m_p();
+  AddWire(sample, Pages(key_bytes));
+  // Coordinator: receive all nodes' keys and count distinct (serial, but
+  // tiny relative to the main phase).
+  sample.coord_time =
+      Pages(key_bytes * n) * p.m_p() + n * distinct_local * p.t_r();
+
+  // Decision, then the chosen algorithm end to end.
+  const bool use_repartitioning =
+      distinct_total >= static_cast<double>(crossover_threshold());
+  CostBreakdown chosen =
+      use_repartitioning ? Repartitioning(S) : TwoPhase(S);
+  chosen.sample_cost = sample.total();
+  return chosen;
+}
+
+CostBreakdown CostModel::AdaptiveTwoPhase(double S) const {
+  const SystemParams& p = cfg_.params;
+  const double n = p.num_nodes;
+  const double tuples_pn = p.tuples_per_node();
+  const double total_tuples = static_cast<double>(p.num_tuples);
+  const double groups = std::max(1.0, S * total_tuples);
+  const double groups_pn = std::min(groups, tuples_pn);
+  const double m = static_cast<double>(p.max_hash_entries);
+
+  // Tuples a node processes before its table holds M groups: the local
+  // selectivity is groups_pn / tuples_pn, so the table fills after
+  // M / (groups_pn / tuples_pn) tuples (§3.2: |P_i| = min(M/S_l, |R_i|)).
+  const double local_rate = groups_pn / tuples_pn;
+  const double fill_tuples =
+      local_rate > 0 ? m / local_rate : tuples_pn;
+  const double p_i = std::min(fill_tuples, tuples_pn);
+  const double table_groups = std::min(m, groups_pn);
+  const double rest = tuples_pn - p_i;
+
+  CostBreakdown b;
+  // Scan + select cover the whole partition either way.
+  if (cfg_.include_scan_io) {
+    b.scan_io = Pages(p.bytes_per_node()) * p.io_seq_s;
+  }
+  b.select_cpu = tuples_pn * (p.t_r() + p.t_w());
+
+  // Segment 1: Two-Phase-style local aggregation of the first p_i tuples.
+  // Never overflows — overflow is exactly the switch point.
+  b.agg_cpu = p_i * (p.t_r() + p.t_h() + p.t_a());
+  b.emit_cpu = table_groups * p.t_w();
+  const double partial_bytes = table_groups * p.projectivity * p.tuple_bytes;
+  b.net_protocol += Pages(partial_bytes) * p.m_p();
+  AddWire(b, Pages(partial_bytes));
+
+  // Segment 2: repartition the remaining tuples raw.
+  const double raw_bytes = rest * p.projectivity * p.tuple_bytes;
+  b.route_cpu = rest * (p.t_h() + p.t_d());
+  b.net_protocol += Pages(raw_bytes) * p.m_p();
+  AddWire(b, Pages(raw_bytes));
+
+  // Global phase: each node receives its share of all partials and raws.
+  const double recv_tuples = table_groups + rest;  // (N*(tg+rest))/N
+  const double recv_bytes = partial_bytes + raw_bytes;
+  const double final_groups_pn = groups / n;
+  b.net_protocol += Pages(recv_bytes) * p.m_p();
+  b.merge_cpu = recv_tuples * (p.t_r() + p.t_a());
+  b.overflow_io = OverflowFraction(final_groups_pn) * Pages(recv_bytes) *
+                  2 * p.io_seq_s;
+  b.emit_cpu += final_groups_pn * p.t_w();
+  if (cfg_.include_store_io) {
+    b.store_io = Pages(final_groups_pn * p.projectivity * p.tuple_bytes) *
+                 p.io_seq_s;
+  }
+  return b;
+}
+
+CostBreakdown CostModel::AdaptiveRepartitioning(double S) const {
+  const SystemParams& p = cfg_.params;
+  const double tuples_pn = p.tuples_per_node();
+  const double total_tuples = static_cast<double>(p.num_tuples);
+  const double groups = std::max(1.0, S * total_tuples);
+  const double groups_pn = std::min(groups, tuples_pn);
+
+  // Decision after init_seg tuples: distinct groups seen so far.
+  const double init_seg =
+      std::min(static_cast<double>(cfg_.init_seg), tuples_pn);
+  const double seen = ExpectedDistinct(init_seg, groups_pn);
+  const bool stay_repartitioning =
+      seen >= static_cast<double>(few_groups_threshold());
+
+  if (stay_repartitioning) {
+    return Repartitioning(S);
+  }
+
+  // Switched: the first init_seg tuples per node went through the
+  // repartitioning path; the rest behave as Adaptive Two Phase — local
+  // aggregation until the table holds M groups, then repartitioning
+  // again (§3.3 composes the two adaptive behaviors; a cost model that
+  // let the table absorb unbounded groups would wrongly make a mistaken
+  // switch look cheap at high selectivity).
+  CostBreakdown b;
+  if (cfg_.include_scan_io) {
+    b.scan_io = Pages(p.bytes_per_node()) * p.io_seq_s;
+  }
+  b.select_cpu = tuples_pn * (p.t_r() + p.t_w());
+
+  const double init_bytes = init_seg * p.projectivity * p.tuple_bytes;
+  b.route_cpu = init_seg * (p.t_h() + p.t_d());
+  b.net_protocol += Pages(init_bytes) * p.m_p();
+  AddWire(b, Pages(init_bytes));
+
+  // Segment 2 (A-2P on the remaining tuples): locally aggregate until M
+  // groups accumulate, then route the remainder raw.
+  const double rest = tuples_pn - init_seg;
+  const double m = static_cast<double>(p.max_hash_entries);
+  const double local_rate = groups_pn / tuples_pn;
+  const double fill_tuples = local_rate > 0 ? m / local_rate : rest;
+  const double p_i = std::min(fill_tuples, rest);
+  const double table_groups = std::min(m, groups_pn);
+  const double rest_raw = rest - p_i;
+
+  b.agg_cpu = p_i * (p.t_r() + p.t_h() + p.t_a());
+  b.emit_cpu = table_groups * p.t_w();
+  const double partial_bytes = table_groups * p.projectivity * p.tuple_bytes;
+  b.net_protocol += Pages(partial_bytes) * p.m_p();
+  AddWire(b, Pages(partial_bytes));
+
+  const double raw_bytes = rest_raw * p.projectivity * p.tuple_bytes;
+  b.route_cpu += rest_raw * (p.t_h() + p.t_d());
+  b.net_protocol += Pages(raw_bytes) * p.m_p();
+  AddWire(b, Pages(raw_bytes));
+
+  // Global phase: raw init-segment + raw overflow + everyone's partials.
+  const double recv_tuples = init_seg + rest_raw + table_groups;
+  const double recv_bytes = init_bytes + raw_bytes + partial_bytes;
+  const double final_groups_pn = groups / p.num_nodes;
+  b.net_protocol += Pages(recv_bytes) * p.m_p();
+  b.merge_cpu = recv_tuples * (p.t_r() + p.t_a());
+  b.overflow_io = OverflowFraction(final_groups_pn) * Pages(recv_bytes) *
+                  2 * p.io_seq_s;
+  b.emit_cpu += final_groups_pn * p.t_w();
+  if (cfg_.include_store_io) {
+    b.store_io = Pages(final_groups_pn * p.projectivity * p.tuple_bytes) *
+                 p.io_seq_s;
+  }
+  return b;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,122 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "model/sampling_model.h"
+
+namespace adaptagg {
+
+std::string CostBreakdown::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "total=" << total() << "s (scan=" << scan_io
+     << " select=" << select_cpu << " agg=" << agg_cpu
+     << " route=" << route_cpu << " ovf=" << overflow_io
+     << " emit=" << emit_cpu << " proto=" << net_protocol
+     << " wire=" << net_wire << " merge=" << merge_cpu
+     << " store=" << store_io << " sample=" << sample_cost
+     << " coord=" << coord_time << ")";
+  return os.str();
+}
+
+double ExpectedDistinct(double draws, double groups) {
+  if (groups <= 1.0) return groups;
+  if (draws <= 0.0) return 0.0;
+  // G(1 - (1 - 1/G)^draws), computed stably for large G.
+  return groups * (1.0 - std::exp(draws * std::log1p(-1.0 / groups)));
+}
+
+CostModel::CostModel(Config config) : cfg_(std::move(config)) {
+  ADAPTAGG_CHECK(cfg_.params.num_nodes > 0);
+}
+
+int64_t CostModel::crossover_threshold() const {
+  return cfg_.crossover_threshold > 0
+             ? cfg_.crossover_threshold
+             : DefaultCrossoverThreshold(cfg_.params.num_nodes);
+}
+
+int64_t CostModel::sample_total() const {
+  return cfg_.sample_size > 0 ? cfg_.sample_size
+                              : RequiredSampleSize(crossover_threshold());
+}
+
+int64_t CostModel::few_groups_threshold() const {
+  return cfg_.few_groups_threshold > 0 ? cfg_.few_groups_threshold
+                                       : crossover_threshold();
+}
+
+double CostModel::Pages(double bytes) const {
+  return bytes / cfg_.params.page_bytes;
+}
+
+double CostModel::OverflowFraction(double groups) const {
+  if (groups <= 0) return 0.0;
+  double m = static_cast<double>(cfg_.params.max_hash_entries);
+  return std::max(0.0, 1.0 - m / groups);
+}
+
+void CostModel::AddWire(CostBreakdown& b, double pages_per_node) const {
+  const SystemParams& p = cfg_.params;
+  if (p.network == NetworkKind::kHighBandwidth) {
+    b.net_wire += pages_per_node * p.m_l();
+  } else {
+    // The shared medium serializes all nodes' transfers: the elapsed wire
+    // time is the cluster-wide total.
+    b.net_wire += pages_per_node * p.num_nodes * p.m_l();
+  }
+}
+
+CostModel::LocalPhase CostModel::LocalAggregationPhase(
+    double tuples_per_node, double groups_per_node,
+    bool charge_scan_select) const {
+  const SystemParams& p = cfg_.params;
+  LocalPhase out;
+  CostBreakdown& b = out.costs;
+  double bytes = tuples_per_node * p.tuple_bytes;
+  if (charge_scan_select) {
+    if (cfg_.include_scan_io) b.scan_io += Pages(bytes) * p.io_seq_s;
+    b.select_cpu += tuples_per_node * (p.t_r() + p.t_w());
+  }
+  b.agg_cpu += tuples_per_node * (p.t_r() + p.t_h() + p.t_a());
+  b.overflow_io += OverflowFraction(groups_per_node) *
+                   Pages(p.projectivity * bytes) * 2 * p.io_seq_s;
+  b.emit_cpu += groups_per_node * p.t_w();
+  out.partial_tuples_per_node = groups_per_node;
+  out.partial_bytes_per_node =
+      groups_per_node * p.projectivity * p.tuple_bytes;
+  b.net_protocol += Pages(out.partial_bytes_per_node) * p.m_p();
+  AddWire(b, Pages(out.partial_bytes_per_node));
+  return out;
+}
+
+double CostModel::Time(AlgorithmKind kind, double selectivity) const {
+  return Breakdown(kind, selectivity).total();
+}
+
+CostBreakdown CostModel::Breakdown(AlgorithmKind kind,
+                                   double selectivity) const {
+  switch (kind) {
+    case AlgorithmKind::kCentralizedTwoPhase:
+      return CentralizedTwoPhase(selectivity);
+    case AlgorithmKind::kTwoPhase:
+    case AlgorithmKind::kGraefeTwoPhase:  // modeled as 2P (see §3.2)
+      return TwoPhase(selectivity);
+    case AlgorithmKind::kRepartitioning:
+      return Repartitioning(selectivity);
+    case AlgorithmKind::kSampling:
+      return Sampling(selectivity);
+    case AlgorithmKind::kAdaptiveTwoPhase:
+      return AdaptiveTwoPhase(selectivity);
+    case AlgorithmKind::kAdaptiveRepartitioning:
+      return AdaptiveRepartitioning(selectivity);
+    case AlgorithmKind::kSortTwoPhase:
+      return SortTwoPhase(selectivity);
+  }
+  ADAPTAGG_CHECK(false) << "unknown algorithm";
+  return CostBreakdown();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,115 @@
+#ifndef ADAPTAGG_MODEL_COST_MODEL_H_
+#define ADAPTAGG_MODEL_COST_MODEL_H_
+
+#include <string>
+
+#include "common/algorithm_kind.h"
+#include "sim/params.h"
+
+namespace adaptagg {
+
+/// Per-phase cost components of one algorithm run, in seconds. The model
+/// follows the paper's no-overlap assumption: total() is the plain sum,
+/// and under uniform data all nodes are identical so one node's time (plus
+/// any serial coordinator work and any serialized wire time) is the
+/// completion time.
+struct CostBreakdown {
+  double scan_io = 0;       ///< reading the base relation
+  double select_cpu = 0;    ///< getting tuples off data pages
+  double agg_cpu = 0;       ///< local aggregation (read+hash+accumulate)
+  double route_cpu = 0;     ///< hash + destination computation for exchange
+  double overflow_io = 0;   ///< intermediate I/O from hash-table overflow
+  double emit_cpu = 0;      ///< generating partial/result tuples
+  double net_protocol = 0;  ///< m_p send+receive protocol CPU
+  double net_wire = 0;      ///< m_l wire time (serialized if limited bw)
+  double merge_cpu = 0;     ///< global phase merge work
+  double store_io = 0;      ///< writing the final result
+  double sample_cost = 0;   ///< Sampling's estimation phase
+  double coord_time = 0;    ///< serial coordinator phase (C-2P)
+
+  double total() const {
+    return scan_io + select_cpu + agg_cpu + route_cpu + overflow_io +
+           emit_cpu + net_protocol + net_wire + merge_cpu + store_io +
+           sample_cost + coord_time;
+  }
+
+  std::string ToString() const;
+};
+
+/// Expected number of distinct groups observed in `draws` uniform draws
+/// over `groups` equally likely groups: G(1 - (1 - 1/G)^draws).
+double ExpectedDistinct(double draws, double groups);
+
+/// Analytical cost models of all the paper's algorithms (§2 equations for
+/// the traditional algorithms, §3 for the new ones). Configure with the
+/// Table 1 parameters; query by grouping selectivity.
+class CostModel {
+ public:
+  struct Config {
+    SystemParams params;
+    /// false models the operator-pipeline setting of Figure 2: no base
+    /// relation scan and no result store (intermediate overflow I/O still
+    /// counts — that is precisely what the figure exposes).
+    bool include_scan_io = true;
+    bool include_store_io = true;
+    /// Sampling algorithm knobs (-1 = paper defaults).
+    int64_t crossover_threshold = -1;
+    int64_t sample_size = -1;
+    /// Adaptive Repartitioning knobs.
+    int64_t init_seg = 10'000;
+    int64_t few_groups_threshold = -1;
+  };
+
+  explicit CostModel(Config config);
+
+  /// Completion time (seconds) for GROUP BY selectivity `S` = result
+  /// cardinality / input cardinality, S in [1/|R|, 0.5].
+  double Time(AlgorithmKind kind, double selectivity) const;
+
+  CostBreakdown Breakdown(AlgorithmKind kind, double selectivity) const;
+
+  const Config& config() const { return cfg_; }
+
+  // Resolved defaults.
+  int64_t crossover_threshold() const;
+  int64_t sample_total() const;
+  int64_t few_groups_threshold() const;
+
+ private:
+  // Traditional algorithms (traditional.cc).
+  CostBreakdown CentralizedTwoPhase(double S) const;
+  CostBreakdown TwoPhase(double S) const;
+  CostBreakdown Repartitioning(double S) const;
+  CostBreakdown SortTwoPhase(double S) const;
+  // New algorithms (adaptive.cc).
+  CostBreakdown Sampling(double S) const;
+  CostBreakdown AdaptiveTwoPhase(double S) const;
+  CostBreakdown AdaptiveRepartitioning(double S) const;
+
+  // Shared pieces.
+  double Pages(double bytes) const;
+  /// Fraction of input not absorbed by the first in-memory pass when
+  /// `groups` distinct groups hit a table of M entries.
+  double OverflowFraction(double groups) const;
+  /// Local phase of the two-phase family on `tuples` tuples holding
+  /// `groups_in_table` groups; fills scan/select/agg/overflow/emit and
+  /// send-side protocol; returns bytes of partials produced.
+  struct LocalPhase {
+    CostBreakdown costs;
+    double partial_bytes_per_node = 0;
+    double partial_tuples_per_node = 0;
+  };
+  LocalPhase LocalAggregationPhase(double tuples_per_node,
+                                   double groups_per_node,
+                                   bool charge_scan_select) const;
+  /// Adds the wire time of `pages_per_node` message pages per node:
+  /// per-node on a high-bandwidth network, serialized cluster-wide on a
+  /// limited-bandwidth one.
+  void AddWire(CostBreakdown& b, double pages_per_node) const;
+
+  Config cfg_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_MODEL_COST_MODEL_H_

@@ -1,0 +1,20 @@
+#include "model/sampling_model.h"
+
+#include <cmath>
+
+namespace adaptagg {
+
+int64_t RequiredSampleSize(int64_t crossover_threshold) {
+  if (crossover_threshold <= 1) return 16;
+  double n = static_cast<double>(crossover_threshold);
+  // Coupon collector: n(ln n + c). c = 2.25 reproduces the paper's
+  // example of ~2563 samples for a threshold of 320.
+  double samples = n * (std::log(n) + 2.25);
+  return static_cast<int64_t>(std::ceil(samples));
+}
+
+int64_t DefaultCrossoverThreshold(int num_processors) {
+  return 100LL * num_processors;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,21 @@
+#ifndef ADAPTAGG_MODEL_SAMPLING_MODEL_H_
+#define ADAPTAGG_MODEL_SAMPLING_MODEL_H_
+
+#include <cstdint>
+
+namespace adaptagg {
+
+/// Sample size (total tuples across the cluster) needed to observe at
+/// least `crossover_threshold` distinct groups with high probability when
+/// that many groups exist — the Erdős–Rényi coupon-collector bound
+/// n (ln n + c) of [ER61], §3.1. The constant is calibrated to the
+/// paper's worked example (threshold 320 -> ~2563 samples, i.e. roughly
+/// 10x the threshold).
+int64_t RequiredSampleSize(int64_t crossover_threshold);
+
+/// The paper's default crossover threshold for N processors (§4: 100·N).
+int64_t DefaultCrossoverThreshold(int num_processors);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_MODEL_SAMPLING_MODEL_H_

@@ -1,0 +1,34 @@
+#include "net/channel.h"
+
+namespace adaptagg {
+
+void Channel::Push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+Message Channel::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty(); });
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Channel::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+size_t Channel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,41 @@
+#ifndef ADAPTAGG_NET_CHANNEL_H_
+#define ADAPTAGG_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/message.h"
+
+namespace adaptagg {
+
+/// An unbounded multi-producer single-consumer message queue: the inbox of
+/// one node. Unbounded so that senders never block (the algorithms'
+/// end-of-stream protocol then guarantees deadlock freedom); the engine's
+/// poll-while-scanning pattern keeps queues short in practice.
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void Push(Message msg);
+
+  /// Blocks until a message is available.
+  Message Pop();
+
+  /// Returns immediately; empty optional when the queue is empty.
+  std::optional<Message> TryPop();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_NET_CHANNEL_H_

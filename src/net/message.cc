@@ -1,0 +1,70 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace adaptagg {
+
+std::string MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kRawPage:
+      return "raw-page";
+    case MessageType::kPartialPage:
+      return "partial-page";
+    case MessageType::kEndOfStream:
+      return "eos";
+    case MessageType::kEndOfPhase:
+      return "end-of-phase";
+    case MessageType::kControl:
+      return "control";
+    case MessageType::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+namespace {
+constexpr size_t kHeaderBytes = 1 + 4 + 4 + 8;
+}  // namespace
+
+std::vector<uint8_t> Message::Serialize() const {
+  std::vector<uint8_t> out(4 + kHeaderBytes + payload.size());
+  uint32_t total = static_cast<uint32_t>(kHeaderBytes + payload.size());
+  size_t off = 0;
+  std::memcpy(out.data() + off, &total, 4);
+  off += 4;
+  out[off++] = static_cast<uint8_t>(type);
+  std::memcpy(out.data() + off, &from, 4);
+  off += 4;
+  std::memcpy(out.data() + off, &phase, 4);
+  off += 4;
+  std::memcpy(out.data() + off, &depart_time, 8);
+  off += 8;
+  if (!payload.empty()) {
+    std::memcpy(out.data() + off, payload.data(), payload.size());
+  }
+  return out;
+}
+
+Result<Message> Message::Deserialize(const uint8_t* data, size_t len) {
+  if (len < kHeaderBytes) {
+    return Status::InvalidArgument("message frame too short: " +
+                                   std::to_string(len));
+  }
+  Message m;
+  size_t off = 0;
+  uint8_t t = data[off++];
+  if (t > static_cast<uint8_t>(MessageType::kAbort)) {
+    return Status::InvalidArgument("bad message type " + std::to_string(t));
+  }
+  m.type = static_cast<MessageType>(t);
+  std::memcpy(&m.from, data + off, 4);
+  off += 4;
+  std::memcpy(&m.phase, data + off, 4);
+  off += 4;
+  std::memcpy(&m.depart_time, data + off, 8);
+  off += 8;
+  m.payload.assign(data + off, data + len);
+  return m;
+}
+
+}  // namespace adaptagg

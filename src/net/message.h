@@ -1,0 +1,52 @@
+#ifndef ADAPTAGG_NET_MESSAGE_H_
+#define ADAPTAGG_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adaptagg {
+
+/// Kinds of inter-node messages exchanged by the aggregation algorithms.
+enum class MessageType : uint8_t {
+  /// A page of projected raw tuples (Repartitioning traffic).
+  kRawPage = 0,
+  /// A page of partial-aggregate records (two-phase traffic).
+  kPartialPage = 1,
+  /// The sender will send no more data in this phase.
+  kEndOfStream = 2,
+  /// Adaptive Repartitioning's "end-of-phase" switch signal (§3.3).
+  kEndOfPhase = 3,
+  /// Small control payloads (e.g. the Sampling algorithm's decision).
+  kControl = 4,
+  /// A node hit an unrecoverable error; peers must stop waiting for its
+  /// traffic and fail the run. Broadcast by the cluster runtime.
+  kAbort = 5,
+};
+
+std::string MessageTypeToString(MessageType type);
+
+/// One network message. `depart_time` carries the sender's simulated
+/// clock so receivers preserve causality (a conservative discrete-event
+/// rule); it plays no role in correctness.
+struct Message {
+  MessageType type = MessageType::kControl;
+  int32_t from = -1;
+  uint32_t phase = 0;
+  double depart_time = 0.0;
+  std::vector<uint8_t> payload;
+
+  /// Wire encoding for socket transports:
+  /// [u32 total_len][u8 type][i32 from][u32 phase][f64 depart][payload].
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a frame produced by Serialize() (without the leading length
+  /// word, which the transport consumes).
+  static Result<Message> Deserialize(const uint8_t* data, size_t len);
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_NET_MESSAGE_H_

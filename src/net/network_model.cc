@@ -1,0 +1,42 @@
+#include "net/network_model.h"
+
+namespace adaptagg {
+
+void NetworkModel::OnSend(CostClock& clock, Message& msg) {
+  double pages = PagesOf(msg.payload.size());
+  if (pages > 0) {
+    // Protocol processing on the sender.
+    clock.AddNet(pages * params_.m_p());
+    double wire = pages * params_.m_l();
+    if (params_.network == NetworkKind::kHighBandwidth) {
+      // Latency-only network: the sender is occupied for the page's wire
+      // time; transfers from different nodes overlap freely.
+      clock.AddNet(wire);
+    } else {
+      // Shared sequential medium: accumulate the occupancy globally
+      // (atomic fetch-add via CAS; doubles have no fetch_add pre-C++20
+      // on all implementations).
+      double cur = serialized_wire_s_.load(std::memory_order_relaxed);
+      while (!serialized_wire_s_.compare_exchange_weak(
+          cur, cur + wire, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  msg.depart_time = clock.now();
+}
+
+void NetworkModel::OnReceive(CostClock& clock, const Message& msg) {
+  // Only the protocol CPU is charged. The receiver's clock is NOT
+  // advanced to the sender's departure time: the paper's model assumes
+  // all nodes work fully in parallel with no overlap of CPU/IO/messaging
+  // within a node, so completion time is the maximum over nodes of each
+  // node's own accumulated cost (plus the serialized wire total on a
+  // limited-bandwidth network). A wall-clock causality advance here
+  // would couple the simulated clocks to the host thread scheduler.
+  double pages = PagesOf(msg.payload.size());
+  if (pages > 0) {
+    clock.AddNet(pages * params_.m_p());
+  }
+}
+
+}  // namespace adaptagg

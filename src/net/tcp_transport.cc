@@ -1,0 +1,236 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+#include "net/channel.h"
+#include "net/transport.h"
+
+namespace adaptagg {
+namespace {
+
+Status ReadFully(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n == 0) return Status::NetworkError("peer closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(std::string("recv: ") +
+                                  std::strerror(errno));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFully(int fd, const uint8_t* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(std::string("send: ") +
+                                  std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// One node's endpoint of a TCP loopback mesh. Owns n-1 outgoing sockets
+/// and n-1 reader threads feeding the inbox; self-sends short-circuit
+/// through the inbox directly.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(int node_id, int num_nodes)
+      : node_id_(node_id),
+        num_nodes_(num_nodes),
+        out_fds_(static_cast<size_t>(num_nodes), -1) {}
+
+  ~TcpTransport() override {
+    for (int fd : out_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+    for (int fd : in_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    for (int fd : out_fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    for (int fd : in_fds_) {
+      ::close(fd);
+    }
+  }
+
+  int node_id() const override { return node_id_; }
+  int num_nodes() const override { return num_nodes_; }
+
+  Status Send(int to, Message msg) override {
+    if (to < 0 || to >= num_nodes_) {
+      return Status::InvalidArgument("send to bad node " +
+                                     std::to_string(to));
+    }
+    msg.from = node_id_;
+    if (to == node_id_) {
+      inbox_.Push(std::move(msg));
+      return Status::OK();
+    }
+    std::vector<uint8_t> frame = msg.Serialize();
+    return WriteFully(out_fds_[static_cast<size_t>(to)], frame.data(),
+                      frame.size());
+  }
+
+  Result<Message> Recv() override { return inbox_.Pop(); }
+
+  std::optional<Message> TryRecv() override { return inbox_.TryPop(); }
+
+  void SetOutgoing(int to, int fd) {
+    out_fds_[static_cast<size_t>(to)] = fd;
+  }
+
+  /// Registers an accepted incoming connection and starts its reader.
+  void AddIncoming(int fd) {
+    in_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { ReadLoop(fd); });
+  }
+
+ private:
+  void ReadLoop(int fd) {
+    std::vector<uint8_t> buf;
+    while (true) {
+      uint8_t len_bytes[4];
+      if (!ReadFully(fd, len_bytes, 4).ok()) return;  // peer closed
+      uint32_t len;
+      std::memcpy(&len, len_bytes, 4);
+      buf.resize(len);
+      if (!ReadFully(fd, buf.data(), len).ok()) return;
+      Result<Message> msg = Message::Deserialize(buf.data(), len);
+      if (!msg.ok()) {
+        ADAPTAGG_LOG(kError) << "dropping bad frame: "
+                             << msg.status().ToString();
+        continue;
+      }
+      inbox_.Push(std::move(msg).value());
+    }
+  }
+
+  int node_id_;
+  int num_nodes_;
+  Channel inbox_;
+  std::vector<int> out_fds_;
+  std::vector<int> in_fds_;
+  std::vector<std::thread> readers_;
+};
+
+Result<int> Listen(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError("socket failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::NetworkError("bind " + std::to_string(port) + ": " +
+                                std::strerror(errno));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return Status::NetworkError("listen failed");
+  }
+  return fd;
+}
+
+Result<int> Connect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError("socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::NetworkError("connect " + std::to_string(port) + ": " +
+                                std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<Transport>>> MakeTcpMesh(int n,
+                                                            int base_port) {
+  std::vector<std::unique_ptr<TcpTransport>> nodes;
+  nodes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<TcpTransport>(i, n));
+  }
+
+  std::vector<int> listeners(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    ADAPTAGG_ASSIGN_OR_RETURN(listeners[static_cast<size_t>(i)],
+                              Listen(base_port + i));
+  }
+
+  // Connect every ordered pair (i -> j), i != j. The connector announces
+  // its node id in a 4-byte hello so the acceptor can label the link.
+  Status failure;
+  for (int i = 0; i < n && failure.ok(); ++i) {
+    for (int j = 0; j < n && failure.ok(); ++j) {
+      if (i == j) continue;
+      Result<int> out = Connect(base_port + j);
+      if (!out.ok()) {
+        failure = out.status();
+        break;
+      }
+      int32_t hello = i;
+      Status st = WriteFully(*out, reinterpret_cast<uint8_t*>(&hello), 4);
+      if (!st.ok()) {
+        failure = st;
+        break;
+      }
+      nodes[static_cast<size_t>(i)]->SetOutgoing(j, *out);
+
+      int in = ::accept(listeners[static_cast<size_t>(j)], nullptr, nullptr);
+      if (in < 0) {
+        failure = Status::NetworkError("accept failed");
+        break;
+      }
+      int32_t peer = -1;
+      st = ReadFully(in, reinterpret_cast<uint8_t*>(&peer), 4);
+      if (!st.ok() || peer != i) {
+        ::close(in);
+        failure = st.ok() ? Status::NetworkError("bad hello") : st;
+        break;
+      }
+      nodes[static_cast<size_t>(j)]->AddIncoming(in);
+    }
+  }
+
+  for (int fd : listeners) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (!failure.ok()) return failure;
+
+  std::vector<std::unique_ptr<Transport>> out;
+  out.reserve(nodes.size());
+  for (auto& t : nodes) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace adaptagg

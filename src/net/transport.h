@@ -1,0 +1,47 @@
+#ifndef ADAPTAGG_NET_TRANSPORT_H_
+#define ADAPTAGG_NET_TRANSPORT_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace adaptagg {
+
+/// One node's endpoint of the cluster interconnect. Implementations:
+/// InprocTransport (shared-memory channels; the default substrate) and
+/// TcpTransport (real loopback sockets, full mesh). Nodes may send to
+/// themselves; delivery between a given pair of nodes is in order.
+///
+/// Send is callable from the owning node's thread; Recv/TryRecv only from
+/// the owning node's thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int node_id() const = 0;
+  virtual int num_nodes() const = 0;
+
+  /// Enqueues `msg` for node `to`. Never blocks on the receiver.
+  virtual Status Send(int to, Message msg) = 0;
+
+  /// Blocks until a message arrives.
+  virtual Result<Message> Recv() = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Message> TryRecv() = 0;
+};
+
+/// Creates an in-process mesh of `n` transports sharing channels.
+std::vector<std::unique_ptr<Transport>> MakeInprocMesh(int n);
+
+/// Creates a TCP loopback mesh of `n` transports. Every pair of nodes is
+/// connected through 127.0.0.1 sockets; background reader threads feed
+/// each node's inbox. `base_port` must leave `n` consecutive free ports.
+Result<std::vector<std::unique_ptr<Transport>>> MakeTcpMesh(int n,
+                                                            int base_port);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_NET_TRANSPORT_H_

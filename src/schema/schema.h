@@ -1,0 +1,58 @@
+#ifndef ADAPTAGG_SCHEMA_SCHEMA_H_
+#define ADAPTAGG_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/value.h"
+
+namespace adaptagg {
+
+/// One column of a fixed-width row schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Byte width. 8 for numerics; arbitrary > 0 for kBytes (zero-padded).
+  int width = 8;
+};
+
+/// A fixed-width row schema: an ordered list of fields with precomputed
+/// byte offsets. Schemas are immutable after construction and cheap to
+/// copy by shared reference where needed.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema; widths of numeric fields are forced to 8.
+  explicit Schema(std::vector<Field> fields);
+
+  /// Convenience factory: a schema of the given fields. Returns an error
+  /// for empty names, duplicate names, or non-positive widths.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Byte offset of field `i` within a row.
+  int offset(int i) const { return offsets_[i]; }
+
+  /// Total row width in bytes.
+  int tuple_size() const { return tuple_size_; }
+
+  /// Index of the field named `name`, or error.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  bool Equals(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<int> offsets_;
+  int tuple_size_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_SCHEMA_SCHEMA_H_

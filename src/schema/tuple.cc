@@ -1,0 +1,75 @@
+#include "schema/tuple.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+Value TupleView::GetValue(int field) const {
+  const Field& f = schema_->field(field);
+  switch (f.type) {
+    case DataType::kInt64:
+      return Value(GetInt64(field));
+    case DataType::kDouble:
+      return Value(GetDouble(field));
+    case DataType::kBytes:
+      return Value(GetBytes(field));
+  }
+  return Value();
+}
+
+std::string TupleView::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += GetValue(i).ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void TupleBuffer::SetBytes(int field, const std::string& s) {
+  const Field& f = schema_->field(field);
+  uint8_t* dst = bytes_.data() + schema_->offset(field);
+  size_t n = std::min(s.size(), static_cast<size_t>(f.width));
+  std::memcpy(dst, s.data(), n);
+  if (n < static_cast<size_t>(f.width)) {
+    std::memset(dst + n, 0, static_cast<size_t>(f.width) - n);
+  }
+}
+
+void TupleBuffer::SetValue(int field, const Value& v) {
+  const Field& f = schema_->field(field);
+  ADAPTAGG_CHECK(f.type == v.type())
+      << "type mismatch setting field " << f.name;
+  switch (f.type) {
+    case DataType::kInt64:
+      SetInt64(field, v.int64());
+      break;
+    case DataType::kDouble:
+      SetDouble(field, v.dbl());
+      break;
+    case DataType::kBytes:
+      SetBytes(field, v.bytes());
+      break;
+  }
+}
+
+void ExtractKey(const TupleView& tuple, const std::vector<int>& cols,
+                std::vector<uint8_t>& out) {
+  out.clear();
+  for (int c : cols) {
+    const Field& f = tuple.schema().field(c);
+    const uint8_t* p = tuple.GetBytesPtr(c);
+    out.insert(out.end(), p, p + f.width);
+  }
+}
+
+int KeyWidth(const Schema& schema, const std::vector<int>& cols) {
+  int w = 0;
+  for (int c : cols) w += schema.field(c).width;
+  return w;
+}
+
+}  // namespace adaptagg

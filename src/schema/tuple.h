@@ -1,0 +1,98 @@
+#ifndef ADAPTAGG_SCHEMA_TUPLE_H_
+#define ADAPTAGG_SCHEMA_TUPLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace adaptagg {
+
+/// A non-owning view over one fixed-width row laid out per `schema`.
+/// The underlying bytes must outlive the view.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  const uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+  int size() const { return schema_->tuple_size(); }
+  bool valid() const { return data_ != nullptr; }
+
+  int64_t GetInt64(int field) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(field), sizeof(v));
+    return v;
+  }
+  double GetDouble(int field) const {
+    double v;
+    std::memcpy(&v, data_ + schema_->offset(field), sizeof(v));
+    return v;
+  }
+  /// Raw bytes of field `field` (width from the schema).
+  const uint8_t* GetBytesPtr(int field) const {
+    return data_ + schema_->offset(field);
+  }
+  std::string GetBytes(int field) const {
+    const Field& f = schema_->field(field);
+    return std::string(reinterpret_cast<const char*>(GetBytesPtr(field)),
+                       static_cast<size_t>(f.width));
+  }
+
+  /// Generic accessor materializing a Value (slow path; tests/results).
+  Value GetValue(int field) const;
+
+  std::string ToString() const;
+
+ private:
+  const uint8_t* data_ = nullptr;
+  const Schema* schema_ = nullptr;
+};
+
+/// An owning, mutable row buffer for building tuples.
+class TupleBuffer {
+ public:
+  explicit TupleBuffer(const Schema* schema)
+      : schema_(schema), bytes_(static_cast<size_t>(schema->tuple_size()), 0) {}
+
+  const Schema& schema() const { return *schema_; }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+  int size() const { return schema_->tuple_size(); }
+
+  TupleView view() const { return TupleView(bytes_.data(), schema_); }
+
+  void SetInt64(int field, int64_t v) {
+    std::memcpy(bytes_.data() + schema_->offset(field), &v, sizeof(v));
+  }
+  void SetDouble(int field, double v) {
+    std::memcpy(bytes_.data() + schema_->offset(field), &v, sizeof(v));
+  }
+  /// Copies `s` into the field, truncating or zero-padding to the width.
+  void SetBytes(int field, const std::string& s);
+
+  /// Sets from a dynamically-typed Value; the value type must match the
+  /// field type.
+  void SetValue(int field, const Value& v);
+
+ private:
+  const Schema* schema_;
+  std::vector<uint8_t> bytes_;
+};
+
+/// Extracts the concatenated bytes of `cols` from `tuple` into `out`
+/// (cleared first). This is the grouping key used by the aggregation
+/// hash tables: fixed width per schema, compared with memcmp.
+void ExtractKey(const TupleView& tuple, const std::vector<int>& cols,
+                std::vector<uint8_t>& out);
+
+/// Total byte width of the columns `cols` in `schema`.
+int KeyWidth(const Schema& schema, const std::vector<int>& cols);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_SCHEMA_TUPLE_H_

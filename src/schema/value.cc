@@ -1,0 +1,42 @@
+#include "schema/value.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+std::string DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBytes:
+      return "bytes";
+  }
+  return "?";
+}
+
+int FixedWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kBytes:
+      return -1;  // width comes from the schema
+  }
+  return -1;
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  ADAPTAGG_CHECK(is_double()) << "AsDouble() on a bytes value";
+  return dbl();
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return std::to_string(dbl());
+  return bytes();
+}
+
+}  // namespace adaptagg

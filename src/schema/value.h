@@ -1,0 +1,68 @@
+#ifndef ADAPTAGG_SCHEMA_VALUE_H_
+#define ADAPTAGG_SCHEMA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace adaptagg {
+
+/// Column data types. All types are fixed-width so that tuples are
+/// fixed-size rows (the paper works with 100-byte tuples): kBytes columns
+/// carry an explicit width in the schema and are zero-padded.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kBytes = 2,
+};
+
+/// Returns "int64" / "double" / "bytes".
+std::string DataTypeToString(DataType type);
+
+/// Width in bytes of a fixed-width numeric type (8). kBytes widths come
+/// from the schema, not the type.
+int FixedWidth(DataType type);
+
+/// A single dynamically-typed cell value, used at API boundaries (building
+/// tuples, reading results). The hot aggregation paths operate on raw rows
+/// and never materialize `Value`s.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kBytes;
+    }
+  }
+
+  bool is_int64() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_bytes() const { return v_.index() == 2; }
+
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& bytes() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 widened to double. Must not be called on kBytes.
+  double AsDouble() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_SCHEMA_VALUE_H_

@@ -1,0 +1,35 @@
+#include "sim/cost_clock.h"
+
+#include <sstream>
+
+namespace adaptagg {
+
+std::string CostClock::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "t=" << now_ << "s (cpu=" << cpu_ << " io=" << io_
+     << " net=" << net_ << " idle=" << idle_ << ")";
+  return os.str();
+}
+
+double SharedEther::Acquire(double earliest, double duration) {
+  double busy = busy_until_.load(std::memory_order_relaxed);
+  while (true) {
+    double start = std::max(earliest, busy);
+    if (busy_until_.compare_exchange_weak(busy, start + duration,
+                                          std::memory_order_relaxed)) {
+      return start;
+    }
+    // `busy` was reloaded by the failed CAS; retry with the new value.
+  }
+}
+
+double SharedEther::busy_until() const {
+  return busy_until_.load(std::memory_order_relaxed);
+}
+
+void SharedEther::Reset() {
+  busy_until_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace adaptagg

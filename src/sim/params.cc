@@ -1,0 +1,37 @@
+#include "sim/params.h"
+
+#include <sstream>
+
+namespace adaptagg {
+
+std::string NetworkKindToString(NetworkKind kind) {
+  return kind == NetworkKind::kHighBandwidth ? "high-bandwidth"
+                                             : "limited-bandwidth";
+}
+
+SystemParams SystemParams::Paper32() { return SystemParams(); }
+
+SystemParams SystemParams::Cluster8() {
+  SystemParams p;
+  p.num_nodes = 8;
+  p.num_tuples = 2'000'000;
+  p.network = NetworkKind::kLimitedBandwidth;
+  // 10 Mbit/s Ethernet: a 4 KB page takes ~3.3 ms on the wire. The paper
+  // models the limited-bandwidth network with m_l as the occupancy of the
+  // shared medium per page.
+  p.msg_latency_s = 4096.0 * 8.0 / 10e6;
+  return p;
+}
+
+std::string SystemParams::ToString() const {
+  std::ostringstream os;
+  os << "N=" << num_nodes << " |R|=" << num_tuples
+     << " tuple=" << tuple_bytes << "B P=" << page_bytes
+     << "B IO=" << io_seq_s * 1e3 << "ms rIO=" << io_rand_s * 1e3
+     << "ms p=" << projectivity << " M=" << max_hash_entries << " net="
+     << NetworkKindToString(network) << " m_l=" << msg_latency_s * 1e3
+     << "ms";
+  return os.str();
+}
+
+}  // namespace adaptagg

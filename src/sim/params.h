@@ -1,0 +1,77 @@
+#ifndef ADAPTAGG_SIM_PARAMS_H_
+#define ADAPTAGG_SIM_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adaptagg {
+
+/// Interconnect model (§2): commercial multiprocessor networks (IBM SP-2
+/// class) are modeled by per-page latency only ("unlimited bandwidth");
+/// an Ethernet-class network is a single sequential resource — sending a
+/// fixed amount of data takes fixed time regardless of how many nodes are
+/// transmitting.
+enum class NetworkKind {
+  kHighBandwidth = 0,
+  kLimitedBandwidth = 1,
+};
+
+std::string NetworkKindToString(NetworkKind kind);
+
+/// The paper's Table 1 parameters, with helpers converting instruction
+/// counts to seconds. All derived times are in seconds.
+struct SystemParams {
+  int num_nodes = 32;                  ///< N
+  double mips = 40.0;                  ///< processor MIPS
+  int64_t num_tuples = 8'000'000;      ///< |R|
+  int tuple_bytes = 100;               ///< so R = 800 MB
+  int page_bytes = 4096;               ///< P
+  double io_seq_s = 1.15e-3;           ///< IO: sequential page read/write
+  double io_rand_s = 15.0e-3;          ///< rIO: random page read
+  double projectivity = 0.16;          ///< p: fraction of tuple aggregated
+  double instr_read_tuple = 300;       ///< t_r
+  double instr_write_tuple = 100;      ///< t_w
+  double instr_hash = 400;             ///< t_h
+  double instr_agg = 300;              ///< t_a
+  double instr_dest = 10;              ///< t_d
+  double instr_msg_per_page = 1000;    ///< m_p
+  double msg_latency_s = 2.0e-3;       ///< m_l: time to send a page
+  int64_t max_hash_entries = 10'000;   ///< M: hash table bound
+  NetworkKind network = NetworkKind::kHighBandwidth;
+  /// The implementation (§5) blocks network messages into 2 KB pages.
+  int message_page_bytes = 2048;
+
+  // --- derived times (seconds) ---
+  double InstrTime(double instructions) const {
+    return instructions / (mips * 1e6);
+  }
+  double t_r() const { return InstrTime(instr_read_tuple); }
+  double t_w() const { return InstrTime(instr_write_tuple); }
+  double t_h() const { return InstrTime(instr_hash); }
+  double t_a() const { return InstrTime(instr_agg); }
+  double t_d() const { return InstrTime(instr_dest); }
+  double m_p() const { return InstrTime(instr_msg_per_page); }
+  double m_l() const { return msg_latency_s; }
+
+  double relation_bytes() const {
+    return static_cast<double>(num_tuples) * tuple_bytes;
+  }
+  /// |R_i|: tuples per node under uniform declustering.
+  double tuples_per_node() const {
+    return static_cast<double>(num_tuples) / num_nodes;
+  }
+  /// R_i in bytes.
+  double bytes_per_node() const { return relation_bytes() / num_nodes; }
+
+  /// The paper's 32-node analytical configuration (Table 1 defaults).
+  static SystemParams Paper32();
+  /// The §5 implementation platform: 8 nodes, 2M 100-byte tuples,
+  /// 10 Mbit/s shared Ethernet.
+  static SystemParams Cluster8();
+
+  std::string ToString() const;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_SIM_PARAMS_H_

@@ -1,0 +1,128 @@
+#ifndef ADAPTAGG_STORAGE_DISK_H_
+#define ADAPTAGG_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adaptagg {
+
+/// Opaque handle to a file on a Disk.
+using FileId = int64_t;
+
+/// Cumulative I/O counters of one disk. Sequential vs. random reads are
+/// distinguished because the paper charges them differently (IO = 1.15 ms,
+/// rIO = 15 ms per 4 KB page).
+struct DiskStats {
+  int64_t pages_read_seq = 0;
+  int64_t pages_read_rand = 0;
+  int64_t pages_written = 0;
+
+  int64_t pages_read() const { return pages_read_seq + pages_read_rand; }
+};
+
+/// Abstract page-oriented store modeling one node's local disk in a
+/// shared-nothing cluster. Files are append-only sequences of fixed-size
+/// pages, readable by index. Implementations track DiskStats; the paper's
+/// I/O times are charged by the caller (CostClock) from those counters.
+///
+/// Not thread-safe: each node owns its disks exclusively.
+class Disk {
+ public:
+  explicit Disk(int page_size) : page_size_(page_size) {}
+  virtual ~Disk() = default;
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  int page_size() const { return page_size_; }
+  const DiskStats& stats() const { return stats_; }
+  /// Clears the counters and the sequential-read tracking, so that runs
+  /// over the same disk start from identical I/O state.
+  void ResetStats() {
+    stats_ = DiskStats();
+    last_read_.clear();
+  }
+
+  /// Creates a new empty file and returns its id.
+  virtual Result<FileId> CreateFile(const std::string& name) = 0;
+
+  /// Appends one page (must be exactly page_size bytes).
+  virtual Status AppendPage(FileId file, const std::vector<uint8_t>& page) = 0;
+
+  /// Reads page `index` into `out` (resized to page_size).
+  virtual Status ReadPage(FileId file, int64_t index,
+                          std::vector<uint8_t>& out) = 0;
+
+  /// Number of pages currently in the file.
+  virtual Result<int64_t> NumPages(FileId file) const = 0;
+
+  /// Removes the file and frees its space.
+  virtual Status DeleteFile(FileId file) = 0;
+
+ protected:
+  /// Classifies and counts a read of page `index` of `file`: sequential if
+  /// it directly follows the previous read of the same file.
+  void CountRead(FileId file, int64_t index);
+  void CountWrite() { ++stats_.pages_written; }
+
+ private:
+  int page_size_;
+  DiskStats stats_;
+  std::unordered_map<FileId, int64_t> last_read_;
+};
+
+/// In-memory disk: stores pages in RAM but counts I/O as if they hit a
+/// real spindle. This is the default substrate — it makes experiment runs
+/// deterministic and fast while preserving the paper's I/O cost structure.
+class SimDisk : public Disk {
+ public:
+  explicit SimDisk(int page_size);
+
+  Result<FileId> CreateFile(const std::string& name) override;
+  Status AppendPage(FileId file, const std::vector<uint8_t>& page) override;
+  Status ReadPage(FileId file, int64_t index,
+                  std::vector<uint8_t>& out) override;
+  Result<int64_t> NumPages(FileId file) const override;
+  Status DeleteFile(FileId file) override;
+
+ private:
+  FileId next_id_ = 1;
+  std::unordered_map<FileId, std::vector<std::vector<uint8_t>>> files_;
+};
+
+/// Real-file disk: each FileId maps to a file under `dir`, accessed with
+/// positioned reads/writes. Used to validate that the engine also runs on
+/// actual storage.
+class FileDisk : public Disk {
+ public:
+  /// `dir` must exist and be writable.
+  FileDisk(std::string dir, int page_size);
+  ~FileDisk() override;
+
+  Result<FileId> CreateFile(const std::string& name) override;
+  Status AppendPage(FileId file, const std::vector<uint8_t>& page) override;
+  Status ReadPage(FileId file, int64_t index,
+                  std::vector<uint8_t>& out) override;
+  Result<int64_t> NumPages(FileId file) const override;
+  Status DeleteFile(FileId file) override;
+
+ private:
+  struct OpenFile {
+    int fd = -1;
+    int64_t num_pages = 0;
+    std::string path;
+  };
+
+  std::string dir_;
+  FileId next_id_ = 1;
+  std::unordered_map<FileId, OpenFile> files_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_DISK_H_

@@ -1,0 +1,46 @@
+#ifndef ADAPTAGG_STORAGE_FAULTY_DISK_H_
+#define ADAPTAGG_STORAGE_FAULTY_DISK_H_
+
+#include "storage/disk.h"
+
+namespace adaptagg {
+
+/// A SimDisk with programmable failures, for exercising the engine's
+/// error paths: after the configured number of successful operations of
+/// a kind, every further operation of that kind fails with IOError. Used
+/// by the fault-injection tests; algorithms must surface these errors as
+/// Status (never hang or crash).
+class FaultySimDisk : public SimDisk {
+ public:
+  explicit FaultySimDisk(int page_size) : SimDisk(page_size) {}
+
+  /// Fail all reads after `n` more successful reads (-1 disables).
+  void FailReadsAfter(int64_t n) { reads_left_ = n; }
+  /// Fail all appends after `n` more successful appends (-1 disables).
+  void FailWritesAfter(int64_t n) { writes_left_ = n; }
+
+  Status ReadPage(FileId file, int64_t index,
+                  std::vector<uint8_t>& out) override {
+    if (reads_left_ == 0) {
+      return Status::IOError("injected read fault");
+    }
+    if (reads_left_ > 0) --reads_left_;
+    return SimDisk::ReadPage(file, index, out);
+  }
+
+  Status AppendPage(FileId file, const std::vector<uint8_t>& page) override {
+    if (writes_left_ == 0) {
+      return Status::IOError("injected write fault");
+    }
+    if (writes_left_ > 0) --writes_left_;
+    return SimDisk::AppendPage(file, page);
+  }
+
+ private:
+  int64_t reads_left_ = -1;
+  int64_t writes_left_ = -1;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_FAULTY_DISK_H_

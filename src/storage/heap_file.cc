@@ -1,0 +1,82 @@
+#include "storage/heap_file.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+HeapFile::HeapFile(Disk* disk, const Schema* schema, FileId file)
+    : disk_(disk),
+      schema_(schema),
+      file_(file),
+      builder_(std::make_unique<PageBuilder>(disk->page_size(),
+                                             schema->tuple_size())) {}
+
+Result<HeapFile> HeapFile::Create(Disk* disk, const Schema* schema,
+                                  const std::string& name) {
+  ADAPTAGG_ASSIGN_OR_RETURN(FileId id, disk->CreateFile(name));
+  return HeapFile(disk, schema, id);
+}
+
+Status HeapFile::Append(const TupleView& tuple) {
+  return AppendRaw(tuple.data());
+}
+
+Status HeapFile::AppendRaw(const uint8_t* record) {
+  builder_->Append(record);
+  ++num_tuples_;
+  if (builder_->full()) {
+    ADAPTAGG_RETURN_IF_ERROR(disk_->AppendPage(file_, builder_->Finish()));
+    ++num_pages_;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Flush() {
+  if (!builder_->empty()) {
+    ADAPTAGG_RETURN_IF_ERROR(disk_->AppendPage(file_, builder_->Finish()));
+    ++num_pages_;
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Drop() { return disk_->DeleteFile(file_); }
+
+// ---------------------------------------------------------------------------
+
+HeapFileScanner::HeapFileScanner(const HeapFile* file) : file_(file) {}
+
+bool HeapFileScanner::LoadPage(int64_t index) {
+  if (!status_.ok() || index >= file_->num_pages()) return false;
+  Status st = file_->disk()->ReadPage(file_->file_id(), index, page_bytes_);
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  PageReader reader(page_bytes_.data(), file_->disk()->page_size(),
+                    file_->schema().tuple_size());
+  records_in_page_ = reader.count();
+  record_in_page_ = 0;
+  next_page_ = index + 1;
+  ++pages_read_;
+  return true;
+}
+
+TupleView HeapFileScanner::Next() {
+  while (record_in_page_ >= records_in_page_) {
+    if (!LoadPage(next_page_)) return TupleView();
+  }
+  PageReader reader(page_bytes_.data(), file_->disk()->page_size(),
+                    file_->schema().tuple_size());
+  const uint8_t* rec = reader.record(record_in_page_++);
+  return TupleView(rec, &file_->schema());
+}
+
+Status HeapFileScanner::SeekToPage(int64_t index) {
+  if (index < 0 || index >= file_->num_pages()) {
+    return Status::OutOfRange("SeekToPage " + std::to_string(index));
+  }
+  LoadPage(index);
+  return status_;
+}
+
+}  // namespace adaptagg

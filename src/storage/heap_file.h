@@ -1,0 +1,85 @@
+#ifndef ADAPTAGG_STORAGE_HEAP_FILE_H_
+#define ADAPTAGG_STORAGE_HEAP_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/tuple.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace adaptagg {
+
+/// A heap file: an unordered, paged sequence of fixed-width tuples of one
+/// schema, stored on a Disk. This is the on-"disk" representation of one
+/// node's partition of a relation.
+class HeapFile {
+ public:
+  /// Creates a new empty heap file on `disk`. `disk` and `schema` must
+  /// outlive the HeapFile.
+  static Result<HeapFile> Create(Disk* disk, const Schema* schema,
+                                 const std::string& name);
+
+  int64_t num_tuples() const { return num_tuples_; }
+  int64_t num_pages() const { return num_pages_; }
+  const Schema& schema() const { return *schema_; }
+  Disk* disk() const { return disk_; }
+  FileId file_id() const { return file_; }
+
+  /// Appends one tuple (buffered; call Flush() when done loading).
+  Status Append(const TupleView& tuple);
+  Status AppendRaw(const uint8_t* record);
+
+  /// Writes out any partially-filled page.
+  Status Flush();
+
+  /// Deletes the underlying file.
+  Status Drop();
+
+ private:
+  HeapFile(Disk* disk, const Schema* schema, FileId file);
+
+  Disk* disk_;
+  const Schema* schema_;
+  FileId file_;
+  int64_t num_tuples_ = 0;
+  int64_t num_pages_ = 0;
+  std::unique_ptr<PageBuilder> builder_;
+};
+
+/// Sequentially scans a HeapFile page by page, yielding tuple views.
+/// Reading a page performs (and counts) one disk read.
+class HeapFileScanner {
+ public:
+  explicit HeapFileScanner(const HeapFile* file);
+
+  /// Advances to the next tuple; returns an invalid view at end of file
+  /// or on a disk error — distinguish by checking status().
+  TupleView Next();
+
+  /// OK unless a page read failed; once non-OK the scanner stays ended.
+  const Status& status() const { return status_; }
+
+  /// Reads page `index` (random access) and positions the scanner at its
+  /// first tuple. Used by page-oriented sampling.
+  Status SeekToPage(int64_t index);
+
+  int64_t pages_read() const { return pages_read_; }
+
+ private:
+  bool LoadPage(int64_t index);
+
+  const HeapFile* file_;
+  std::vector<uint8_t> page_bytes_;
+  Status status_;
+  int64_t next_page_ = 0;
+  int record_in_page_ = 0;
+  int records_in_page_ = 0;
+  int64_t pages_read_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_HEAP_FILE_H_

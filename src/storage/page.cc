@@ -1,0 +1,47 @@
+#include "storage/page.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+PageBuilder::PageBuilder(int page_size, int record_size)
+    : page_size_(page_size),
+      record_size_(record_size),
+      capacity_(Capacity(page_size, record_size)),
+      bytes_(static_cast<size_t>(page_size), 0) {
+  ADAPTAGG_CHECK(capacity_ > 0)
+      << "record size " << record_size << " too large for page size "
+      << page_size;
+}
+
+int PageBuilder::Capacity(int page_size, int record_size) {
+  return (page_size - static_cast<int>(sizeof(uint32_t))) / record_size;
+}
+
+void PageBuilder::Append(const uint8_t* data) {
+  ADAPTAGG_DCHECK(!full());
+  uint8_t* dst = bytes_.data() + sizeof(uint32_t) +
+                 static_cast<size_t>(count_) * static_cast<size_t>(record_size_);
+  std::memcpy(dst, data, static_cast<size_t>(record_size_));
+  ++count_;
+}
+
+std::vector<uint8_t> PageBuilder::Finish() {
+  uint32_t n = static_cast<uint32_t>(count_);
+  std::memcpy(bytes_.data(), &n, sizeof(n));
+  std::vector<uint8_t> out = std::move(bytes_);
+  bytes_.assign(static_cast<size_t>(page_size_), 0);
+  count_ = 0;
+  return out;
+}
+
+PageReader::PageReader(const uint8_t* page, int page_size, int record_size)
+    : page_(page), record_size_(record_size) {
+  uint32_t n;
+  std::memcpy(&n, page, sizeof(n));
+  count_ = static_cast<int>(n);
+  ADAPTAGG_CHECK(count_ <= PageBuilder::Capacity(page_size, record_size))
+      << "corrupt page header: " << count_ << " records";
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,66 @@
+#ifndef ADAPTAGG_STORAGE_PAGE_H_
+#define ADAPTAGG_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace adaptagg {
+
+/// Default relation page size (Table 1: P = 4 KB).
+inline constexpr int kDefaultPageSize = 4096;
+
+/// A page of fixed-width records:
+///   [uint32 record_count][record 0][record 1]...
+/// Records never span pages. Pages are plain byte vectors so they can move
+/// through disks and network messages without translation.
+class PageBuilder {
+ public:
+  /// `record_size` is the fixed width of each record in bytes.
+  PageBuilder(int page_size, int record_size);
+
+  /// Max records a page of `page_size` can hold.
+  static int Capacity(int page_size, int record_size);
+
+  bool full() const { return count_ >= capacity_; }
+  int count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Appends one record (must not be full). `data` must be record_size
+  /// bytes.
+  void Append(const uint8_t* data);
+
+  /// Finishes the page: writes the header and returns the bytes (the
+  /// builder is reset for reuse). The returned vector always has
+  /// `page_size` bytes.
+  std::vector<uint8_t> Finish();
+
+ private:
+  int page_size_;
+  int record_size_;
+  int capacity_;
+  int count_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+/// Reads records back out of a page produced by PageBuilder.
+class PageReader {
+ public:
+  PageReader(const uint8_t* page, int page_size, int record_size);
+
+  int count() const { return count_; }
+  /// Pointer to record `i` (0 <= i < count()).
+  const uint8_t* record(int i) const {
+    return page_ + sizeof(uint32_t) +
+           static_cast<size_t>(i) * static_cast<size_t>(record_size_);
+  }
+
+ private:
+  const uint8_t* page_;
+  int record_size_;
+  int count_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_PAGE_H_

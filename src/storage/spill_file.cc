@@ -1,0 +1,89 @@
+#include "storage/spill_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+SpillWriter::SpillWriter(Disk* disk, FileId file, int raw_width,
+                         int partial_width)
+    : disk_(disk),
+      file_(file),
+      raw_width_(raw_width),
+      partial_width_(partial_width),
+      page_(static_cast<size_t>(disk->page_size()), 0),
+      offset_(sizeof(uint32_t)) {}
+
+Result<SpillWriter> SpillWriter::Create(Disk* disk, const std::string& name,
+                                        int raw_width, int partial_width) {
+  ADAPTAGG_ASSIGN_OR_RETURN(FileId id, disk->CreateFile(name));
+  return SpillWriter(disk, id, raw_width, partial_width);
+}
+
+Status SpillWriter::Append(SpillTag tag, const uint8_t* record) {
+  int width = WidthOf(tag);
+  ADAPTAGG_CHECK(width > 0) << "spill append with unconfigured tag";
+  int frame = 1 + width;
+  ADAPTAGG_CHECK(frame + static_cast<int>(sizeof(uint32_t)) <=
+                 disk_->page_size())
+      << "spill record larger than a page";
+  if (offset_ + frame > disk_->page_size()) {
+    ADAPTAGG_RETURN_IF_ERROR(Flush());
+  }
+  page_[static_cast<size_t>(offset_)] = static_cast<uint8_t>(tag);
+  std::memcpy(page_.data() + offset_ + 1, record,
+              static_cast<size_t>(width));
+  offset_ += frame;
+  ++frames_in_page_;
+  ++num_records_;
+  return Status::OK();
+}
+
+Status SpillWriter::Flush() {
+  if (frames_in_page_ == 0) return Status::OK();
+  std::memcpy(page_.data(), &frames_in_page_, sizeof(frames_in_page_));
+  ADAPTAGG_RETURN_IF_ERROR(disk_->AppendPage(file_, page_));
+  ++num_pages_;
+  std::fill(page_.begin(), page_.end(), 0);
+  offset_ = sizeof(uint32_t);
+  frames_in_page_ = 0;
+  return Status::OK();
+}
+
+Status SpillWriter::Drop() { return disk_->DeleteFile(file_); }
+
+// ---------------------------------------------------------------------------
+
+SpillReader::SpillReader(const SpillWriter* writer) : writer_(writer) {}
+
+bool SpillReader::LoadPage(int64_t index) {
+  if (!status_.ok() || index >= writer_->num_pages()) return false;
+  Status st =
+      writer_->disk()->ReadPage(writer_->file_id(), index, page_bytes_);
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  std::memcpy(&frames_in_page_, page_bytes_.data(), sizeof(frames_in_page_));
+  frame_in_page_ = 0;
+  offset_ = sizeof(uint32_t);
+  next_page_ = index + 1;
+  ++pages_read_;
+  return true;
+}
+
+bool SpillReader::Next(SpillTag* tag, const uint8_t** record) {
+  while (frame_in_page_ >= frames_in_page_) {
+    if (!LoadPage(next_page_)) return false;
+  }
+  *tag = static_cast<SpillTag>(page_bytes_[static_cast<size_t>(offset_)]);
+  *record = page_bytes_.data() + offset_ + 1;
+  int width = (*tag == SpillTag::kRaw) ? writer_->raw_width()
+                                       : writer_->partial_width();
+  offset_ += 1 + width;
+  ++frame_in_page_;
+  return true;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,95 @@
+#ifndef ADAPTAGG_STORAGE_SPILL_FILE_H_
+#define ADAPTAGG_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk.h"
+
+namespace adaptagg {
+
+/// Tag of a spilled record. Aggregation overflow buckets can contain a mix
+/// of raw (projected input) tuples and partial-aggregate tuples — e.g. in
+/// the Adaptive Two Phase global phase — so every spilled record carries a
+/// one-byte tag.
+enum class SpillTag : uint8_t { kRaw = 0, kPartial = 1 };
+
+/// Writes tagged fixed-width records to a spill file on a Disk, packed
+/// into pages:
+///   page := [uint32 frame_count] ([uint8 tag][record bytes])*
+/// Records never span pages. The raw and partial record widths are fixed
+/// per writer.
+class SpillWriter {
+ public:
+  /// Creates the backing file. Widths are in bytes; a width of 0 means the
+  /// corresponding tag is never written.
+  static Result<SpillWriter> Create(Disk* disk, const std::string& name,
+                                    int raw_width, int partial_width);
+
+  /// Appends one record of the given tag.
+  Status Append(SpillTag tag, const uint8_t* record);
+
+  /// Flushes the trailing partial page.
+  Status Flush();
+
+  int64_t num_records() const { return num_records_; }
+  int64_t num_pages() const { return num_pages_; }
+  FileId file_id() const { return file_; }
+  Disk* disk() const { return disk_; }
+  int raw_width() const { return raw_width_; }
+  int partial_width() const { return partial_width_; }
+
+  /// Deletes the backing file (after the bucket has been consumed).
+  Status Drop();
+
+ private:
+  SpillWriter(Disk* disk, FileId file, int raw_width, int partial_width);
+
+  int WidthOf(SpillTag tag) const {
+    return tag == SpillTag::kRaw ? raw_width_ : partial_width_;
+  }
+
+  Disk* disk_;
+  FileId file_;
+  int raw_width_;
+  int partial_width_;
+  std::vector<uint8_t> page_;
+  int offset_ = 0;
+  uint32_t frames_in_page_ = 0;
+  int64_t num_records_ = 0;
+  int64_t num_pages_ = 0;
+};
+
+/// Sequentially reads back a flushed spill file.
+class SpillReader {
+ public:
+  explicit SpillReader(const SpillWriter* writer);
+
+  /// Returns the next record, or false at end of file or on a disk error
+  /// — distinguish by checking status(). `*tag` and `*record` are valid
+  /// until the following Next() call.
+  bool Next(SpillTag* tag, const uint8_t** record);
+
+  /// OK unless a page read failed.
+  const Status& status() const { return status_; }
+
+  int64_t pages_read() const { return pages_read_; }
+
+ private:
+  bool LoadPage(int64_t index);
+
+  const SpillWriter* writer_;
+  std::vector<uint8_t> page_bytes_;
+  Status status_;
+  int64_t next_page_ = 0;
+  uint32_t frames_in_page_ = 0;
+  uint32_t frame_in_page_ = 0;
+  int offset_ = 0;
+  int64_t pages_read_ = 0;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_SPILL_FILE_H_

@@ -1,0 +1,84 @@
+#include "workload/distributions.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+std::string GroupDistributionToString(GroupDistribution d) {
+  switch (d) {
+    case GroupDistribution::kUniform:
+      return "uniform";
+    case GroupDistribution::kZipf:
+      return "zipf";
+    case GroupDistribution::kSequential:
+      return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), prng_(seed) {
+  ADAPTAGG_CHECK(n > 0) << "zipf needs a positive domain";
+  ADAPTAGG_CHECK(theta >= 0 && theta < 1.0)
+      << "zipf theta must be in [0, 1)";
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(std::min<uint64_t>(2, n), theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  threshold_ = 1.0 + std::pow(0.5, theta);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = prng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < threshold_) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+GroupIdSource::GroupIdSource(GroupDistribution distribution,
+                             uint64_t num_groups, double zipf_theta,
+                             uint64_t seed)
+    : distribution_(distribution),
+      num_groups_(num_groups),
+      prng_(seed) {
+  ADAPTAGG_CHECK(num_groups > 0) << "need at least one group";
+  if (distribution == GroupDistribution::kZipf) {
+    zipf_.emplace_back(num_groups, zipf_theta, seed ^ 0x51f7);
+  }
+}
+
+uint64_t GroupIdSource::Next() {
+  switch (distribution_) {
+    case GroupDistribution::kUniform:
+      return prng_.NextBelow(num_groups_);
+    case GroupDistribution::kZipf:
+      return zipf_[0].Next();
+    case GroupDistribution::kSequential: {
+      uint64_t g = sequential_next_;
+      sequential_next_ = (sequential_next_ + 1) % num_groups_;
+      return g;
+    }
+  }
+  return 0;
+}
+
+}  // namespace adaptagg

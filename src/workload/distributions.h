@@ -1,0 +1,65 @@
+#ifndef ADAPTAGG_WORKLOAD_DISTRIBUTIONS_H_
+#define ADAPTAGG_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace adaptagg {
+
+/// How group ids are drawn for generated tuples.
+enum class GroupDistribution {
+  /// Uniform over [0, num_groups).
+  kUniform = 0,
+  /// Zipf(theta) over [0, num_groups): a few heavy groups, a long tail.
+  kZipf,
+  /// Round-robin 0,1,...,G-1,0,1,... — exact group sizes, useful for
+  /// deterministic tests.
+  kSequential,
+};
+
+std::string GroupDistributionToString(GroupDistribution d);
+
+/// Zipfian generator over [0, n) with skew parameter `theta` in [0, 1)
+/// (0 = uniform), using the Gray et al. rejection-free inversion
+/// approximation with a precomputed normalization constant.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold_;  // probability mass of item 1
+  Prng prng_;
+};
+
+/// Draws one group id per call according to the configured distribution.
+class GroupIdSource {
+ public:
+  GroupIdSource(GroupDistribution distribution, uint64_t num_groups,
+                double zipf_theta, uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  GroupDistribution distribution_;
+  uint64_t num_groups_;
+  uint64_t sequential_next_ = 0;
+  Prng prng_;
+  std::vector<ZipfGenerator> zipf_;  // 0 or 1 elements
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_WORKLOAD_DISTRIBUTIONS_H_

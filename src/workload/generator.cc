@@ -1,0 +1,123 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+Schema MakeBenchSchema(int tuple_bytes) {
+  ADAPTAGG_CHECK(tuple_bytes >= 16)
+      << "bench tuples need at least 16 bytes";
+  std::vector<Field> fields;
+  fields.push_back({"g", DataType::kInt64, 8});
+  fields.push_back({"v", DataType::kInt64, 8});
+  if (tuple_bytes > 16) {
+    fields.push_back({"pad", DataType::kBytes, tuple_bytes - 16});
+  }
+  return Schema(std::move(fields));
+}
+
+namespace {
+
+/// A deterministic, group-and-index dependent measure so that SUM/AVG/
+/// MIN/MAX all produce nontrivial values that the reference oracle can
+/// recompute.
+int64_t MeasureOf(uint64_t group, int64_t index) {
+  return static_cast<int64_t>((group * 1000003ULL +
+                               static_cast<uint64_t>(index) * 37ULL) %
+                              100000ULL);
+}
+
+}  // namespace
+
+Result<PartitionedRelation> GenerateRelation(const WorkloadSpec& spec) {
+  if (spec.num_nodes <= 0 || spec.num_tuples < 0) {
+    return Status::InvalidArgument("bad workload spec");
+  }
+  if (spec.num_groups <= 0 || spec.num_groups > spec.num_tuples) {
+    return Status::InvalidArgument(
+        "num_groups must be in [1, num_tuples]");
+  }
+  if (spec.input_skew_factor < 1.0 || spec.input_skew_nodes < 0 ||
+      spec.input_skew_nodes > spec.num_nodes) {
+    return Status::InvalidArgument("bad input skew");
+  }
+
+  Schema schema = MakeBenchSchema(spec.tuple_bytes);
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      PartitionedRelation rel,
+      PartitionedRelation::Create(schema, spec.num_nodes, spec.page_size));
+  const Schema& s = rel.schema();
+
+  // Per-node quotas. With input skew, skewed nodes weigh `factor`, the
+  // rest weigh 1.
+  std::vector<int64_t> quota(static_cast<size_t>(spec.num_nodes), 0);
+  {
+    double total_weight =
+        spec.input_skew_factor * spec.input_skew_nodes +
+        1.0 * (spec.num_nodes - spec.input_skew_nodes);
+    int64_t assigned = 0;
+    for (int i = 0; i < spec.num_nodes; ++i) {
+      double w = i < spec.input_skew_nodes ? spec.input_skew_factor : 1.0;
+      quota[static_cast<size_t>(i)] = static_cast<int64_t>(
+          std::floor(static_cast<double>(spec.num_tuples) * w /
+                     total_weight));
+      assigned += quota[static_cast<size_t>(i)];
+    }
+    // Distribute rounding remainder round-robin.
+    for (int i = 0; assigned < spec.num_tuples; ++assigned, ++i) {
+      ++quota[static_cast<size_t>(i % spec.num_nodes)];
+    }
+  }
+
+  GroupIdSource groups(spec.distribution,
+                       static_cast<uint64_t>(spec.num_groups),
+                       spec.zipf_theta, spec.seed);
+  Prng placement_prng(spec.seed ^ 0x91aceULL);
+  TupleBuffer tuple(&s);
+
+  int rr_node = 0;
+  for (int64_t i = 0; i < spec.num_tuples; ++i) {
+    uint64_t g = groups.Next();
+    tuple.SetInt64(kBenchGroupCol, static_cast<int64_t>(g));
+    tuple.SetInt64(kBenchValueCol, MeasureOf(g, i));
+
+    int node = 0;
+    switch (spec.placement) {
+      case Placement::kRoundRobin: {
+        // Cycle over nodes with remaining quota.
+        int tries = 0;
+        while (quota[static_cast<size_t>(rr_node)] == 0 &&
+               tries++ < spec.num_nodes) {
+          rr_node = (rr_node + 1) % spec.num_nodes;
+        }
+        node = rr_node;
+        rr_node = (rr_node + 1) % spec.num_nodes;
+        break;
+      }
+      case Placement::kHashOnGroup:
+        node = static_cast<int>(SplitMix64(g ^ 0x9e37) %
+                                static_cast<uint64_t>(spec.num_nodes));
+        break;
+      case Placement::kRandom:
+        node = static_cast<int>(placement_prng.NextBelow(
+            static_cast<uint64_t>(spec.num_nodes)));
+        break;
+    }
+    // Hash/random placement ignores quotas (input skew only applies to
+    // round-robin, as in §6.1).
+    if (spec.placement == Placement::kRoundRobin) {
+      --quota[static_cast<size_t>(node)];
+    }
+    ADAPTAGG_RETURN_IF_ERROR(rel.Append(node, tuple.view()));
+  }
+  ADAPTAGG_RETURN_IF_ERROR(rel.Flush());
+  return rel;
+}
+
+Result<AggregationSpec> MakeBenchQuery(const Schema* schema) {
+  return MakeCountSumSpec(schema, kBenchGroupCol, kBenchValueCol);
+}
+
+}  // namespace adaptagg

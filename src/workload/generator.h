@@ -1,0 +1,63 @@
+#ifndef ADAPTAGG_WORKLOAD_GENERATOR_H_
+#define ADAPTAGG_WORKLOAD_GENERATOR_H_
+
+#include "agg/agg_spec.h"
+#include "storage/partitioned_relation.h"
+#include "workload/distributions.h"
+
+namespace adaptagg {
+
+/// How generated tuples are placed onto nodes.
+enum class Placement {
+  /// Round-robin, as in the paper's implementation (§5).
+  kRoundRobin = 0,
+  /// Hash of the group attribute (pre-clustered by group).
+  kHashOnGroup,
+  /// Uniformly random node.
+  kRandom,
+};
+
+/// Parameters of a synthetic benchmark relation. The schema is the
+/// paper's 100-byte tuple: (g:int64 group key, v:int64 measure, padding).
+struct WorkloadSpec {
+  int num_nodes = 8;
+  int64_t num_tuples = 2'000'000;
+  int64_t num_groups = 1'000;
+  int tuple_bytes = 100;  ///< >= 16 (two int64 columns + padding)
+  GroupDistribution distribution = GroupDistribution::kUniform;
+  double zipf_theta = 0.0;
+  Placement placement = Placement::kRoundRobin;
+  /// Input skew (§6.1): the first `input_skew_nodes` nodes receive
+  /// `input_skew_factor` times the tuples of a non-skewed node
+  /// (factor 1.0 = uniform).
+  double input_skew_factor = 1.0;
+  int input_skew_nodes = 1;
+  uint64_t seed = 12345;
+  int page_size = kDefaultPageSize;
+
+  /// Grouping selectivity S = num_groups / num_tuples.
+  double selectivity() const {
+    return static_cast<double>(num_groups) /
+           static_cast<double>(num_tuples);
+  }
+};
+
+/// The (g, v, pad) benchmark schema of `tuple_bytes` total width.
+Schema MakeBenchSchema(int tuple_bytes);
+
+/// Indices of the group and value columns in MakeBenchSchema results.
+inline constexpr int kBenchGroupCol = 0;
+inline constexpr int kBenchValueCol = 1;
+
+/// Generates a partitioned relation per `spec`. Deterministic in
+/// spec.seed. The measure column is a function of the group id and the
+/// tuple index so every aggregate exercises real arithmetic.
+Result<PartitionedRelation> GenerateRelation(const WorkloadSpec& spec);
+
+/// Convenience: the paper's canonical query over a generated relation
+/// (COUNT(*), SUM(v) GROUP BY g).
+Result<AggregationSpec> MakeBenchQuery(const Schema* schema);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,61 @@
+#include "workload/skew.h"
+
+#include "common/logging.h"
+
+namespace adaptagg {
+
+Result<PartitionedRelation> GenerateOutputSkewRelation(
+    const OutputSkewSpec& spec) {
+  if (spec.single_group_nodes < 0 ||
+      spec.single_group_nodes > spec.num_nodes) {
+    return Status::InvalidArgument("bad single_group_nodes");
+  }
+  if (spec.num_groups <= spec.single_group_nodes) {
+    return Status::InvalidArgument(
+        "need more groups than single-group nodes");
+  }
+  if (spec.single_group_nodes == spec.num_nodes) {
+    return Status::InvalidArgument("need at least one multi-group node");
+  }
+
+  Schema schema = MakeBenchSchema(spec.tuple_bytes);
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      PartitionedRelation rel,
+      PartitionedRelation::Create(schema, spec.num_nodes, spec.page_size));
+  const Schema& s = rel.schema();
+
+  const int64_t per_node = spec.num_tuples / spec.num_nodes;
+  const int64_t wide_groups =
+      spec.num_groups - spec.single_group_nodes;  // groups on busy nodes
+  Prng prng(spec.seed);
+  TupleBuffer tuple(&s);
+
+  int64_t index = 0;
+  for (int node = 0; node < spec.num_nodes; ++node) {
+    // Give any division remainder to the last node.
+    int64_t quota = node == spec.num_nodes - 1
+                        ? spec.num_tuples - per_node * (spec.num_nodes - 1)
+                        : per_node;
+    const bool single = node < spec.single_group_nodes;
+    for (int64_t t = 0; t < quota; ++t, ++index) {
+      uint64_t g;
+      if (single) {
+        // Group ids 0..single_group_nodes-1 are the one-group nodes.
+        g = static_cast<uint64_t>(node);
+      } else {
+        g = static_cast<uint64_t>(spec.single_group_nodes) +
+            prng.NextBelow(static_cast<uint64_t>(wide_groups));
+      }
+      tuple.SetInt64(kBenchGroupCol, static_cast<int64_t>(g));
+      tuple.SetInt64(kBenchValueCol,
+                     static_cast<int64_t>((g * 1000003ULL +
+                                           static_cast<uint64_t>(index)) %
+                                          100000ULL));
+      ADAPTAGG_RETURN_IF_ERROR(rel.Append(node, tuple.view()));
+    }
+  }
+  ADAPTAGG_RETURN_IF_ERROR(rel.Flush());
+  return rel;
+}
+
+}  // namespace adaptagg

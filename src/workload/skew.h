@@ -1,0 +1,35 @@
+#ifndef ADAPTAGG_WORKLOAD_SKEW_H_
+#define ADAPTAGG_WORKLOAD_SKEW_H_
+
+#include "workload/generator.h"
+
+namespace adaptagg {
+
+/// Output-skew workload (§6.2 and Figure 9): every node holds the same
+/// number of tuples, but groups are unevenly spread — the first
+/// `single_group_nodes` nodes each hold tuples of exactly one group, and
+/// the remaining `num_groups - single_group_nodes` groups are spread
+/// uniformly over the other nodes. The paper's Figure 9 uses 8 nodes with
+/// 4 single-group nodes.
+struct OutputSkewSpec {
+  int num_nodes = 8;
+  int single_group_nodes = 4;
+  int64_t num_tuples = 2'000'000;
+  int64_t num_groups = 1'000;  ///< must be > single_group_nodes
+  int tuple_bytes = 100;
+  uint64_t seed = 777;
+  int page_size = kDefaultPageSize;
+
+  double selectivity() const {
+    return static_cast<double>(num_groups) /
+           static_cast<double>(num_tuples);
+  }
+};
+
+/// Generates the Figure 9 layout. Uses MakeBenchSchema (g, v, pad).
+Result<PartitionedRelation> GenerateOutputSkewRelation(
+    const OutputSkewSpec& spec);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_WORKLOAD_SKEW_H_

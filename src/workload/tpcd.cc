@@ -1,0 +1,91 @@
+#include "workload/tpcd.h"
+
+#include "common/random.h"
+
+namespace adaptagg {
+
+Schema LineitemSchema() {
+  std::vector<Field> fields;
+  fields.push_back({"l_orderkey", DataType::kInt64, 8});
+  fields.push_back({"l_partkey", DataType::kInt64, 8});
+  fields.push_back({"l_suppkey", DataType::kInt64, 8});
+  fields.push_back({"l_quantity", DataType::kInt64, 8});
+  fields.push_back({"l_extendedprice", DataType::kDouble, 8});
+  fields.push_back({"l_discount", DataType::kDouble, 8});
+  fields.push_back({"l_tax", DataType::kDouble, 8});
+  fields.push_back({"l_returnflag", DataType::kBytes, 1});
+  fields.push_back({"l_linestatus", DataType::kBytes, 1});
+  fields.push_back({"l_shipdate", DataType::kInt64, 8});
+  return Schema(std::move(fields));
+}
+
+Result<PartitionedRelation> GenerateLineitem(const TpcdSpec& spec) {
+  Schema schema = LineitemSchema();
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      PartitionedRelation rel,
+      PartitionedRelation::Create(schema, spec.num_nodes, spec.page_size));
+  const Schema& s = rel.schema();
+
+  Prng prng(spec.seed);
+  TupleBuffer t(&s);
+  const int64_t num_orders = std::max<int64_t>(1, spec.num_rows / 4);
+  const int64_t num_parts = std::max<int64_t>(1, spec.num_rows / 30);
+  const int64_t num_supps = std::max<int64_t>(1, num_parts / 10);
+  static const char kFlags[] = {'A', 'N', 'R'};
+  static const char kStatus[] = {'O', 'F'};
+
+  for (int64_t i = 0; i < spec.num_rows; ++i) {
+    int64_t quantity = 1 + static_cast<int64_t>(prng.NextBelow(50));
+    double price = 900.0 + static_cast<double>(prng.NextBelow(104000)) / 1.04;
+    t.SetInt64(0, static_cast<int64_t>(
+                      prng.NextBelow(static_cast<uint64_t>(num_orders))));
+    t.SetInt64(1, static_cast<int64_t>(
+                      prng.NextBelow(static_cast<uint64_t>(num_parts))));
+    t.SetInt64(2, static_cast<int64_t>(
+                      prng.NextBelow(static_cast<uint64_t>(num_supps))));
+    t.SetInt64(3, quantity);
+    t.SetDouble(4, static_cast<double>(quantity) * price / 50.0);
+    t.SetDouble(5, static_cast<double>(prng.NextBelow(11)) / 100.0);
+    t.SetDouble(6, static_cast<double>(prng.NextBelow(9)) / 100.0);
+    t.SetBytes(7, std::string(1, kFlags[prng.NextBelow(3)]));
+    t.SetBytes(8, std::string(1, kStatus[prng.NextBelow(2)]));
+    t.SetInt64(9, 8400 + static_cast<int64_t>(prng.NextBelow(2557)));
+    int node = static_cast<int>(i % spec.num_nodes);  // round-robin
+    ADAPTAGG_RETURN_IF_ERROR(rel.Append(node, t.view()));
+  }
+  ADAPTAGG_RETURN_IF_ERROR(rel.Flush());
+  return rel;
+}
+
+Result<AggregationSpec> MakeQ1Query(const Schema* lineitem) {
+  ADAPTAGG_ASSIGN_OR_RETURN(int flag, lineitem->FieldIndex("l_returnflag"));
+  ADAPTAGG_ASSIGN_OR_RETURN(int status,
+                            lineitem->FieldIndex("l_linestatus"));
+  ADAPTAGG_ASSIGN_OR_RETURN(int qty, lineitem->FieldIndex("l_quantity"));
+  ADAPTAGG_ASSIGN_OR_RETURN(int price,
+                            lineitem->FieldIndex("l_extendedprice"));
+  ADAPTAGG_ASSIGN_OR_RETURN(int disc, lineitem->FieldIndex("l_discount"));
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kCount, -1, "count_order"});
+  aggs.push_back({AggKind::kSum, qty, "sum_qty"});
+  aggs.push_back({AggKind::kSum, price, "sum_base_price"});
+  aggs.push_back({AggKind::kAvg, qty, "avg_qty"});
+  aggs.push_back({AggKind::kAvg, disc, "avg_disc"});
+  return AggregationSpec::Make(lineitem, {flag, status}, std::move(aggs));
+}
+
+Result<AggregationSpec> MakeDistinctOrdersQuery(const Schema* lineitem) {
+  ADAPTAGG_ASSIGN_OR_RETURN(int okey, lineitem->FieldIndex("l_orderkey"));
+  return MakeDistinctSpec(lineitem, {okey});
+}
+
+Result<AggregationSpec> MakePerPartQuery(const Schema* lineitem) {
+  ADAPTAGG_ASSIGN_OR_RETURN(int pkey, lineitem->FieldIndex("l_partkey"));
+  ADAPTAGG_ASSIGN_OR_RETURN(int qty, lineitem->FieldIndex("l_quantity"));
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kCount, -1, "cnt"});
+  aggs.push_back({AggKind::kSum, qty, "sum_qty"});
+  return AggregationSpec::Make(lineitem, {pkey}, std::move(aggs));
+}
+
+}  // namespace adaptagg

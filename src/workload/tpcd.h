@@ -1,0 +1,54 @@
+#ifndef ADAPTAGG_WORKLOAD_TPCD_H_
+#define ADAPTAGG_WORKLOAD_TPCD_H_
+
+#include "agg/agg_spec.h"
+#include "storage/partitioned_relation.h"
+
+namespace adaptagg {
+
+/// A TPC-D-flavored lineitem generator. The paper motivates adaptive
+/// aggregation with TPC-D (§1: 15 of 17 queries aggregate; result sizes
+/// span 2 tuples to 1.4M). This is a simplified, fixed-width lineitem
+/// good enough to drive the same spread of grouping selectivities:
+///
+///   l_orderkey     int64   (~rows/4 distinct -> high selectivity)
+///   l_partkey      int64
+///   l_suppkey      int64
+///   l_quantity     int64   1..50
+///   l_extendedprice double
+///   l_discount     double  0.00..0.10
+///   l_tax          double  0.00..0.08
+///   l_returnflag   bytes1  {A, N, R}
+///   l_linestatus   bytes1  {O, F}
+///   l_shipdate     int64   days since epoch over ~7 years
+struct TpcdSpec {
+  int num_nodes = 8;
+  int64_t num_rows = 600'000;  ///< ~SF 0.0001 * 6M per unit
+  uint64_t seed = 19940301;
+  int page_size = kDefaultPageSize;
+};
+
+/// The fixed-width lineitem schema above.
+Schema LineitemSchema();
+
+/// Generates a round-robin partitioned lineitem.
+Result<PartitionedRelation> GenerateLineitem(const TpcdSpec& spec);
+
+/// TPC-D Q1-like pricing summary:
+///   SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity),
+///          SUM(l_extendedprice), AVG(l_quantity), AVG(l_discount)
+///   GROUP BY l_returnflag, l_linestatus
+/// Six groups — the "tiny result" end of the spectrum.
+Result<AggregationSpec> MakeQ1Query(const Schema* lineitem);
+
+/// A duplicate-elimination-flavored query at the other extreme:
+///   SELECT DISTINCT l_orderkey — result comparable to input size.
+Result<AggregationSpec> MakeDistinctOrdersQuery(const Schema* lineitem);
+
+/// Mid-range grouping: SELECT l_partkey, COUNT(*), SUM(l_quantity)
+/// GROUP BY l_partkey.
+Result<AggregationSpec> MakePerPartQuery(const Schema* lineitem);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_WORKLOAD_TPCD_H_

@@ -1,0 +1,173 @@
+#include "agg/agg_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace adaptagg {
+namespace {
+
+std::vector<uint8_t> Init(const AggregateOp& op) {
+  std::vector<uint8_t> state(static_cast<size_t>(op.state_width()));
+  op.InitState(state.data());
+  return state;
+}
+
+void UpdateI64(const AggregateOp& op, std::vector<uint8_t>& state,
+               int64_t v) {
+  op.UpdateRaw(state.data(), reinterpret_cast<const uint8_t*>(&v));
+}
+
+void UpdateF64(const AggregateOp& op, std::vector<uint8_t>& state,
+               double v) {
+  op.UpdateRaw(state.data(), reinterpret_cast<const uint8_t*>(&v));
+}
+
+TEST(AggregateOp, CountBasics) {
+  AggregateOp op(AggKind::kCount, DataType::kInt64);
+  EXPECT_EQ(op.state_width(), 8);
+  EXPECT_EQ(op.output_type(), DataType::kInt64);
+  auto state = Init(op);
+  for (int i = 0; i < 5; ++i) op.UpdateRaw(state.data(), nullptr);
+  EXPECT_EQ(op.Finalize(state.data()), Value(int64_t{5}));
+}
+
+TEST(AggregateOp, SumInt64) {
+  AggregateOp op(AggKind::kSum, DataType::kInt64);
+  auto state = Init(op);
+  UpdateI64(op, state, 10);
+  UpdateI64(op, state, -3);
+  UpdateI64(op, state, 100);
+  EXPECT_EQ(op.Finalize(state.data()), Value(int64_t{107}));
+}
+
+TEST(AggregateOp, SumDouble) {
+  AggregateOp op(AggKind::kSum, DataType::kDouble);
+  EXPECT_EQ(op.output_type(), DataType::kDouble);
+  auto state = Init(op);
+  UpdateF64(op, state, 0.5);
+  UpdateF64(op, state, 1.25);
+  EXPECT_DOUBLE_EQ(op.Finalize(state.data()).dbl(), 1.75);
+}
+
+TEST(AggregateOp, AvgInt64CarriesSumAndCount) {
+  AggregateOp op(AggKind::kAvg, DataType::kInt64);
+  EXPECT_EQ(op.state_width(), 16);
+  EXPECT_EQ(op.output_type(), DataType::kDouble);
+  auto state = Init(op);
+  UpdateI64(op, state, 1);
+  UpdateI64(op, state, 2);
+  UpdateI64(op, state, 6);
+  EXPECT_DOUBLE_EQ(op.Finalize(state.data()).dbl(), 3.0);
+}
+
+TEST(AggregateOp, AvgDouble) {
+  AggregateOp op(AggKind::kAvg, DataType::kDouble);
+  auto state = Init(op);
+  UpdateF64(op, state, 1.0);
+  UpdateF64(op, state, 2.0);
+  EXPECT_DOUBLE_EQ(op.Finalize(state.data()).dbl(), 1.5);
+}
+
+TEST(AggregateOp, MinMaxInt64) {
+  AggregateOp mn(AggKind::kMin, DataType::kInt64);
+  AggregateOp mx(AggKind::kMax, DataType::kInt64);
+  auto smin = Init(mn);
+  auto smax = Init(mx);
+  for (int64_t v : {5LL, -2LL, 8LL, 0LL}) {
+    UpdateI64(mn, smin, v);
+    UpdateI64(mx, smax, v);
+  }
+  EXPECT_EQ(mn.Finalize(smin.data()), Value(int64_t{-2}));
+  EXPECT_EQ(mx.Finalize(smax.data()), Value(int64_t{8}));
+}
+
+TEST(AggregateOp, MinMaxDouble) {
+  AggregateOp mn(AggKind::kMin, DataType::kDouble);
+  AggregateOp mx(AggKind::kMax, DataType::kDouble);
+  auto smin = Init(mn);
+  auto smax = Init(mx);
+  for (double v : {0.5, -1.5, 3.25}) {
+    UpdateF64(mn, smin, v);
+    UpdateF64(mx, smax, v);
+  }
+  EXPECT_DOUBLE_EQ(mn.Finalize(smin.data()).dbl(), -1.5);
+  EXPECT_DOUBLE_EQ(mx.Finalize(smax.data()).dbl(), 3.25);
+}
+
+// The decomposability property that two-phase aggregation rests on:
+// splitting a stream arbitrarily and merging partials must equal the
+// single-pass result.
+class MergeEquivalence
+    : public ::testing::TestWithParam<std::tuple<AggKind, DataType>> {};
+
+TEST_P(MergeEquivalence, SplitStreamEqualsSinglePass) {
+  auto [kind, type] = GetParam();
+  AggregateOp op(kind, type);
+
+  std::vector<int64_t> values = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, -7, 0};
+  for (size_t split = 0; split <= values.size(); ++split) {
+    auto whole = Init(op);
+    auto left = Init(op);
+    auto right = Init(op);
+    for (size_t i = 0; i < values.size(); ++i) {
+      auto& part = i < split ? left : right;
+      if (type == DataType::kInt64) {
+        UpdateI64(op, whole, values[i]);
+        UpdateI64(op, part, values[i]);
+      } else {
+        UpdateF64(op, whole, static_cast<double>(values[i]));
+        UpdateF64(op, part, static_cast<double>(values[i]));
+      }
+    }
+    op.MergePartial(left.data(), right.data());
+    EXPECT_EQ(op.Finalize(left.data()), op.Finalize(whole.data()))
+        << "split at " << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MergeEquivalence,
+    ::testing::Combine(::testing::Values(AggKind::kCount, AggKind::kSum,
+                                         AggKind::kAvg, AggKind::kMin,
+                                         AggKind::kMax),
+                       ::testing::Values(DataType::kInt64,
+                                         DataType::kDouble)),
+    [](const ::testing::TestParamInfo<std::tuple<AggKind, DataType>>& info) {
+      return AggKindToString(std::get<0>(info.param)) + "_" +
+             DataTypeToString(std::get<1>(info.param));
+    });
+
+TEST(AggregateOp, MergeWithEmptyPartialIsIdentity) {
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                       AggKind::kMin, AggKind::kMax}) {
+    AggregateOp op(kind, DataType::kInt64);
+    auto state = Init(op);
+    UpdateI64(op, state, 42);
+    auto empty = Init(op);
+    Value before = op.Finalize(state.data());
+    op.MergePartial(state.data(), empty.data());
+    EXPECT_EQ(op.Finalize(state.data()), before)
+        << AggKindToString(kind);
+  }
+}
+
+TEST(AggregateOp, FinalizeToWritesWireBytes) {
+  AggregateOp op(AggKind::kSum, DataType::kInt64);
+  auto state = Init(op);
+  UpdateI64(op, state, 11);
+  uint8_t out[8];
+  op.FinalizeTo(state.data(), out);
+  int64_t v;
+  std::memcpy(&v, out, 8);
+  EXPECT_EQ(v, 11);
+}
+
+TEST(AggKind, Names) {
+  EXPECT_EQ(AggKindToString(AggKind::kCount), "count");
+  EXPECT_EQ(AggKindToString(AggKind::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace adaptagg

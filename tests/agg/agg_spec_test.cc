@@ -1,0 +1,150 @@
+#include "agg/agg_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace adaptagg {
+namespace {
+
+Schema InputSchema() {
+  return Schema({{"g", DataType::kInt64, 8},
+                 {"tag", DataType::kBytes, 4},
+                 {"vi", DataType::kInt64, 8},
+                 {"vd", DataType::kDouble, 8}});
+}
+
+TEST(AggregationSpec, LayoutsForCountSum) {
+  Schema in = InputSchema();
+  auto spec = MakeCountSumSpec(&in, /*group_col=*/0, /*value_col=*/2);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->key_width(), 8);
+  // COUNT has no input slot; SUM(vi) adds one 8-byte slot.
+  EXPECT_EQ(spec->projected_width(), 16);
+  // COUNT state 8 + SUM state 8.
+  EXPECT_EQ(spec->state_width(), 16);
+  EXPECT_EQ(spec->partial_width(), 24);
+  EXPECT_EQ(spec->final_schema().num_fields(), 3);
+  EXPECT_EQ(spec->final_schema().field(0).name, "g");
+  EXPECT_EQ(spec->final_schema().field(1).name, "cnt");
+  EXPECT_EQ(spec->final_schema().field(2).name, "sum_v");
+}
+
+TEST(AggregationSpec, SharedInputColumnGetsOneSlot) {
+  Schema in = InputSchema();
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kSum, 2, "s"});
+  aggs.push_back({AggKind::kAvg, 2, "a"});
+  aggs.push_back({AggKind::kMin, 2, "m"});
+  auto spec = AggregationSpec::Make(&in, {0}, std::move(aggs));
+  ASSERT_TRUE(spec.ok());
+  // One shared slot for column 2 despite three aggregates.
+  EXPECT_EQ(spec->projected_width(), 8 + 8);
+  // States: sum 8 + avg 16 + min 16.
+  EXPECT_EQ(spec->state_width(), 40);
+}
+
+TEST(AggregationSpec, MultiColumnKeyIncludesBytes) {
+  Schema in = InputSchema();
+  auto spec = AggregationSpec::Make(
+      &in, {0, 1}, {{AggKind::kCount, -1, "c"}});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->key_width(), 12);
+  EXPECT_EQ(spec->projected_width(), 12);
+}
+
+TEST(AggregationSpec, DistinctHasNoState) {
+  Schema in = InputSchema();
+  auto spec = MakeDistinctSpec(&in, {0, 1});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->state_width(), 0);
+  EXPECT_EQ(spec->partial_width(), spec->key_width());
+  EXPECT_EQ(spec->final_schema().num_fields(), 2);
+}
+
+TEST(AggregationSpec, ValidationErrors) {
+  Schema in = InputSchema();
+  EXPECT_FALSE(AggregationSpec::Make(&in, {}, {}).ok());
+  EXPECT_FALSE(AggregationSpec::Make(&in, {9}, {}).ok());
+  EXPECT_FALSE(
+      AggregationSpec::Make(&in, {0}, {{AggKind::kSum, 99, "x"}}).ok());
+  // Aggregating a bytes column is rejected.
+  EXPECT_FALSE(
+      AggregationSpec::Make(&in, {0}, {{AggKind::kSum, 1, "x"}}).ok());
+  // COUNT(*) needs no input column even when -1.
+  EXPECT_TRUE(
+      AggregationSpec::Make(&in, {0}, {{AggKind::kCount, -1, "c"}}).ok());
+}
+
+TEST(AggregationSpec, ProjectUpdateFinalizeRoundtrip) {
+  Schema in = InputSchema();
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kCount, -1, "cnt"});
+  aggs.push_back({AggKind::kSum, 2, "si"});
+  aggs.push_back({AggKind::kAvg, 3, "ad"});
+  auto spec = AggregationSpec::Make(&in, {0}, std::move(aggs));
+  ASSERT_TRUE(spec.ok());
+
+  TupleBuffer t(&in);
+  std::vector<uint8_t> proj(static_cast<size_t>(spec->projected_width()));
+  std::vector<uint8_t> state(static_cast<size_t>(spec->state_width()));
+  spec->InitState(state.data());
+
+  for (int i = 1; i <= 4; ++i) {
+    t.SetInt64(0, 77);
+    t.SetInt64(2, i);
+    t.SetDouble(3, static_cast<double>(i) / 2);
+    spec->ProjectRaw(t.view(), proj.data());
+    spec->UpdateFromProjected(state.data(), proj.data());
+  }
+
+  std::vector<uint8_t> row(
+      static_cast<size_t>(spec->final_schema().tuple_size()));
+  spec->FinalizeRecord(spec->KeyOfProjected(proj.data()), state.data(),
+                       row.data());
+  TupleView out(row.data(), &spec->final_schema());
+  EXPECT_EQ(out.GetInt64(0), 77);
+  EXPECT_EQ(out.GetInt64(1), 4);                 // count
+  EXPECT_EQ(out.GetInt64(2), 10);                // sum 1..4
+  EXPECT_DOUBLE_EQ(out.GetDouble(3), 1.25);      // avg of 0.5..2.0
+}
+
+TEST(AggregationSpec, MergeStateEqualsSequentialUpdates) {
+  Schema in = InputSchema();
+  auto spec = MakeCountSumSpec(&in, 0, 2);
+  ASSERT_TRUE(spec.ok());
+
+  TupleBuffer t(&in);
+  std::vector<uint8_t> proj(static_cast<size_t>(spec->projected_width()));
+  std::vector<uint8_t> a(static_cast<size_t>(spec->state_width()));
+  std::vector<uint8_t> b(static_cast<size_t>(spec->state_width()));
+  std::vector<uint8_t> whole(static_cast<size_t>(spec->state_width()));
+  spec->InitState(a.data());
+  spec->InitState(b.data());
+  spec->InitState(whole.data());
+
+  for (int i = 0; i < 10; ++i) {
+    t.SetInt64(0, 1);
+    t.SetInt64(2, i);
+    spec->ProjectRaw(t.view(), proj.data());
+    spec->UpdateFromProjected(i < 6 ? a.data() : b.data(), proj.data());
+    spec->UpdateFromProjected(whole.data(), proj.data());
+  }
+  spec->MergeState(a.data(), b.data());
+  EXPECT_EQ(std::memcmp(a.data(), whole.data(), a.size()), 0);
+}
+
+TEST(AggregationSpec, HashKeyStableAndDiscriminating) {
+  Schema in = InputSchema();
+  auto spec = MakeCountSumSpec(&in, 0, 2);
+  ASSERT_TRUE(spec.ok());
+  int64_t k1 = 42, k2 = 43;
+  uint64_t h1 = spec->HashKey(reinterpret_cast<uint8_t*>(&k1));
+  uint64_t h1b = spec->HashKey(reinterpret_cast<uint8_t*>(&k1));
+  uint64_t h2 = spec->HashKey(reinterpret_cast<uint8_t*>(&k2));
+  EXPECT_EQ(h1, h1b);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace adaptagg

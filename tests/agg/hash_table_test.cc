@@ -1,0 +1,173 @@
+#include "agg/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+namespace adaptagg {
+namespace {
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  HashTableTest() : schema_(MakeSchema()) {
+    auto spec = MakeCountSumSpec(&schema_, 0, 1);
+    EXPECT_TRUE(spec.ok());
+    spec_ = std::make_unique<AggregationSpec>(std::move(spec).value());
+  }
+
+  static Schema MakeSchema() {
+    return Schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+  }
+
+  // Builds a projected record (g, v).
+  std::vector<uint8_t> Proj(int64_t g, int64_t v) {
+    std::vector<uint8_t> p(16);
+    std::memcpy(p.data(), &g, 8);
+    std::memcpy(p.data() + 8, &v, 8);
+    return p;
+  }
+
+  uint64_t Hash(int64_t g) {
+    return spec_->HashKey(reinterpret_cast<uint8_t*>(&g));
+  }
+
+  Schema schema_;
+  std::unique_ptr<AggregationSpec> spec_;
+};
+
+TEST_F(HashTableTest, InsertThenUpdate) {
+  AggHashTable table(spec_.get(), 100);
+  auto p = Proj(7, 3);
+  EXPECT_EQ(table.UpsertProjected(p.data(), Hash(7)),
+            AggHashTable::UpsertResult::kInserted);
+  EXPECT_EQ(table.size(), 1);
+  p = Proj(7, 4);
+  EXPECT_EQ(table.UpsertProjected(p.data(), Hash(7)),
+            AggHashTable::UpsertResult::kUpdated);
+  EXPECT_EQ(table.size(), 1);
+
+  const uint8_t* state = table.Find(reinterpret_cast<const uint8_t*>(&p[0]),
+                                    Hash(7));
+  ASSERT_NE(state, nullptr);
+  int64_t count, sum;
+  std::memcpy(&count, state, 8);
+  std::memcpy(&sum, state + 8, 8);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sum, 7);
+}
+
+TEST_F(HashTableTest, RefusesBeyondMaxEntries) {
+  AggHashTable table(spec_.get(), 4);
+  for (int64_t g = 0; g < 4; ++g) {
+    auto p = Proj(g, 1);
+    EXPECT_EQ(table.UpsertProjected(p.data(), Hash(g)),
+              AggHashTable::UpsertResult::kInserted);
+  }
+  EXPECT_TRUE(table.full());
+  auto p = Proj(99, 1);
+  EXPECT_EQ(table.UpsertProjected(p.data(), Hash(99)),
+            AggHashTable::UpsertResult::kFull);
+  EXPECT_EQ(table.size(), 4);
+  // Existing groups still update while full.
+  p = Proj(2, 5);
+  EXPECT_EQ(table.UpsertProjected(p.data(), Hash(2)),
+            AggHashTable::UpsertResult::kUpdated);
+}
+
+TEST_F(HashTableTest, FindMissReturnsNull) {
+  AggHashTable table(spec_.get(), 8);
+  int64_t g = 123;
+  EXPECT_EQ(table.Find(reinterpret_cast<uint8_t*>(&g), Hash(g)), nullptr);
+}
+
+TEST_F(HashTableTest, ForEachVisitsAllOnce) {
+  AggHashTable table(spec_.get(), 1000);
+  for (int64_t g = 0; g < 500; ++g) {
+    auto p = Proj(g, g);
+    table.UpsertProjected(p.data(), Hash(g));
+  }
+  std::map<int64_t, int> seen;
+  table.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    int64_t g;
+    std::memcpy(&g, key, 8);
+    ++seen[g];
+    int64_t count;
+    std::memcpy(&count, state, 8);
+    EXPECT_EQ(count, 1);
+  });
+  EXPECT_EQ(seen.size(), 500u);
+  for (const auto& [g, n] : seen) {
+    EXPECT_EQ(n, 1) << g;
+  }
+}
+
+TEST_F(HashTableTest, ClearEmptiesButKeepsCapacity) {
+  AggHashTable table(spec_.get(), 16);
+  for (int64_t g = 0; g < 16; ++g) {
+    auto p = Proj(g, 1);
+    table.UpsertProjected(p.data(), Hash(g));
+  }
+  EXPECT_TRUE(table.full());
+  table.Clear();
+  EXPECT_EQ(table.size(), 0);
+  EXPECT_FALSE(table.full());
+  // Reusable after clear, and old keys are gone.
+  auto p = Proj(3, 9);
+  EXPECT_EQ(table.UpsertProjected(p.data(), Hash(3)),
+            AggHashTable::UpsertResult::kInserted);
+}
+
+TEST_F(HashTableTest, ManyGroupsProbeCorrectly) {
+  // Enough keys to force probe chains; verify exact counts per group.
+  AggHashTable table(spec_.get(), 10'000);
+  for (int round = 0; round < 3; ++round) {
+    for (int64_t g = 0; g < 5'000; ++g) {
+      auto p = Proj(g, 1);
+      auto r = table.UpsertProjected(p.data(), Hash(g));
+      ASSERT_NE(r, AggHashTable::UpsertResult::kFull);
+    }
+  }
+  EXPECT_EQ(table.size(), 5'000);
+  table.ForEach([&](const uint8_t*, const uint8_t* state) {
+    int64_t count;
+    std::memcpy(&count, state, 8);
+    EXPECT_EQ(count, 3);
+  });
+}
+
+TEST_F(HashTableTest, PartialUpsertMerges) {
+  AggHashTable table(spec_.get(), 8);
+  // Partial record: key + (count, sum).
+  std::vector<uint8_t> partial(24);
+  int64_t g = 5, count = 3, sum = 30;
+  std::memcpy(partial.data(), &g, 8);
+  std::memcpy(partial.data() + 8, &count, 8);
+  std::memcpy(partial.data() + 16, &sum, 8);
+  EXPECT_EQ(table.UpsertPartial(partial.data(), Hash(5)),
+            AggHashTable::UpsertResult::kInserted);
+  EXPECT_EQ(table.UpsertPartial(partial.data(), Hash(5)),
+            AggHashTable::UpsertResult::kUpdated);
+  const uint8_t* state =
+      table.Find(reinterpret_cast<uint8_t*>(&g), Hash(5));
+  ASSERT_NE(state, nullptr);
+  int64_t c, s;
+  std::memcpy(&c, state, 8);
+  std::memcpy(&s, state + 8, 8);
+  EXPECT_EQ(c, 6);
+  EXPECT_EQ(s, 60);
+}
+
+TEST_F(HashTableTest, MemoryBytesGrowsWithUse) {
+  AggHashTable table(spec_.get(), 1'000);
+  int64_t before = table.MemoryBytes();
+  for (int64_t g = 0; g < 1'000; ++g) {
+    auto p = Proj(g, 1);
+    table.UpsertProjected(p.data(), Hash(g));
+  }
+  EXPECT_GE(table.MemoryBytes(), before);
+  EXPECT_GT(table.MemoryBytes(), 1'000 * 24);
+}
+
+}  // namespace
+}  // namespace adaptagg

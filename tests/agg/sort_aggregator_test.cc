@@ -1,0 +1,139 @@
+#include "agg/sort_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+namespace adaptagg {
+namespace {
+
+class SortAggregatorTest : public ::testing::Test {
+ protected:
+  SortAggregatorTest()
+      : disk_(512),
+        schema_({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}) {
+    auto spec = MakeCountSumSpec(&schema_, 0, 1);
+    EXPECT_TRUE(spec.ok());
+    spec_ = std::make_unique<AggregationSpec>(std::move(spec).value());
+  }
+
+  std::vector<uint8_t> Proj(int64_t g, int64_t v) {
+    std::vector<uint8_t> p(16);
+    std::memcpy(p.data(), &g, 8);
+    std::memcpy(p.data() + 8, &v, 8);
+    return p;
+  }
+
+  std::vector<uint8_t> Partial(int64_t g, int64_t count, int64_t sum) {
+    std::vector<uint8_t> p(24);
+    std::memcpy(p.data(), &g, 8);
+    std::memcpy(p.data() + 8, &count, 8);
+    std::memcpy(p.data() + 16, &sum, 8);
+    return p;
+  }
+
+  std::map<int64_t, std::pair<int64_t, int64_t>> Collect(
+      SortAggregator& agg) {
+    std::map<int64_t, std::pair<int64_t, int64_t>> out;
+    Status st = agg.Finish([&](const uint8_t* key, const uint8_t* state) {
+      int64_t g, c, s;
+      std::memcpy(&g, key, 8);
+      std::memcpy(&c, state, 8);
+      std::memcpy(&s, state + 8, 8);
+      EXPECT_TRUE(out.emplace(g, std::make_pair(c, s)).second)
+          << "group " << g << " emitted twice";
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  SimDisk disk_;
+  Schema schema_;
+  std::unique_ptr<AggregationSpec> spec_;
+};
+
+TEST_F(SortAggregatorTest, InMemoryAggregation) {
+  SortAggregator agg(spec_.get(), &disk_, /*max_records=*/1'000);
+  for (int64_t g = 0; g < 50; ++g) {
+    for (int rep = 0; rep < 4; ++rep) {
+      ASSERT_TRUE(agg.AddProjected(Proj(g, g + rep).data()).ok());
+    }
+  }
+  EXPECT_EQ(agg.num_runs(), 0);
+  auto result = Collect(agg);
+  ASSERT_EQ(result.size(), 50u);
+  for (const auto& [g, cs] : result) {
+    EXPECT_EQ(cs.first, 4);
+    EXPECT_EQ(cs.second, 4 * g + 6);
+  }
+}
+
+TEST_F(SortAggregatorTest, ExternalRunsExactCounts) {
+  SortAggregator agg(spec_.get(), &disk_, /*max_records=*/32);
+  constexpr int64_t kGroups = 300;
+  for (int64_t i = 0; i < 3'000; ++i) {
+    ASSERT_TRUE(agg.AddProjected(Proj(i % kGroups, 1).data()).ok());
+  }
+  EXPECT_GT(agg.num_runs(), 10);
+  EXPECT_GT(agg.run_pages_written(), 0);
+  auto result = Collect(agg);
+  ASSERT_EQ(result.size(), static_cast<size_t>(kGroups));
+  for (const auto& [g, cs] : result) {
+    EXPECT_EQ(cs.first, 10) << g;
+    EXPECT_EQ(cs.second, 10) << g;
+  }
+}
+
+TEST_F(SortAggregatorTest, MixedRawAndPartial) {
+  SortAggregator agg(spec_.get(), &disk_, /*max_records=*/16);
+  for (int64_t g = 0; g < 80; ++g) {
+    ASSERT_TRUE(agg.AddProjected(Proj(g, 2).data()).ok());
+    ASSERT_TRUE(agg.AddPartial(Partial(g, 5, 50).data()).ok());
+    ASSERT_TRUE(agg.AddProjected(Proj(g, 3).data()).ok());
+  }
+  auto result = Collect(agg);
+  ASSERT_EQ(result.size(), 80u);
+  for (const auto& [g, cs] : result) {
+    EXPECT_EQ(cs.first, 7) << g;   // 2 raw + 5
+    EXPECT_EQ(cs.second, 55) << g; // 2+3 + 50
+  }
+}
+
+TEST_F(SortAggregatorTest, EmitsInKeyOrder) {
+  SortAggregator agg(spec_.get(), &disk_, 8);
+  // Keys with identical memcmp-relevant structure: use small positive
+  // keys so little-endian memcmp order == numeric order within one byte.
+  for (int64_t g : {200, 13, 91, 0, 255, 64}) {
+    ASSERT_TRUE(agg.AddProjected(Proj(g, 1).data()).ok());
+  }
+  std::vector<int64_t> order;
+  ASSERT_TRUE(agg.Finish([&](const uint8_t* key, const uint8_t*) {
+                   int64_t g;
+                   std::memcpy(&g, key, 8);
+                   order.push_back(g);
+                 })
+                  .ok());
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 13, 64, 91, 200, 255}));
+}
+
+TEST_F(SortAggregatorTest, EmptyInput) {
+  SortAggregator agg(spec_.get(), &disk_, 8);
+  int emitted = 0;
+  ASSERT_TRUE(
+      agg.Finish([&](const uint8_t*, const uint8_t*) { ++emitted; }).ok());
+  EXPECT_EQ(emitted, 0);
+}
+
+TEST_F(SortAggregatorTest, SingleGroupManyRecords) {
+  SortAggregator agg(spec_.get(), &disk_, 16);
+  for (int i = 0; i < 1'000; ++i) {
+    ASSERT_TRUE(agg.AddProjected(Proj(7, 1).data()).ok());
+  }
+  auto result = Collect(agg);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[7].first, 1'000);
+}
+
+}  // namespace
+}  // namespace adaptagg

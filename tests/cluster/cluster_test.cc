@@ -1,0 +1,146 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/exchange.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+/// A minimal algorithm: each node counts its local tuples and sends the
+/// count to node 0 in a raw page; node 0 verifies the grand total.
+class CountingAlgorithm : public Algorithm {
+ public:
+  std::string name() const override { return "counting"; }
+
+  Status RunNode(NodeContext& ctx) const override {
+    LocalScanner scan(&ctx);
+    int64_t local = 0;
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) ++local;
+
+    Message m;
+    m.type = MessageType::kRawPage;
+    m.phase = 42;
+    m.payload.resize(8);
+    std::memcpy(m.payload.data(), &local, 8);
+    ADAPTAGG_RETURN_IF_ERROR(ctx.Send(0, std::move(m)));
+
+    if (ctx.node_id() == 0) {
+      int64_t total = 0;
+      for (int i = 0; i < ctx.num_nodes(); ++i) {
+        ADAPTAGG_ASSIGN_OR_RETURN(Message got, ctx.Recv());
+        int64_t v;
+        std::memcpy(&v, got.payload.data(), 8);
+        total += v;
+      }
+      if (total != ctx.local_partition()->num_tuples() * ctx.num_nodes()) {
+        // Uniform round-robin load in this test: every node equal.
+        return Status::Internal("bad total " + std::to_string(total));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// Fails on one node to exercise error propagation.
+class FailingAlgorithm : public Algorithm {
+ public:
+  std::string name() const override { return "failing"; }
+  Status RunNode(NodeContext& ctx) const override {
+    if (ctx.node_id() == 2) {
+      return Status::Internal("injected failure");
+    }
+    return Status::OK();
+  }
+};
+
+TEST(Cluster, RunsCustomAlgorithm) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 4'000;
+  wspec.num_groups = 10;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(4, 4'000));
+  RunResult run = cluster.Run(CountingAlgorithm(), spec, rel);
+  ASSERT_OK(run.status);
+  for (const auto& s : run.node_stats) {
+    EXPECT_EQ(s.tuples_scanned, 1'000);
+  }
+  EXPECT_GT(run.wall_time_s, 0);
+}
+
+TEST(Cluster, NodeErrorsPropagateWithNodeId) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 100;
+  wspec.num_groups = 5;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(4, 100));
+  RunResult run = cluster.Run(FailingAlgorithm(), spec, rel);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kInternal);
+  EXPECT_NE(run.status.message().find("node 2"), std::string::npos);
+}
+
+TEST(NodeContext, StashReordersAheadOfNetwork) {
+  auto mesh = MakeInprocMesh(1);
+  SystemParams params = SmallClusterParams(1, 10);
+  NetworkModel net(params);
+  Schema schema = MakeBenchSchema(32);
+  auto spec = MakeBenchQuery(&schema);
+  ASSERT_TRUE(spec.ok());
+  AlgorithmOptions opts;
+  NodeContext ctx(0, params, *spec, opts, nullptr, nullptr, mesh[0].get(),
+                  &net);
+
+  Message net_msg;
+  net_msg.type = MessageType::kRawPage;
+  ASSERT_OK(ctx.Send(0, net_msg));
+
+  Message stashed;
+  stashed.type = MessageType::kControl;
+  ctx.Stash(std::move(stashed));
+
+  auto first = ctx.Recv();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, MessageType::kControl);
+  auto second = ctx.Recv();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, MessageType::kRawPage);
+}
+
+TEST(NodeContext, ResolvedDefaultsFollowParams) {
+  auto mesh = MakeInprocMesh(1);
+  SystemParams params = SmallClusterParams(4, 10, /*M=*/777);
+  params.num_nodes = 1;
+  NetworkModel net(params);
+  Schema schema = MakeBenchSchema(32);
+  auto spec = MakeBenchQuery(&schema);
+  ASSERT_TRUE(spec.ok());
+  AlgorithmOptions opts;
+  NodeContext ctx(0, params, *spec, opts, nullptr, nullptr, mesh[0].get(),
+                  &net);
+  EXPECT_EQ(ctx.max_hash_entries(), 777);
+  EXPECT_EQ(ctx.crossover_threshold(), 100);  // 100 * N, N = 1
+  EXPECT_EQ(ctx.few_groups_threshold(), 100);
+
+  AlgorithmOptions custom;
+  custom.max_hash_entries = 5;
+  custom.crossover_threshold = 9;
+  custom.few_groups_threshold = 3;
+  NodeContext ctx2(0, params, *spec, custom, nullptr, nullptr,
+                   mesh[0].get(), &net);
+  EXPECT_EQ(ctx2.max_hash_entries(), 5);
+  EXPECT_EQ(ctx2.crossover_threshold(), 9);
+  EXPECT_EQ(ctx2.few_groups_threshold(), 3);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace adaptagg {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    all_equal &= (va == b.Next());
+    any_diff_seed_diff |= (va != c.Next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng prng(7);
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(prng.NextBelow(n), n);
+    }
+  }
+}
+
+TEST(Prng, NextBelowCoversDomain) {
+  Prng prng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(prng.NextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, NextBelowRoughlyUniform) {
+  Prng prng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[prng.NextBelow(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    double d = prng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng prng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> original = v;
+  prng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Prng, SampleWithoutReplacementDistinctSortedBounded) {
+  Prng prng(23);
+  auto sample = prng.SampleWithoutReplacement(1000, 100);
+  ASSERT_EQ(sample.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_EQ(std::set<uint64_t>(sample.begin(), sample.end()).size(), 100u);
+  for (uint64_t x : sample) EXPECT_LT(x, 1000u);
+}
+
+TEST(Prng, SampleWholePopulation) {
+  Prng prng(29);
+  auto sample = prng.SampleWithoutReplacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(HashBytes, DeterministicAndSeedSensitive) {
+  const char data[] = "hello world, this is a key";
+  uint64_t h1 = HashBytes(data, sizeof(data));
+  EXPECT_EQ(h1, HashBytes(data, sizeof(data)));
+  EXPECT_NE(h1, HashBytes(data, sizeof(data), /*seed=*/1));
+  EXPECT_NE(h1, HashBytes(data, sizeof(data) - 1));
+}
+
+TEST(HashBytes, LowBitsSpread) {
+  // Sequential int64 keys must not collide in the low bits the hash
+  // table masks with.
+  std::set<uint64_t> low;
+  for (int64_t k = 0; k < 4096; ++k) {
+    low.insert(HashBytes(&k, sizeof(k)) & 0xFFFF);
+  }
+  EXPECT_GT(low.size(), 3800u);  // near-perfect spread over 65536 slots
+}
+
+TEST(SplitMix64, NotIdentity) {
+  EXPECT_NE(SplitMix64(0), 0u);
+  EXPECT_NE(SplitMix64(1), 1u);
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+}
+
+}  // namespace
+}  // namespace adaptagg

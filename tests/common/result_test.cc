@@ -1,0 +1,73 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace adaptagg {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> r(std::string("hi"));
+  EXPECT_EQ(r.value_or("fallback"), "hi");
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ProduceValue(bool ok) {
+  if (!ok) return Status::Internal("boom");
+  return 5;
+}
+
+Status ConsumeWithMacro(bool ok, int* out) {
+  ADAPTAGG_ASSIGN_OR_RETURN(*out, ProduceValue(ok));
+  return Status::OK();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeWithMacro(true, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = ConsumeWithMacro(false, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(Result, CopyPreservesState) {
+  Result<int> good(3);
+  Result<int> copy = good;
+  EXPECT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), 3);
+  Result<int> bad(Status::IOError("x"));
+  Result<int> bad_copy = bad;
+  EXPECT_FALSE(bad_copy.ok());
+  EXPECT_EQ(bad_copy.status().message(), "x");
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,70 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ResourceExhausted("e"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::IOError("g"), StatusCode::kIOError, "IOError"},
+      {Status::NetworkError("h"), StatusCode::kNetworkError,
+       "NetworkError"},
+      {Status::Internal("i"), StatusCode::kInternal, "Internal"},
+      {Status::NotImplemented("j"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+Status FailsThenPropagates(bool fail) {
+  ADAPTAGG_RETURN_IF_ERROR(fail ? Status::IOError("disk gone")
+                                : Status::OK());
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  Status st = FailsThenPropagates(true);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk gone");
+}
+
+}  // namespace
+}  // namespace adaptagg

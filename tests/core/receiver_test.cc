@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/phases.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// Direct protocol tests of DataReceiver: phase filtering, EOS counting,
+// end-of-phase latching, abort handling, record routing.
+class ReceiverTest : public ::testing::Test {
+ protected:
+  ReceiverTest()
+      : mesh_(MakeInprocMesh(1)),
+        params_(SmallClusterParams(1, 100)),
+        net_(params_),
+        schema_(MakeBenchSchema(32)) {
+    auto spec = MakeBenchQuery(&schema_);
+    EXPECT_TRUE(spec.ok());
+    spec_ = std::make_unique<AggregationSpec>(std::move(spec).value());
+    ctx_ = std::make_unique<NodeContext>(0, params_, *spec_, options_,
+                                         nullptr, nullptr, mesh_[0].get(),
+                                         &net_);
+  }
+
+  // Pushes a message into the node's own inbox.
+  void Push(MessageType type, uint32_t phase,
+            std::vector<uint8_t> payload = {}) {
+    Message m;
+    m.type = type;
+    m.phase = phase;
+    m.payload = std::move(payload);
+    ASSERT_OK(ctx_->Send(0, std::move(m)));
+  }
+
+  std::vector<uint8_t> RawPage(std::vector<int64_t> keys) {
+    PageBuilder builder(params_.message_page_bytes,
+                        spec_->projected_width());
+    std::vector<uint8_t> rec(
+        static_cast<size_t>(spec_->projected_width()), 0);
+    for (int64_t k : keys) {
+      std::memcpy(rec.data(), &k, 8);
+      builder.Append(rec.data());
+    }
+    return builder.Finish();
+  }
+
+  std::vector<std::unique_ptr<Transport>> mesh_;
+  SystemParams params_;
+  NetworkModel net_;
+  Schema schema_;
+  std::unique_ptr<AggregationSpec> spec_;
+  AlgorithmOptions options_;
+  std::unique_ptr<NodeContext> ctx_;
+};
+
+TEST_F(ReceiverTest, CountsOnlyDataPhaseEos) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, /*expected_eos=*/2);
+
+  Push(MessageType::kEndOfStream, kPhaseSample);  // ignored
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Poll());
+  EXPECT_FALSE(recv.done());
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Drain());
+  EXPECT_TRUE(recv.done());
+}
+
+TEST_F(ReceiverTest, LatchesEndOfPhase) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  EXPECT_FALSE(recv.end_of_phase_seen());
+  Push(MessageType::kEndOfPhase, kPhaseData);
+  ASSERT_OK(recv.Poll());
+  EXPECT_TRUE(recv.end_of_phase_seen());
+  // Latch persists across further messages.
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Drain());
+  EXPECT_TRUE(recv.end_of_phase_seen());
+}
+
+TEST_F(ReceiverTest, RoutesRawRecordsIntoAggregator) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kRawPage, kPhaseData, RawPage({1, 2, 2, 3, 3, 3}));
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Drain());
+  EXPECT_EQ(ctx_->stats().raw_records_received, 6);
+  int emitted = 0;
+  ASSERT_OK(
+      agg.Finish([&](const uint8_t*, const uint8_t*) { ++emitted; }));
+  EXPECT_EQ(emitted, 3);
+}
+
+TEST_F(ReceiverTest, AbortSurfacesAsError) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kAbort, kPhaseData);
+  Status st = recv.Poll();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("aborted by peer"), std::string::npos);
+}
+
+TEST_F(ReceiverTest, ControlMessageInDataPhaseIsAProtocolError) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kControl, kPhaseData, {1});
+  EXPECT_FALSE(recv.Poll().ok());
+}
+
+TEST_F(ReceiverTest, GenericSinksReceiveRecords) {
+  int raw = 0, partial = 0;
+  DataReceiver recv(
+      ctx_.get(),
+      [&](const uint8_t*) {
+        ++raw;
+        return Status::OK();
+      },
+      [&](const uint8_t*) {
+        ++partial;
+        return Status::OK();
+      },
+      1);
+  Push(MessageType::kRawPage, kPhaseData, RawPage({7, 8}));
+  // A partial page with one record.
+  PageBuilder builder(params_.message_page_bytes, spec_->partial_width());
+  std::vector<uint8_t> rec(static_cast<size_t>(spec_->partial_width()), 0);
+  builder.Append(rec.data());
+  Push(MessageType::kPartialPage, kPhaseData, builder.Finish());
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Drain());
+  EXPECT_EQ(raw, 2);
+  EXPECT_EQ(partial, 1);
+}
+
+TEST_F(ReceiverTest, SinkErrorPropagates) {
+  DataReceiver recv(
+      ctx_.get(),
+      [&](const uint8_t*) { return Status::Internal("sink exploded"); },
+      [&](const uint8_t*) { return Status::OK(); }, 1);
+  Push(MessageType::kRawPage, kPhaseData, RawPage({1}));
+  Status st = recv.Poll();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sink exploded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,130 @@
+#include "exec/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest()
+      : schema_({{"id", DataType::kInt64, 8},
+                 {"score", DataType::kDouble, 8},
+                 {"tag", DataType::kBytes, 4}}),
+        row_(&schema_) {
+    row_.SetInt64(0, 10);
+    row_.SetDouble(1, 2.5);
+    row_.SetBytes(2, "abc");
+  }
+
+  Value Eval(const ExprPtr& e) {
+    auto t = e->Validate(schema_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return e->Eval(row_.view());
+  }
+
+  Schema schema_;
+  TupleBuffer row_;
+};
+
+TEST_F(ExpressionTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Col(0)), Value(int64_t{10}));
+  EXPECT_EQ(Eval(Col(1)), Value(2.5));
+  EXPECT_EQ(Eval(Lit(int64_t{7})), Value(int64_t{7}));
+  EXPECT_EQ(Eval(LitBytes("xy")), Value(std::string("xy")));
+}
+
+TEST_F(ExpressionTest, NamedColumnResolvesAtValidate) {
+  ExprPtr e = ColNamed("score");
+  EXPECT_EQ(Eval(e), Value(2.5));
+  ExprPtr missing = ColNamed("nope");
+  EXPECT_FALSE(missing->Validate(schema_).ok());
+}
+
+TEST_F(ExpressionTest, ColumnOutOfRangeRejected) {
+  EXPECT_FALSE(Col(9)->Validate(schema_).ok());
+  EXPECT_FALSE(Col(-1)->Validate(schema_).ok());
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  EXPECT_EQ(Eval(Eq(Col(0), Lit(int64_t{10}))), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Ne(Col(0), Lit(int64_t{10}))), Value(int64_t{0}));
+  EXPECT_EQ(Eval(Lt(Col(0), Lit(int64_t{11}))), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Le(Col(0), Lit(int64_t{10}))), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Gt(Col(0), Lit(int64_t{10}))), Value(int64_t{0}));
+  EXPECT_EQ(Eval(Ge(Col(0), Lit(int64_t{10}))), Value(int64_t{1}));
+}
+
+TEST_F(ExpressionTest, MixedNumericComparisonWidens) {
+  EXPECT_EQ(Eval(Gt(Col(1), Lit(int64_t{2}))), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Lt(Lit(int64_t{2}), Col(1))), Value(int64_t{1}));
+}
+
+TEST_F(ExpressionTest, BytesComparison) {
+  // The bytes column is 4 wide and zero-padded; compare against a padded
+  // literal.
+  EXPECT_EQ(Eval(Eq(Col(2), LitBytes(std::string("abc\0", 4)))),
+            Value(int64_t{1}));
+  EXPECT_EQ(Eval(Lt(Col(2), LitBytes(std::string("abd\0", 4)))),
+            Value(int64_t{1}));
+}
+
+TEST_F(ExpressionTest, BytesVsNumericRejected) {
+  EXPECT_FALSE(Eq(Col(2), Lit(int64_t{1}))->Validate(schema_).ok());
+  EXPECT_FALSE(Add(Col(2), Lit(int64_t{1}))->Validate(schema_).ok());
+}
+
+TEST_F(ExpressionTest, LogicalConnectives) {
+  ExprPtr t = Eq(Col(0), Lit(int64_t{10}));
+  ExprPtr f = Eq(Col(0), Lit(int64_t{11}));
+  EXPECT_EQ(Eval(And(t, t)), Value(int64_t{1}));
+  EXPECT_EQ(Eval(And(t, f)), Value(int64_t{0}));
+  EXPECT_EQ(Eval(Or(f, t)), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Or(f, f)), Value(int64_t{0}));
+  EXPECT_EQ(Eval(Not(f)), Value(int64_t{1}));
+  EXPECT_EQ(Eval(Not(t)), Value(int64_t{0}));
+}
+
+TEST_F(ExpressionTest, Arithmetic) {
+  EXPECT_EQ(Eval(Add(Col(0), Lit(int64_t{5}))), Value(int64_t{15}));
+  EXPECT_EQ(Eval(Sub(Col(0), Lit(int64_t{3}))), Value(int64_t{7}));
+  EXPECT_EQ(Eval(Mul(Col(0), Lit(int64_t{4}))), Value(int64_t{40}));
+  // Division always produces double.
+  EXPECT_EQ(Eval(Div(Col(0), Lit(int64_t{4}))), Value(2.5));
+  // Mixing int and double widens.
+  EXPECT_EQ(Eval(Add(Col(0), Col(1))), Value(12.5));
+  // Division by zero yields 0 rather than UB (documented behavior).
+  EXPECT_EQ(Eval(Div(Col(0), Lit(int64_t{0}))), Value(0.0));
+}
+
+TEST_F(ExpressionTest, NestedExpression) {
+  // (id * 2 > 15) AND (score <= 2.5)
+  ExprPtr e = And(Gt(Mul(Col(0), Lit(int64_t{2})), Lit(int64_t{15})),
+                  Le(Col(1), Lit(2.5)));
+  EXPECT_EQ(Eval(e), Value(int64_t{1}));
+  EXPECT_TRUE(EvalPredicate(*e, row_.view()));
+}
+
+TEST_F(ExpressionTest, ValidatePredicateRejectsBytes) {
+  EXPECT_FALSE(ValidatePredicate(*Col(2), schema_).ok());
+  EXPECT_TRUE(ValidatePredicate(*Col(0), schema_).ok());
+  EXPECT_TRUE(ValidatePredicate(*Gt(Col(1), Lit(0.0)), schema_).ok());
+}
+
+TEST_F(ExpressionTest, ToStringReadable) {
+  ExprPtr e = And(Gt(ColNamed("id"), Lit(int64_t{5})),
+                  Eq(Col(2), LitBytes("abc")));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find(">"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("'abc'"), std::string::npos);
+}
+
+TEST_F(ExpressionTest, OperatorNames) {
+  EXPECT_EQ(CmpOpToString(CmpOp::kLe), "<=");
+  EXPECT_EQ(ArithOpToString(ArithOp::kMul), "*");
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/select.h"
+
+namespace adaptagg {
+namespace {
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  OperatorTest()
+      : disk_(512),
+        schema_({{"k", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}) {
+    auto hf = HeapFile::Create(&disk_, &schema_, "t");
+    EXPECT_TRUE(hf.ok());
+    file_ = std::make_unique<HeapFile>(std::move(hf).value());
+    TupleBuffer t(&schema_);
+    for (int64_t i = 0; i < 100; ++i) {
+      t.SetInt64(0, i);
+      t.SetInt64(1, i % 10);
+      EXPECT_TRUE(file_->Append(t.view()).ok());
+    }
+    EXPECT_TRUE(file_->Flush().ok());
+  }
+
+  SimDisk disk_;
+  Schema schema_;
+  std::unique_ptr<HeapFile> file_;
+};
+
+TEST_F(OperatorTest, ScanYieldsAllRows) {
+  ScanOperator scan(file_.get(), nullptr, nullptr);
+  ASSERT_TRUE(scan.Open().ok());
+  int64_t count = 0;
+  for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+    EXPECT_EQ(t.GetInt64(0), count);
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(scan.rows_produced(), 100);
+  ASSERT_TRUE(scan.Close().ok());
+}
+
+TEST_F(OperatorTest, ScanChargesCosts) {
+  SystemParams params;
+  CostClock clock;
+  ScanOperator scan(file_.get(), &clock, &params);
+  ASSERT_TRUE(scan.Open().ok());
+  while (scan.Next().valid()) {
+  }
+  ASSERT_TRUE(scan.Close().ok());
+  // Select cost: 100 tuples * (t_r + t_w).
+  EXPECT_NEAR(clock.cpu_s(), 100 * (params.t_r() + params.t_w()), 1e-12);
+  // I/O: one sequential read per page.
+  EXPECT_NEAR(clock.io_s(), file_->num_pages() * params.io_seq_s, 1e-12);
+}
+
+TEST_F(OperatorTest, SelectFilters) {
+  auto scan = std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  auto select = SelectOperator::Make(
+      std::move(scan), Eq(Col(1), Lit(int64_t{3})), nullptr, nullptr);
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  ASSERT_TRUE((*select)->Open().ok());
+  int64_t count = 0;
+  for (TupleView t = (*select)->Next(); t.valid(); t = (*select)->Next()) {
+    EXPECT_EQ(t.GetInt64(1), 3);
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ((*select)->rows_produced(), 10);
+  ASSERT_TRUE((*select)->Close().ok());
+}
+
+TEST_F(OperatorTest, SelectRejectsBadPredicate) {
+  auto scan = std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  EXPECT_FALSE(
+      SelectOperator::Make(std::move(scan), Col(99), nullptr, nullptr)
+          .ok());
+  auto scan2 =
+      std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  EXPECT_FALSE(
+      SelectOperator::Make(std::move(scan2), nullptr, nullptr, nullptr)
+          .ok());
+}
+
+TEST_F(OperatorTest, ProjectComputesDerivedColumns) {
+  auto scan = std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  std::vector<ProjectedColumn> cols;
+  cols.push_back({"twice", Mul(Col(0), Lit(int64_t{2})), 8});
+  cols.push_back({"ratio", Div(Col(0), Lit(int64_t{4})), 8});
+  auto project = ProjectOperator::Make(std::move(scan), std::move(cols));
+  ASSERT_TRUE(project.ok()) << project.status().ToString();
+  const Schema& out = (*project)->schema();
+  ASSERT_EQ(out.num_fields(), 2);
+  EXPECT_EQ(out.field(0).name, "twice");
+  EXPECT_EQ(out.field(0).type, DataType::kInt64);
+  EXPECT_EQ(out.field(1).type, DataType::kDouble);
+
+  ASSERT_TRUE((*project)->Open().ok());
+  int64_t i = 0;
+  for (TupleView t = (*project)->Next(); t.valid();
+       t = (*project)->Next(), ++i) {
+    EXPECT_EQ(t.GetInt64(0), 2 * i);
+    EXPECT_DOUBLE_EQ(t.GetDouble(1), static_cast<double>(i) / 4);
+  }
+  EXPECT_EQ(i, 100);
+  ASSERT_TRUE((*project)->Close().ok());
+}
+
+TEST_F(OperatorTest, PipelineScanSelectProject) {
+  // scan -> select (k >= 50) -> project (k + v)
+  auto scan = std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  auto select = SelectOperator::Make(
+      std::move(scan), Ge(Col(0), Lit(int64_t{50})), nullptr, nullptr);
+  ASSERT_TRUE(select.ok());
+  std::vector<ProjectedColumn> cols;
+  cols.push_back({"s", Add(Col(0), Col(1)), 8});
+  auto project =
+      ProjectOperator::Make(std::move(select).value(), std::move(cols));
+  ASSERT_TRUE(project.ok());
+  ASSERT_TRUE((*project)->Open().ok());
+  int64_t count = 0, k = 50;
+  for (TupleView t = (*project)->Next(); t.valid();
+       t = (*project)->Next(), ++k) {
+    EXPECT_EQ(t.GetInt64(0), k + k % 10);
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+  ASSERT_TRUE((*project)->Close().ok());
+}
+
+TEST_F(OperatorTest, ProjectRejectsInvalid) {
+  auto scan = std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  EXPECT_FALSE(ProjectOperator::Make(std::move(scan), {}).ok());
+  auto scan2 =
+      std::make_unique<ScanOperator>(file_.get(), nullptr, nullptr);
+  std::vector<ProjectedColumn> bad;
+  bad.push_back({"x", nullptr, 8});
+  EXPECT_FALSE(ProjectOperator::Make(std::move(scan2), std::move(bad)).ok());
+}
+
+TEST_F(OperatorTest, SelectCountsEvaluatedRows) {
+  SystemParams params;
+  CostClock clock;
+  auto scan = std::make_unique<ScanOperator>(file_.get(), &clock, &params);
+  auto select_or = SelectOperator::Make(
+      std::move(scan), Lt(Col(0), Lit(int64_t{25})), &clock, &params);
+  ASSERT_TRUE(select_or.ok());
+  auto* select = static_cast<SelectOperator*>(select_or->get());
+  ASSERT_TRUE(select->Open().ok());
+  while (select->Next().valid()) {
+  }
+  EXPECT_EQ(select->rows_seen(), 100);
+  EXPECT_EQ(select->rows_produced(), 25);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::ExpectMatchesReference;
+using testing_util::SmallClusterParams;
+
+// ---------------------------------------------------------------------------
+// The central correctness property of the whole system: every algorithm,
+// on every workload shape, produces exactly the rows of the
+// single-threaded reference oracle. Parameterized over
+// (algorithm x group count x distribution x hash-table bound) so the
+// in-memory, spilling, and adaptive-switch paths are all exercised.
+
+using PropertyParam =
+    std::tuple<AlgorithmKind, int64_t /*groups*/,
+               GroupDistribution, int64_t /*max_hash_entries*/>;
+
+class CorrectnessProperty : public ::testing::TestWithParam<PropertyParam> {
+};
+
+TEST_P(CorrectnessProperty, MatchesReference) {
+  const auto [kind, groups, distribution, max_entries] = GetParam();
+
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 12'000;
+  wspec.num_groups = groups;
+  wspec.distribution = distribution;
+  wspec.zipf_theta = distribution == GroupDistribution::kZipf ? 0.8 : 0.0;
+  wspec.seed = 0xfeed + static_cast<uint64_t>(groups);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+
+  SystemParams params =
+      SmallClusterParams(4, wspec.num_tuples, max_entries);
+  AlgorithmOptions opts;
+  opts.init_seg = 500;  // small enough for A-Rep to judge mid-scan
+  ExpectMatchesReference(kind, params, spec, rel, opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorrectnessProperty,
+    ::testing::Combine(
+        ::testing::ValuesIn(AllAlgorithms()),
+        ::testing::Values<int64_t>(1, 7, 400, 6'000),
+        ::testing::Values(GroupDistribution::kUniform,
+                          GroupDistribution::kZipf,
+                          GroupDistribution::kSequential),
+        ::testing::Values<int64_t>(64, 2'048)),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name =
+          AlgorithmKindToString(std::get<0>(info.param)) + "_g" +
+          std::to_string(std::get<1>(info.param)) + "_" +
+          GroupDistributionToString(std::get<2>(info.param)) + "_m" +
+          std::to_string(std::get<3>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Placement must not affect the answer, only the work distribution.
+
+class PlacementProperty
+    : public ::testing::TestWithParam<std::tuple<AlgorithmKind, Placement>> {
+};
+
+TEST_P(PlacementProperty, PlacementInvariant) {
+  const auto [kind, placement] = GetParam();
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 9'000;
+  wspec.num_groups = 250;
+  wspec.placement = placement;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ExpectMatchesReference(kind, SmallClusterParams(3, wspec.num_tuples),
+                         spec, rel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementProperty,
+    ::testing::Combine(::testing::ValuesIn(Figure8Algorithms()),
+                       ::testing::Values(Placement::kRoundRobin,
+                                         Placement::kHashOnGroup,
+                                         Placement::kRandom)),
+    [](const ::testing::TestParamInfo<std::tuple<AlgorithmKind, Placement>>&
+           info) {
+      std::string name =
+          AlgorithmKindToString(std::get<0>(info.param)) + "_p" +
+          std::to_string(static_cast<int>(std::get<1>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Cluster-size sweep: 1..6 nodes, including the degenerate single node.
+
+class NodeCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeCountProperty, AllAlgorithmsAllNodeCounts) {
+  const int n = GetParam();
+  WorkloadSpec wspec;
+  wspec.num_nodes = n;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 300;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(n, wspec.num_tuples, 128);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, spec, rel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NodeCountProperty,
+                         ::testing::Values(1, 2, 3, 5, 6));
+
+// ---------------------------------------------------------------------------
+// All aggregate kinds, both numeric input types, multi-column keys.
+
+TEST(AggregateKindsProperty, FullAggregateMix) {
+  std::vector<Field> fields;
+  fields.push_back({"k1", DataType::kInt64, 8});
+  fields.push_back({"k2", DataType::kBytes, 4});
+  fields.push_back({"vi", DataType::kInt64, 8});
+  fields.push_back({"vd", DataType::kDouble, 8});
+  Schema schema(std::move(fields));
+
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       PartitionedRelation::Create(schema, 3));
+  Prng prng(99);
+  TupleBuffer t(&rel.schema());
+  for (int i = 0; i < 5'000; ++i) {
+    uint64_t g = prng.NextBelow(200);
+    t.SetInt64(0, static_cast<int64_t>(g));
+    t.SetBytes(1, std::string(1, static_cast<char>('a' + g % 5)));
+    t.SetInt64(2, static_cast<int64_t>(prng.NextBelow(1000)) - 500);
+    t.SetDouble(3, static_cast<double>(prng.NextBelow(1'000'000)) / 997.0);
+    ASSERT_OK(rel.Append(i % 3, t.view()));
+  }
+  ASSERT_OK(rel.Flush());
+
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kCount, -1, "cnt"});
+  aggs.push_back({AggKind::kSum, 2, "sum_i"});
+  aggs.push_back({AggKind::kSum, 3, "sum_d"});
+  aggs.push_back({AggKind::kAvg, 2, "avg_i"});
+  aggs.push_back({AggKind::kAvg, 3, "avg_d"});
+  aggs.push_back({AggKind::kMin, 2, "min_i"});
+  aggs.push_back({AggKind::kMax, 3, "max_d"});
+  ASSERT_OK_AND_ASSIGN(
+      AggregationSpec spec,
+      AggregationSpec::Make(&rel.schema(), {0, 1}, std::move(aggs)));
+
+  SystemParams params = SmallClusterParams(3, 5'000, 64);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, spec, rel);
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

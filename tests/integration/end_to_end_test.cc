@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/tpcd.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::ExpectMatchesReference;
+using testing_util::SmallClusterParams;
+
+TEST(EndToEnd, QuickstartFlow) {
+  // The README quickstart: generate, aggregate adaptively, inspect.
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 20'000;
+  wspec.num_groups = 100;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+
+  Cluster cluster(SmallClusterParams(4, wspec.num_tuples));
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase),
+                              spec, rel);
+  ASSERT_OK(run.status);
+  EXPECT_EQ(run.results.num_rows(), 100);
+  EXPECT_GT(run.sim_time_s, 0.0);
+  EXPECT_EQ(run.nodes_switched(), 0);  // 100 groups fit in M=512
+}
+
+TEST(EndToEnd, AllAlgorithmsAgreeOnMediumWorkload) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 30'000;
+  wspec.num_groups = 3'000;  // > M=512 per node: forces overflow paths
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(4, wspec.num_tuples);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, spec, rel);
+  }
+}
+
+TEST(EndToEnd, TpcdQ1AcrossAlgorithms) {
+  TpcdSpec tspec;
+  tspec.num_nodes = 4;
+  tspec.num_rows = 40'000;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateLineitem(tspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec q1, MakeQ1Query(&rel.schema()));
+  SystemParams params = SmallClusterParams(4, tspec.num_rows);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, q1, rel);
+  }
+  // Q1 groups: 3 return flags x 2 line statuses.
+  ASSERT_OK_AND_ASSIGN(ResultSet ref, ReferenceAggregate(q1, rel));
+  EXPECT_EQ(ref.num_rows(), 6);
+}
+
+TEST(EndToEnd, DuplicateEliminationHighSelectivity) {
+  // DISTINCT with result ~ half the input: the regime the paper calls
+  // out for Repartitioning/duplicate elimination.
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 20'000;
+  wspec.num_groups = 10'000;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(
+      AggregationSpec distinct,
+      MakeDistinctSpec(&rel.schema(), {kBenchGroupCol}));
+  SystemParams params = SmallClusterParams(4, wspec.num_tuples);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kRepartitioning, AlgorithmKind::kAdaptiveTwoPhase,
+        AlgorithmKind::kAdaptiveRepartitioning}) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, distinct, rel);
+  }
+}
+
+TEST(EndToEnd, ScalarAggregateSingleGroup) {
+  // S = 1/|R|: scalar aggregation is the degenerate single-group case.
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 8'000;
+  wspec.num_groups = 1;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(4, wspec.num_tuples);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, spec, rel);
+  }
+}
+
+TEST(EndToEnd, EmptyRelation) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 0;
+  wspec.num_groups = 1;
+  // num_groups > num_tuples is rejected; build the empty relation by hand.
+  Schema schema = MakeBenchSchema(100);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       PartitionedRelation::Create(schema, 4));
+  ASSERT_OK(rel.Flush());
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(4, 1);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    Cluster cluster(params);
+    RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel);
+    ASSERT_OK(run.status);
+    EXPECT_EQ(run.results.num_rows(), 0);
+  }
+}
+
+TEST(EndToEnd, ResultsAreStoredOnNodeDisks) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 2;
+  wspec.num_tuples = 4'000;
+  wspec.num_groups = 50;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(2, wspec.num_tuples));
+  RunResult run =
+      cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel);
+  ASSERT_OK(run.status);
+  // Store I/O happened: disks saw writes beyond the loaded relation.
+  int64_t writes = 0;
+  for (int i = 0; i < 2; ++i) writes += rel.disk(i).stats().pages_written;
+  EXPECT_GT(writes, 0);
+  int64_t rows = 0;
+  for (const auto& s : run.node_stats) rows += s.result_rows;
+  EXPECT_EQ(rows, 50);
+}
+
+TEST(EndToEnd, GatherCanBeDisabled) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 2;
+  wspec.num_tuples = 2'000;
+  wspec.num_groups = 10;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(2, wspec.num_tuples));
+  AlgorithmOptions opts;
+  opts.gather_results = false;
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase),
+                              spec, rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_EQ(run.results.num_rows(), 0);
+  EXPECT_EQ(run.total_result_rows(), 10);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "storage/faulty_disk.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// Builds a 4-node relation where node `faulty_node`'s disk can be made
+// to fail on demand. Returns the relation; the FaultySimDisk pointer is
+// written to *disk.
+Result<PartitionedRelation> MakeFaultyRelation(int faulty_node,
+                                               FaultySimDisk** disk,
+                                               int64_t groups = 400) {
+  Schema schema = MakeBenchSchema(100);
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < 4; ++i) {
+    disks.push_back(std::make_unique<FaultySimDisk>(kDefaultPageSize));
+  }
+  *disk = static_cast<FaultySimDisk*>(disks[faulty_node].get());
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      PartitionedRelation rel,
+      PartitionedRelation::CreateWithDisks(schema, std::move(disks)));
+  Prng prng(4242);
+  TupleBuffer t(&rel.schema());
+  for (int64_t i = 0; i < 12'000; ++i) {
+    t.SetInt64(kBenchGroupCol,
+               static_cast<int64_t>(prng.NextBelow(
+                   static_cast<uint64_t>(groups))));
+    t.SetInt64(kBenchValueCol, static_cast<int64_t>(i % 1000));
+    ADAPTAGG_RETURN_IF_ERROR(rel.Append(static_cast<int>(i % 4), t.view()));
+  }
+  ADAPTAGG_RETURN_IF_ERROR(rel.Flush());
+  return rel;
+}
+
+class FaultInjection : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(FaultInjection, ScanReadFailureSurfacesAsIOError) {
+  FaultySimDisk* disk = nullptr;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       MakeFaultyRelation(2, &disk));
+  // Allow the scan to get partway through node 2's partition, then fail.
+  disk->FailReadsAfter(10);
+  Cluster cluster(SmallClusterParams(4, 12'000));
+  RunResult run = cluster.Run(*MakeAlgorithm(GetParam()),
+                              *MakeBenchQuery(&rel.schema()), rel);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kIOError);
+  EXPECT_NE(run.status.message().find("injected"), std::string::npos);
+}
+
+TEST_P(FaultInjection, ResultStoreWriteFailureSurfaces) {
+  FaultySimDisk* disk = nullptr;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       MakeFaultyRelation(1, &disk));
+  // Loading already happened; now let reads succeed but writes (spills
+  // and the result store) fail immediately.
+  disk->FailWritesAfter(0);
+  Cluster cluster(SmallClusterParams(4, 12'000));
+  RunResult run = cluster.Run(*MakeAlgorithm(GetParam()),
+                              *MakeBenchQuery(&rel.schema()), rel);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kIOError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engine, FaultInjection,
+    ::testing::Values(AlgorithmKind::kTwoPhase,
+                      AlgorithmKind::kRepartitioning,
+                      AlgorithmKind::kAdaptiveTwoPhase,
+                      AlgorithmKind::kAdaptiveRepartitioning),
+    [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+      std::string name = AlgorithmKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(FaultInjection, SpillWriteFailureDuringOverflow) {
+  FaultySimDisk* disk = nullptr;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       MakeFaultyRelation(0, &disk, /*groups=*/6'000));
+  // Tiny table forces spilling on every node; node 0's spill writes die
+  // after a handful of pages.
+  int64_t loaded_pages = disk->stats().pages_written;
+  (void)loaded_pages;
+  disk->FailWritesAfter(3);
+  Cluster cluster(SmallClusterParams(4, 12'000, /*M=*/64));
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase),
+                              *MakeBenchQuery(&rel.schema()), rel);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kIOError);
+  EXPECT_NE(run.status.message().find("node 0"), std::string::npos);
+}
+
+TEST(FaultInjection, SamplingRandomReadFailure) {
+  FaultySimDisk* disk = nullptr;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       MakeFaultyRelation(3, &disk));
+  disk->FailReadsAfter(0);
+  Cluster cluster(SmallClusterParams(4, 12'000));
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kSampling),
+                              *MakeBenchQuery(&rel.schema()), rel);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjection, HeapScannerReportsStatusNotCrash) {
+  FaultySimDisk disk(512);
+  Schema schema({{"k", DataType::kInt64, 8}});
+  auto hf = HeapFile::Create(&disk, &schema, "t");
+  ASSERT_TRUE(hf.ok());
+  TupleBuffer t(&schema);
+  for (int64_t i = 0; i < 500; ++i) {
+    t.SetInt64(0, i);
+    ASSERT_TRUE(hf->Append(t.view()).ok());
+  }
+  ASSERT_TRUE(hf->Flush().ok());
+
+  disk.FailReadsAfter(2);
+  HeapFileScanner scanner(&*hf);
+  int64_t yielded = 0;
+  while (scanner.Next().valid()) ++yielded;
+  EXPECT_FALSE(scanner.status().ok());
+  EXPECT_GT(yielded, 0);
+  EXPECT_LT(yielded, 500);
+  // Scanner stays ended after the error.
+  EXPECT_FALSE(scanner.Next().valid());
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+const char* TmpDir() {
+  const char* t = std::getenv("TMPDIR");
+  return t != nullptr ? t : "/tmp";
+}
+
+// The whole engine on REAL files: partitions, spills, and result stores
+// all live on FileDisk-backed storage instead of SimDisk. Validates the
+// storage abstraction end to end (the paper's one-disk-per-node setup,
+// with actual bytes hitting the filesystem).
+TEST(FileDiskEngine, TwoPhaseAndAdaptiveOnRealFiles) {
+  Schema schema = MakeBenchSchema(100);
+  std::vector<std::unique_ptr<Disk>> disks;
+  for (int i = 0; i < 3; ++i) {
+    disks.push_back(
+        std::make_unique<FileDisk>(TmpDir(), kDefaultPageSize));
+  }
+  auto rel_or =
+      PartitionedRelation::CreateWithDisks(schema, std::move(disks));
+  ASSERT_TRUE(rel_or.ok()) << rel_or.status().ToString();
+  PartitionedRelation rel = std::move(rel_or).value();
+
+  Prng prng(31);
+  TupleBuffer t(&rel.schema());
+  for (int64_t i = 0; i < 9'000; ++i) {
+    t.SetInt64(kBenchGroupCol,
+               static_cast<int64_t>(prng.NextBelow(2'500)));
+    t.SetInt64(kBenchValueCol, static_cast<int64_t>(i % 500));
+    ASSERT_OK(rel.Append(static_cast<int>(i % 3), t.view()));
+  }
+  ASSERT_OK(rel.Flush());
+
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  // Tiny M so spill files are really written to and read from disk.
+  Cluster cluster(SmallClusterParams(3, 9'000, /*M=*/128));
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTwoPhase, AlgorithmKind::kAdaptiveTwoPhase}) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel);
+    ASSERT_OK(run.status);
+    EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+    EXPECT_GT(run.total_spilled_records(), 0)
+        << "expected real spill I/O with M=128 and 2500 groups";
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// The reproduction's keystone: the execution engine charges the same
+// Table 1 costs the analytical model computes in closed form, so on the
+// same configuration the two must agree — not to the decimal (the model
+// idealizes distinct-value counts and page packing; the engine measures
+// them), but within a modest band, and they must agree on *ordering*
+// (which algorithm wins where), since that is what the paper's figures
+// claim.
+
+struct Agreement {
+  double engine_s = 0;
+  double model_s = 0;
+  double ratio() const { return engine_s / model_s; }
+};
+
+Result<Agreement> Measure(AlgorithmKind kind, const SystemParams& params,
+                          int64_t groups, uint64_t seed) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = params.num_nodes;
+  wspec.num_tuples = params.num_tuples;
+  wspec.num_groups = groups;
+  wspec.seed = seed;
+  ADAPTAGG_ASSIGN_OR_RETURN(PartitionedRelation rel,
+                            GenerateRelation(wspec));
+  ADAPTAGG_ASSIGN_OR_RETURN(AggregationSpec spec,
+                            MakeBenchQuery(&rel.schema()));
+  Cluster cluster(params);
+  AlgorithmOptions opts;
+  opts.gather_results = false;
+  RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
+  ADAPTAGG_RETURN_IF_ERROR(run.status);
+
+  CostModel::Config cfg;
+  cfg.params = params;
+  CostModel model(cfg);
+  Agreement out;
+  out.engine_s = run.sim_time_s;
+  out.model_s = model.Time(kind, wspec.selectivity());
+  return out;
+}
+
+SystemParams AgreementParams() {
+  // High-bandwidth so no serialized-wire term muddies the comparison;
+  // paper-default M relative to the scaled-down relation.
+  SystemParams p;
+  p.num_nodes = 8;
+  p.num_tuples = 200'000;
+  p.max_hash_entries = 1'000;
+  p.network = NetworkKind::kHighBandwidth;
+  return p;
+}
+
+class ModelEngineAgreement
+    : public ::testing::TestWithParam<std::tuple<AlgorithmKind, int64_t>> {
+};
+
+TEST_P(ModelEngineAgreement, WithinBand) {
+  auto [kind, groups] = GetParam();
+  SystemParams params = AgreementParams();
+  ASSERT_OK_AND_ASSIGN(Agreement a, Measure(kind, params, groups, 7));
+  // The model idealizes balance: with a handful of groups over 8 nodes
+  // the engine's busiest node carries 2-3 groups where the model assumes
+  // an even spread, so allow up to ~2x there; agreement tightens as
+  // groups grow.
+  const double upper = groups < 100 ? 2.2 : 1.7;
+  EXPECT_GT(a.ratio(), 0.6) << "engine " << a.engine_s << "s vs model "
+                            << a.model_s << "s";
+  EXPECT_LT(a.ratio(), upper) << "engine " << a.engine_s << "s vs model "
+                              << a.model_s << "s";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelEngineAgreement,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kTwoPhase,
+                          AlgorithmKind::kRepartitioning,
+                          AlgorithmKind::kCentralizedTwoPhase,
+                          AlgorithmKind::kAdaptiveTwoPhase),
+        ::testing::Values<int64_t>(10, 2'000, 50'000)),
+    [](const ::testing::TestParamInfo<std::tuple<AlgorithmKind, int64_t>>&
+           info) {
+      std::string name =
+          AlgorithmKindToString(std::get<0>(info.param)) + "_g" +
+          std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelEngineAgreement, CrossoverOrderingMatches) {
+  // The model and the engine must agree on who wins at the extremes of
+  // the selectivity range (Figure 1's claim).
+  SystemParams params = AgreementParams();
+  CostModel::Config cfg;
+  cfg.params = params;
+  CostModel model(cfg);
+
+  // Low selectivity: 2P beats Rep in both worlds.
+  {
+    int64_t groups = 10;
+    double s = static_cast<double>(groups) / params.num_tuples;
+    ASSERT_OK_AND_ASSIGN(
+        Agreement tp, Measure(AlgorithmKind::kTwoPhase, params, groups, 3));
+    ASSERT_OK_AND_ASSIGN(
+        Agreement rep,
+        Measure(AlgorithmKind::kRepartitioning, params, groups, 3));
+    EXPECT_LT(tp.engine_s, rep.engine_s);
+    EXPECT_LT(model.Time(AlgorithmKind::kTwoPhase, s),
+              model.Time(AlgorithmKind::kRepartitioning, s));
+  }
+  // High selectivity: Rep beats 2P in both worlds.
+  {
+    int64_t groups = 100'000;  // S = 0.5
+    double s = static_cast<double>(groups) / params.num_tuples;
+    ASSERT_OK_AND_ASSIGN(
+        Agreement tp, Measure(AlgorithmKind::kTwoPhase, params, groups, 4));
+    ASSERT_OK_AND_ASSIGN(
+        Agreement rep,
+        Measure(AlgorithmKind::kRepartitioning, params, groups, 4));
+    EXPECT_LT(rep.engine_s, tp.engine_s);
+    EXPECT_LT(model.Time(AlgorithmKind::kRepartitioning, s),
+              model.Time(AlgorithmKind::kTwoPhase, s));
+  }
+}
+
+TEST(ModelEngineAgreement, AdaptiveTracksBestInEngineToo) {
+  // Figure 3 on the engine: A-2P within a modest factor of the better
+  // static algorithm at both extremes.
+  SystemParams params = AgreementParams();
+  for (int64_t groups : {10LL, 100'000LL}) {
+    ASSERT_OK_AND_ASSIGN(
+        Agreement tp,
+        Measure(AlgorithmKind::kTwoPhase, params, groups, 5));
+    ASSERT_OK_AND_ASSIGN(
+        Agreement rep,
+        Measure(AlgorithmKind::kRepartitioning, params, groups, 5));
+    ASSERT_OK_AND_ASSIGN(
+        Agreement a2p,
+        Measure(AlgorithmKind::kAdaptiveTwoPhase, params, groups, 5));
+    double best = std::min(tp.engine_s, rep.engine_s);
+    EXPECT_LE(a2p.engine_s, 1.35 * best) << "groups=" << groups;
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

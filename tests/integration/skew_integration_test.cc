@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/skew.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::ExpectMatchesReference;
+using testing_util::SmallClusterParams;
+
+OutputSkewSpec SmallOutputSkew(int64_t groups) {
+  OutputSkewSpec spec;
+  spec.num_nodes = 8;
+  spec.single_group_nodes = 4;
+  spec.num_tuples = 24'000;
+  spec.num_groups = groups;
+  return spec;
+}
+
+TEST(OutputSkew, AllAlgorithmsCorrectUnderSkew) {
+  OutputSkewSpec sspec = SmallOutputSkew(2'000);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       GenerateOutputSkewRelation(sspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(8, sspec.num_tuples, 256);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    AlgorithmOptions opts;
+    opts.init_seg = 500;
+    ExpectMatchesReference(kind, params, spec, rel, opts);
+  }
+}
+
+TEST(OutputSkew, OnlySkewedNodesSwitchInAdaptiveTwoPhase) {
+  // §6.2 case 2: nodes holding many groups overflow and repartition;
+  // single-group nodes stay in the local-aggregation mode. This per-node
+  // independence is the paper's key argument for the adaptive algorithms.
+  OutputSkewSpec sspec = SmallOutputSkew(5'000);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       GenerateOutputSkewRelation(sspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(8, sspec.num_tuples, 256);
+
+  Cluster cluster(params);
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel);
+  ASSERT_OK(run.status);
+  for (int node = 0; node < 8; ++node) {
+    if (node < sspec.single_group_nodes) {
+      EXPECT_FALSE(run.node_stats[node].switched)
+          << "single-group node " << node << " must not switch";
+    } else {
+      EXPECT_TRUE(run.node_stats[node].switched)
+          << "many-group node " << node << " must switch";
+    }
+  }
+}
+
+TEST(OutputSkew, AdaptiveBeatsStaticTwoPhaseOnModeledTime) {
+  // The paper's Figure 9 claim: with output skew, A-2P outperforms plain
+  // 2P because skewed nodes avoid intermediate I/O by repartitioning.
+  OutputSkewSpec sspec = SmallOutputSkew(8'000);
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                       GenerateOutputSkewRelation(sspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(8, sspec.num_tuples, 128);
+
+  Cluster cluster(params);
+  RunResult two_phase =
+      cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel);
+  ASSERT_OK(two_phase.status);
+  RunResult adaptive = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel);
+  ASSERT_OK(adaptive.status);
+
+  EXPECT_LT(adaptive.sim_time_s, two_phase.sim_time_s);
+  // And 2P must actually have spilled for the comparison to be about
+  // intermediate I/O.
+  EXPECT_GT(two_phase.total_spilled_records(), 0);
+}
+
+TEST(InputSkew, CorrectnessWithSkewedPartitionSizes) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 16'000;
+  wspec.num_groups = 500;
+  wspec.input_skew_factor = 5.0;  // one node gets 5x the tuples
+  wspec.input_skew_nodes = 1;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  // The skewed node really is bigger.
+  EXPECT_GT(rel.partition(0).num_tuples(),
+            3 * rel.partition(1).num_tuples());
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  SystemParams params = SmallClusterParams(4, wspec.num_tuples, 256);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    ExpectMatchesReference(kind, params, spec, rel);
+  }
+}
+
+TEST(InputSkew, SkewedNodeDominatesModeledTime) {
+  // §6.1: the skewed node's extra I/O and processing set the completion
+  // time; its clock should be the max by a clear margin.
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 20'000;
+  wspec.num_groups = 50;
+  wspec.input_skew_factor = 4.0;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(4, wspec.num_tuples));
+  RunResult run =
+      cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel);
+  ASSERT_OK(run.status);
+  double max_other = 0;
+  for (int i = 1; i < 4; ++i) {
+    max_other = std::max(max_other, run.clocks[i].cpu_s() +
+                                        run.clocks[i].io_s());
+  }
+  EXPECT_GT(run.clocks[0].cpu_s() + run.clocks[0].io_s(), max_other);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// Real loopback sockets instead of in-process channels: the engine must
+// produce identical results over a genuine network transport.
+TEST(TcpCluster, TwoPhaseOverSockets) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples));
+  cluster.set_transport_factory(
+      [](int n) { return MakeTcpMesh(n, 42150); });
+  RunResult run =
+      cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+}
+
+TEST(TcpCluster, AdaptiveAlgorithmsOverSockets) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 1'500;  // forces adaptive switching with M=256
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  SystemParams params = SmallClusterParams(3, wspec.num_tuples, 256);
+  int port = 42250;
+  for (AlgorithmKind kind : {AlgorithmKind::kAdaptiveTwoPhase,
+                             AlgorithmKind::kAdaptiveRepartitioning,
+                             AlgorithmKind::kSampling}) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    Cluster cluster(params);
+    int base = port;
+    port += 10;
+    cluster.set_transport_factory(
+        [base](int n) { return MakeTcpMesh(n, base); });
+    AlgorithmOptions opts;
+    opts.init_seg = 500;
+    RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
+    ASSERT_OK(run.status);
+    EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

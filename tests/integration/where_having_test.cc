@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// Oracle for filtered queries: copy the relation keeping only rows that
+// pass `where`, reference-aggregate the copy, then drop result rows that
+// fail `having`.
+Result<ResultSet> FilteredReference(const AggregationSpec& spec,
+                                    PartitionedRelation& rel,
+                                    const ExprPtr& where,
+                                    const ExprPtr& having) {
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      PartitionedRelation filtered,
+      PartitionedRelation::Create(spec.input_schema(), rel.num_nodes()));
+  for (int node = 0; node < rel.num_nodes(); ++node) {
+    HeapFileScanner scan(&rel.partition(node));
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      if (where == nullptr || EvalPredicate(*where, t)) {
+        ADAPTAGG_RETURN_IF_ERROR(filtered.Append(node, t));
+      }
+    }
+  }
+  ADAPTAGG_RETURN_IF_ERROR(filtered.Flush());
+  // The filtered relation has its own schema copy; rebuild the spec
+  // against it so layouts resolve identically.
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      AggregationSpec respec,
+      AggregationSpec::Make(&filtered.schema(), spec.group_cols(),
+                            spec.aggs()));
+  ADAPTAGG_ASSIGN_OR_RETURN(ResultSet out,
+                            ReferenceAggregate(respec, filtered));
+  if (having != nullptr) {
+    ADAPTAGG_RETURN_IF_ERROR(ValidatePredicate(*having, out.schema));
+    std::vector<std::vector<uint8_t>> kept;
+    for (auto& row : out.rows) {
+      TupleView v(row.data(), &out.schema);
+      if (EvalPredicate(*having, v)) kept.push_back(std::move(row));
+    }
+    out.rows = std::move(kept);
+  }
+  return out;
+}
+
+struct Fixture {
+  PartitionedRelation rel;
+  Query query;
+};
+
+Result<Fixture> MakeFixture(int64_t groups, ExprPtr where, ExprPtr having) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 16'000;
+  wspec.num_groups = groups;
+  ADAPTAGG_ASSIGN_OR_RETURN(PartitionedRelation rel,
+                            GenerateRelation(wspec));
+  QueryBuilder builder(&rel.schema());
+  if (where != nullptr) builder.Where(where);
+  builder.GroupBy({"g"}).Count("cnt").Sum("v", "total");
+  if (having != nullptr) builder.Having(having);
+  ADAPTAGG_ASSIGN_OR_RETURN(Query query, builder.Build());
+  return Fixture{std::move(rel), std::move(query)};
+}
+
+class WhereHavingProperty : public ::testing::TestWithParam<AlgorithmKind> {
+};
+
+TEST_P(WhereHavingProperty, WhereFiltersMatchOracle) {
+  ExprPtr where = Lt(ColNamed("v"), Lit(int64_t{50'000}));  // ~half
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(500, where, nullptr));
+  Cluster cluster(SmallClusterParams(4, 16'000, 256));
+  RunResult run = f.query.Execute(cluster, f.rel, GetParam());
+  ASSERT_OK(run.status);
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet expected,
+      FilteredReference(f.query.spec, f.rel, where, nullptr));
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected))
+      << "got " << run.results.num_rows() << " rows, expected "
+      << expected.num_rows();
+  EXPECT_LT(run.results.num_rows(), 501);
+}
+
+TEST_P(WhereHavingProperty, HavingFiltersMatchOracle) {
+  ExprPtr having = Ge(ColNamed("cnt"), Lit(int64_t{30}));
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(600, nullptr, having));
+  Cluster cluster(SmallClusterParams(4, 16'000, 256));
+  RunResult run = f.query.Execute(cluster, f.rel, GetParam());
+  ASSERT_OK(run.status);
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet expected,
+      FilteredReference(f.query.spec, f.rel, nullptr, having));
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  // HAVING actually dropped groups.
+  int64_t dropped = 0;
+  for (const auto& s : run.node_stats) {
+    dropped += s.rows_filtered_by_having;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(dropped + run.results.num_rows(), 600);
+}
+
+TEST_P(WhereHavingProperty, CombinedWhereAndHaving) {
+  ExprPtr where = Ge(ColNamed("v"), Lit(int64_t{10'000}));
+  ExprPtr having = Lt(ColNamed("total"), Lit(int64_t{1'000'000}));
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(300, where, having));
+  Cluster cluster(SmallClusterParams(4, 16'000, 128));
+  RunResult run = f.query.Execute(cluster, f.rel, GetParam());
+  ASSERT_OK(run.status);
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet expected,
+      FilteredReference(f.query.spec, f.rel, where, having));
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, WhereHavingProperty,
+    ::testing::ValuesIn(AllAlgorithms()),
+    [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+      std::string name = AlgorithmKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(WhereHaving, WhereThatDropsEverything) {
+  ExprPtr where = Lt(ColNamed("v"), Lit(int64_t{-1}));
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(100, where, nullptr));
+  Cluster cluster(SmallClusterParams(4, 16'000));
+  RunResult run =
+      f.query.Execute(cluster, f.rel, AlgorithmKind::kAdaptiveTwoPhase);
+  ASSERT_OK(run.status);
+  EXPECT_EQ(run.results.num_rows(), 0);
+}
+
+TEST(WhereHaving, InvalidPredicatesRejectedByClusterRun) {
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(100, nullptr, nullptr));
+  Cluster cluster(SmallClusterParams(4, 16'000));
+  AlgorithmOptions opts;
+  opts.where = Col(99);  // out of range for the input schema
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase),
+                              f.query.spec, f.rel, opts);
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_NE(run.status.message().find("WHERE"), std::string::npos);
+
+  AlgorithmOptions opts2;
+  opts2.having = ColNamed("does_not_exist");
+  RunResult run2 = cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase),
+                               f.query.spec, f.rel, opts2);
+  EXPECT_FALSE(run2.status.ok());
+  EXPECT_NE(run2.status.message().find("HAVING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaptagg

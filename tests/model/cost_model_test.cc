@@ -1,0 +1,176 @@
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+CostModel Paper32Model(NetworkKind net = NetworkKind::kHighBandwidth) {
+  CostModel::Config cfg;
+  cfg.params = SystemParams::Paper32();
+  cfg.params.network = net;
+  return CostModel(cfg);
+}
+
+TEST(ExpectedDistinct, Basics) {
+  EXPECT_DOUBLE_EQ(ExpectedDistinct(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedDistinct(5, 1), 1.0);
+  // One draw sees exactly one group.
+  EXPECT_NEAR(ExpectedDistinct(1, 1000), 1.0, 1e-9);
+  // Many draws saturate at the group count.
+  EXPECT_NEAR(ExpectedDistinct(1e7, 100), 100.0, 1e-6);
+  // Monotone in draws.
+  EXPECT_LT(ExpectedDistinct(10, 1000), ExpectedDistinct(100, 1000));
+}
+
+TEST(CostModel, BreakdownComponentsNonNegative) {
+  CostModel model = Paper32Model();
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    for (double s : {1.25e-7, 1e-5, 1e-3, 0.1, 0.5}) {
+      CostBreakdown b = model.Breakdown(kind, s);
+      EXPECT_GE(b.scan_io, 0);
+      EXPECT_GE(b.select_cpu, 0);
+      EXPECT_GE(b.agg_cpu, 0);
+      EXPECT_GE(b.overflow_io, 0);
+      EXPECT_GE(b.net_protocol, 0);
+      EXPECT_GE(b.net_wire, 0);
+      EXPECT_GE(b.store_io, 0);
+      EXPECT_GT(b.total(), 0) << AlgorithmKindToString(kind) << " " << s;
+    }
+  }
+}
+
+TEST(CostModel, ScanCostIsTheFloor) {
+  // Every algorithm at least scans its partition: 25 MB / 4 KB pages at
+  // 1.15 ms each ~ 7 s.
+  CostModel model = Paper32Model();
+  double scan = 25e6 / 4096 * 1.15e-3;
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    EXPECT_GE(model.Time(kind, 1e-6), scan);
+  }
+}
+
+TEST(CostModel, TwoPhaseBeatsRepartitioningAtLowSelectivity) {
+  CostModel model = Paper32Model();
+  double s = 1.25e-7;  // one group
+  EXPECT_LT(model.Time(AlgorithmKind::kTwoPhase, s),
+            model.Time(AlgorithmKind::kRepartitioning, s));
+}
+
+TEST(CostModel, RepartitioningBeatsTwoPhaseAtHighSelectivity) {
+  CostModel model = Paper32Model();
+  double s = 0.25;  // 2M groups on 8M tuples
+  EXPECT_LT(model.Time(AlgorithmKind::kRepartitioning, s),
+            model.Time(AlgorithmKind::kTwoPhase, s));
+}
+
+TEST(CostModel, CentralizedCoordinatorDominatesAtManyGroups) {
+  CostModel model = Paper32Model();
+  CostBreakdown low = model.Breakdown(AlgorithmKind::kCentralizedTwoPhase,
+                                      1e-6);
+  CostBreakdown high = model.Breakdown(AlgorithmKind::kCentralizedTwoPhase,
+                                       0.1);
+  EXPECT_GT(high.coord_time, 100 * low.coord_time);
+  // And C-2P is strictly worse than parallel 2P once merging matters.
+  EXPECT_GT(model.Time(AlgorithmKind::kCentralizedTwoPhase, 0.1),
+            model.Time(AlgorithmKind::kTwoPhase, 0.1));
+}
+
+TEST(CostModel, TwoPhaseOverflowKicksInBeyondTableBound) {
+  CostModel model = Paper32Model();
+  // Local groups per node: min(S*8M, 250K). M = 10K.
+  double s_fit = 10'000.0 / 8e6 / 2;   // well under M per node
+  double s_over = 0.1;                 // 250K local groups >> M
+  EXPECT_DOUBLE_EQ(
+      model.Breakdown(AlgorithmKind::kTwoPhase, s_fit).overflow_io, 0);
+  EXPECT_GT(model.Breakdown(AlgorithmKind::kTwoPhase, s_over).overflow_io,
+            0);
+}
+
+TEST(CostModel, LimitedBandwidthPunishesRepartitioning) {
+  CostModel high = Paper32Model(NetworkKind::kHighBandwidth);
+  CostModel low = Paper32Model(NetworkKind::kLimitedBandwidth);
+  double s = 1e-3;
+  double rep_high = high.Time(AlgorithmKind::kRepartitioning, s);
+  double rep_low = low.Time(AlgorithmKind::kRepartitioning, s);
+  // Serializing the full relation over one shared medium is brutal.
+  EXPECT_GT(rep_low, 3 * rep_high);
+  // Two Phase ships only partials at this selectivity; much less hit.
+  double tp_ratio = low.Time(AlgorithmKind::kTwoPhase, s) /
+                    high.Time(AlgorithmKind::kTwoPhase, s);
+  EXPECT_LT(tp_ratio, 2.0);
+}
+
+TEST(CostModel, PipelineConfigDropsScanAndStore) {
+  CostModel::Config cfg;
+  cfg.params = SystemParams::Paper32();
+  cfg.include_scan_io = false;
+  cfg.include_store_io = false;
+  CostModel pipeline(cfg);
+  CostModel full = Paper32Model();
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTwoPhase, AlgorithmKind::kRepartitioning}) {
+    CostBreakdown b = pipeline.Breakdown(kind, 1e-4);
+    EXPECT_DOUBLE_EQ(b.scan_io, 0);
+    EXPECT_DOUBLE_EQ(b.store_io, 0);
+    EXPECT_LT(b.total(), full.Time(kind, 1e-4));
+  }
+  // Overflow I/O is intermediate I/O and must survive pipeline mode.
+  EXPECT_GT(pipeline.Breakdown(AlgorithmKind::kTwoPhase, 0.25).overflow_io,
+            0);
+}
+
+TEST(CostModel, AdaptiveTwoPhaseMatchesTwoPhaseWhenTableFits) {
+  CostModel model = Paper32Model();
+  double s = 1e-6;  // 8 groups: never overflows
+  double a2p = model.Time(AlgorithmKind::kAdaptiveTwoPhase, s);
+  double tp = model.Time(AlgorithmKind::kTwoPhase, s);
+  EXPECT_NEAR(a2p, tp, 0.05 * tp);
+}
+
+TEST(CostModel, AdaptiveRepartitioningMatchesRepWhenGroupsAreMany) {
+  CostModel model = Paper32Model();
+  double s = 0.25;
+  EXPECT_DOUBLE_EQ(model.Time(AlgorithmKind::kAdaptiveRepartitioning, s),
+                   model.Time(AlgorithmKind::kRepartitioning, s));
+}
+
+TEST(CostModel, SamplingAddsOverheadButPicksTheWinner) {
+  CostModel model = Paper32Model();
+  for (double s : {1e-6, 0.25}) {
+    double samp = model.Time(AlgorithmKind::kSampling, s);
+    double best = std::min(model.Time(AlgorithmKind::kTwoPhase, s),
+                           model.Time(AlgorithmKind::kRepartitioning, s));
+    double worst = std::max(model.Time(AlgorithmKind::kTwoPhase, s),
+                            model.Time(AlgorithmKind::kRepartitioning, s));
+    EXPECT_GT(samp, best);          // sampling is not free
+    EXPECT_LT(samp, worst);         // but it avoids the wrong choice
+    CostBreakdown b = model.Breakdown(AlgorithmKind::kSampling, s);
+    EXPECT_GT(b.sample_cost, 0);
+  }
+}
+
+TEST(CostModel, ResolvedDefaults) {
+  CostModel model = Paper32Model();
+  EXPECT_EQ(model.crossover_threshold(), 3'200);
+  EXPECT_GT(model.sample_total(), 10'000);  // ~10x threshold
+  EXPECT_EQ(model.few_groups_threshold(), 3'200);
+  CostModel::Config cfg;
+  cfg.params = SystemParams::Paper32();
+  cfg.crossover_threshold = 50;
+  cfg.sample_size = 600;
+  cfg.few_groups_threshold = 10;
+  CostModel custom(cfg);
+  EXPECT_EQ(custom.crossover_threshold(), 50);
+  EXPECT_EQ(custom.sample_total(), 600);
+  EXPECT_EQ(custom.few_groups_threshold(), 10);
+}
+
+TEST(CostBreakdown, ToStringContainsTotal) {
+  CostModel model = Paper32Model();
+  CostBreakdown b = model.Breakdown(AlgorithmKind::kTwoPhase, 1e-4);
+  EXPECT_NE(b.ToString().find("total="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/cost_model.h"
+
+namespace adaptagg {
+namespace {
+
+std::vector<double> SelectivitySweep() {
+  // Log-spaced from one group to half the relation, as in the figures.
+  std::vector<double> out;
+  for (double s = 1.25e-7; s <= 0.5; s *= 4) out.push_back(s);
+  out.push_back(0.5);
+  return out;
+}
+
+CostModel MakeModel(NetworkKind net, int nodes = 32,
+                    int64_t tuples = 8'000'000) {
+  CostModel::Config cfg;
+  cfg.params = SystemParams::Paper32();
+  cfg.params.network = net;
+  cfg.params.num_nodes = nodes;
+  cfg.params.num_tuples = tuples;
+  return CostModel(cfg);
+}
+
+// The paper's headline claim (Figure 3): each adaptive algorithm tracks
+// the better of 2P and Rep across the whole selectivity range, within a
+// modest overhead factor.
+class AdaptiveTracksBest
+    : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(AdaptiveTracksBest, WithinFactorOfBestTraditional) {
+  CostModel model = MakeModel(NetworkKind::kHighBandwidth);
+  for (double s : SelectivitySweep()) {
+    double best = std::min(model.Time(AlgorithmKind::kTwoPhase, s),
+                           model.Time(AlgorithmKind::kRepartitioning, s));
+    double adaptive = model.Time(GetParam(), s);
+    EXPECT_LE(adaptive, 1.35 * best)
+        << AlgorithmKindToString(GetParam()) << " at S=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adaptive, AdaptiveTracksBest,
+    ::testing::Values(AlgorithmKind::kSampling,
+                      AlgorithmKind::kAdaptiveTwoPhase,
+                      AlgorithmKind::kAdaptiveRepartitioning),
+    [](const ::testing::TestParamInfo<AlgorithmKind>& info) {
+      std::string name = AlgorithmKindToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// And the converse motivation (Figure 1): each traditional algorithm has
+// a selectivity where it is clearly beaten.
+TEST(TraditionalWeaknesses, EachStaticAlgorithmLosesSomewhere) {
+  CostModel model = MakeModel(NetworkKind::kHighBandwidth);
+  // 2P loses clearly at very high selectivity (duplicated work plus
+  // overflow I/O; ~1.3x in this configuration).
+  EXPECT_GT(model.Time(AlgorithmKind::kTwoPhase, 0.5),
+            1.25 * model.Time(AlgorithmKind::kRepartitioning, 0.5));
+  // Rep loses at scalar aggregation (all work lands on one node).
+  EXPECT_GT(model.Time(AlgorithmKind::kRepartitioning, 1.25e-7),
+            1.2 * model.Time(AlgorithmKind::kTwoPhase, 1.25e-7));
+  // C-2P is no better than 2P anywhere, and much worse at high S.
+  for (double s : SelectivitySweep()) {
+    EXPECT_GE(model.Time(AlgorithmKind::kCentralizedTwoPhase, s) * 1.0001,
+              model.Time(AlgorithmKind::kTwoPhase, s));
+  }
+}
+
+TEST(Monotonicity, CostsGrowWithSelectivity) {
+  CostModel model = MakeModel(NetworkKind::kHighBandwidth);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kTwoPhase, AlgorithmKind::kCentralizedTwoPhase,
+        AlgorithmKind::kAdaptiveTwoPhase}) {
+    double prev = 0;
+    for (double s : SelectivitySweep()) {
+      double t = model.Time(kind, s);
+      EXPECT_GE(t, prev * 0.999)
+          << AlgorithmKindToString(kind) << " at S=" << s;
+      prev = t;
+    }
+  }
+}
+
+// Scaleup (Figures 5 and 6): growing the cluster and the relation
+// together should keep per-query time roughly flat for the adaptive
+// algorithms at both selectivity extremes.
+class ScaleupProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleupProperty, AdaptiveAlgorithmsScaleNearlyFlat) {
+  const double selectivity = GetParam();
+  const int64_t tuples_per_node = 250'000;
+  for (AlgorithmKind kind : {AlgorithmKind::kAdaptiveTwoPhase,
+                             AlgorithmKind::kAdaptiveRepartitioning}) {
+    double t8 = 0, t64 = 0;
+    for (int n : {8, 64}) {
+      CostModel model = MakeModel(NetworkKind::kHighBandwidth, n,
+                                  tuples_per_node * n);
+      double t = model.Time(kind, selectivity);
+      if (n == 8) {
+        t8 = t;
+      } else {
+        t64 = t;
+      }
+    }
+    EXPECT_LT(t64, 1.3 * t8)
+        << AlgorithmKindToString(kind) << " S=" << selectivity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExtremes, ScaleupProperty,
+                         ::testing::Values(2.0e-6, 0.25),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return info.param < 1e-3 ? "low" : "high";
+                         });
+
+TEST(Scaleup, SamplingOverheadGrowsWithClusterSize) {
+  // §4: the crossover threshold is proportional to N, so the sampling
+  // phase costs more on bigger clusters (the known suboptimal scaleup).
+  const double s = 2.0e-6;
+  CostModel m8 = MakeModel(NetworkKind::kHighBandwidth, 8, 2'000'000);
+  CostModel m64 = MakeModel(NetworkKind::kHighBandwidth, 64, 16'000'000);
+  EXPECT_GT(m64.Breakdown(AlgorithmKind::kSampling, s).sample_cost,
+            m8.Breakdown(AlgorithmKind::kSampling, s).sample_cost);
+}
+
+TEST(LowBandwidth, AdaptiveTwoPhaseResistsSlowNetworkBetterThanRep) {
+  // Figure 4's message: on Ethernet, Rep drowns in wire time while A-2P
+  // only repartitions what would otherwise spill.
+  CostModel::Config cfg;
+  cfg.params = SystemParams::Cluster8();
+  CostModel model(cfg);
+  for (double s : {1e-5, 1e-3}) {
+    EXPECT_LT(model.Time(AlgorithmKind::kAdaptiveTwoPhase, s),
+              model.Time(AlgorithmKind::kRepartitioning, s))
+        << s;
+  }
+}
+
+TEST(SampleSizeTradeoff, BiggerSamplesCostMoreButFixBorderlineCalls) {
+  // Figure 7's trade-off: sampling cost rises with sample size.
+  double prev_cost = 0;
+  for (int64_t sample : {1'000, 10'000, 100'000}) {
+    CostModel::Config cfg;
+    cfg.params = SystemParams::Paper32();
+    cfg.sample_size = sample;
+    CostModel model(cfg);
+    double cost =
+        model.Breakdown(AlgorithmKind::kSampling, 1e-4).sample_cost;
+    EXPECT_GT(cost, prev_cost);
+    prev_cost = cost;
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

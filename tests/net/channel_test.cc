@@ -1,0 +1,82 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace adaptagg {
+namespace {
+
+Message Make(MessageType type, int from) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  return m;
+}
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  ch.Push(Make(MessageType::kRawPage, 1));
+  ch.Push(Make(MessageType::kPartialPage, 2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.Pop().from, 1);
+  EXPECT_EQ(ch.Pop().from, 2);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, TryPopEmptyReturnsNothing) {
+  Channel ch;
+  EXPECT_FALSE(ch.TryPop().has_value());
+  ch.Push(Make(MessageType::kControl, 3));
+  auto m = ch.TryPop();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, 3);
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(Channel, BlockingPopWakesOnPush) {
+  Channel ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Push(Make(MessageType::kEndOfStream, 9));
+  });
+  Message m = ch.Pop();  // blocks until producer pushes
+  EXPECT_EQ(m.from, 9);
+  producer.join();
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel ch;
+  constexpr int kProducers = 4;
+  constexpr int kEach = 1'000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) {
+        ch.Push(Make(MessageType::kRawPage, p));
+      }
+    });
+  }
+  int counts[kProducers] = {};
+  for (int i = 0; i < kProducers * kEach; ++i) {
+    ++counts[ch.Pop().from];
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(counts[p], kEach);
+  }
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, PayloadMovesIntact) {
+  Channel ch;
+  Message m = Make(MessageType::kRawPage, 0);
+  m.payload.assign(4096, 0x5C);
+  ch.Push(std::move(m));
+  Message out = ch.Pop();
+  ASSERT_EQ(out.payload.size(), 4096u);
+  EXPECT_EQ(out.payload[4095], 0x5C);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,64 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace adaptagg {
+namespace {
+
+TEST(Message, SerializeDeserializeRoundtrip) {
+  Message m;
+  m.type = MessageType::kPartialPage;
+  m.from = 5;
+  m.phase = 1;
+  m.depart_time = 3.25;
+  m.payload = {1, 2, 3, 4, 5};
+
+  std::vector<uint8_t> wire = m.Serialize();
+  // Frame length prefix.
+  uint32_t len;
+  std::memcpy(&len, wire.data(), 4);
+  EXPECT_EQ(len, wire.size() - 4);
+
+  auto back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, MessageType::kPartialPage);
+  EXPECT_EQ(back->from, 5);
+  EXPECT_EQ(back->phase, 1u);
+  EXPECT_DOUBLE_EQ(back->depart_time, 3.25);
+  EXPECT_EQ(back->payload, m.payload);
+}
+
+TEST(Message, EmptyPayloadRoundtrip) {
+  Message m;
+  m.type = MessageType::kEndOfStream;
+  m.from = 0;
+  m.phase = 7;
+  std::vector<uint8_t> wire = m.Serialize();
+  auto back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, MessageType::kEndOfStream);
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(Message, DeserializeRejectsGarbage) {
+  uint8_t tiny[3] = {1, 2, 3};
+  EXPECT_FALSE(Message::Deserialize(tiny, 3).ok());
+
+  // Bad type byte.
+  Message m;
+  m.type = MessageType::kControl;
+  std::vector<uint8_t> wire = m.Serialize();
+  wire[4] = 200;
+  EXPECT_FALSE(
+      Message::Deserialize(wire.data() + 4, wire.size() - 4).ok());
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_EQ(MessageTypeToString(MessageType::kRawPage), "raw-page");
+  EXPECT_EQ(MessageTypeToString(MessageType::kEndOfPhase), "end-of-phase");
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,96 @@
+#include "net/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+Message PageMessage(size_t bytes) {
+  Message m;
+  m.type = MessageType::kRawPage;
+  m.payload.assign(bytes, 0);
+  return m;
+}
+
+TEST(NetworkModel, HighBandwidthChargesSenderProtocolPlusWire) {
+  SystemParams p = SystemParams::Paper32();  // high bandwidth
+  NetworkModel net(p);
+  CostClock clock;
+  Message m = PageMessage(4096);  // exactly one model page
+  net.OnSend(clock, m);
+  EXPECT_DOUBLE_EQ(clock.net_s(), p.m_p() + p.m_l());
+  EXPECT_DOUBLE_EQ(m.depart_time, clock.now());
+}
+
+TEST(NetworkModel, CostsScaleWithPayloadFraction) {
+  SystemParams p = SystemParams::Paper32();
+  NetworkModel net(p);
+  CostClock clock;
+  Message m = PageMessage(2048);  // half a model page
+  net.OnSend(clock, m);
+  EXPECT_DOUBLE_EQ(clock.net_s(), 0.5 * (p.m_p() + p.m_l()));
+}
+
+TEST(NetworkModel, EmptyPayloadIsFree) {
+  SystemParams p = SystemParams::Paper32();
+  NetworkModel net(p);
+  CostClock clock;
+  Message m;
+  m.type = MessageType::kEndOfStream;
+  net.OnSend(clock, m);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  net.OnReceive(clock, m);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(NetworkModel, ReceiverChargesOnlyOwnProtocolCost) {
+  SystemParams p = SystemParams::Paper32();
+  NetworkModel net(p);
+  CostClock sender;
+  sender.AddCpu(1.0);  // sender is at t=1s
+  Message m = PageMessage(4096);
+  net.OnSend(sender, m);
+  EXPECT_DOUBLE_EQ(m.depart_time, sender.now());
+
+  CostClock receiver;  // receiver still at t=0
+  net.OnReceive(receiver, m);
+  // The receiver pays protocol CPU but is not dragged to the sender's
+  // clock: completion time is max over nodes of own busy time (§2's
+  // no-overlap, fully-parallel accounting).
+  EXPECT_DOUBLE_EQ(receiver.now(), p.m_p());
+  EXPECT_DOUBLE_EQ(receiver.idle_s(), 0.0);
+}
+
+TEST(NetworkModel, LimitedBandwidthAccumulatesSerializedWire) {
+  SystemParams p = SystemParams::Cluster8();  // limited bandwidth
+  NetworkModel net(p);
+  const double wire = p.m_l();  // one full model page
+
+  CostClock a, b;
+  Message ma = PageMessage(4096);
+  Message mb = PageMessage(2048);
+  EXPECT_DOUBLE_EQ(net.serialized_wire_s(), 0.0);
+  net.OnSend(a, ma);
+  net.OnSend(b, mb);
+  // The shared medium's total occupancy is the sum of all transfers,
+  // regardless of which node sent them ("fixed data takes fixed time
+  // independent of the number of processors", §2).
+  EXPECT_NEAR(net.serialized_wire_s(), 1.5 * wire, 1e-12);
+  // Senders pay protocol CPU only; the wire occupies the medium, not the
+  // sender's processor.
+  EXPECT_NEAR(a.net_s(), p.m_p(), 1e-12);
+  EXPECT_NEAR(b.net_s(), 0.5 * p.m_p(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.idle_s(), 0.0);
+}
+
+TEST(NetworkModel, HighBandwidthHasNoSerializedWire) {
+  SystemParams p = SystemParams::Paper32();
+  NetworkModel net(p);
+  CostClock a;
+  Message m = PageMessage(4096);
+  net.OnSend(a, m);
+  EXPECT_DOUBLE_EQ(net.serialized_wire_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,81 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+Schema ThreeColSchema() {
+  return Schema({{"id", DataType::kInt64, 8},
+                 {"name", DataType::kBytes, 12},
+                 {"score", DataType::kDouble, 8}});
+}
+
+TEST(Schema, OffsetsAndWidth) {
+  Schema s = ThreeColSchema();
+  EXPECT_EQ(s.num_fields(), 3);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(1), 8);
+  EXPECT_EQ(s.offset(2), 20);
+  EXPECT_EQ(s.tuple_size(), 28);
+}
+
+TEST(Schema, NumericWidthsForced) {
+  // A declared width of 3 on an int64 is corrected to 8.
+  Schema s({{"x", DataType::kInt64, 3}});
+  EXPECT_EQ(s.field(0).width, 8);
+  EXPECT_EQ(s.tuple_size(), 8);
+}
+
+TEST(Schema, MakeRejectsBadInput) {
+  EXPECT_FALSE(Schema::Make({{"", DataType::kInt64, 8}}).ok());
+  EXPECT_FALSE(Schema::Make({{"a", DataType::kInt64, 8},
+                             {"a", DataType::kDouble, 8}})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({{"b", DataType::kBytes, 0}}).ok());
+  EXPECT_TRUE(Schema::Make({{"a", DataType::kInt64, 8},
+                            {"b", DataType::kBytes, 5}})
+                  .ok());
+}
+
+TEST(Schema, FieldIndex) {
+  Schema s = ThreeColSchema();
+  auto idx = s.FieldIndex("score");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2);
+  EXPECT_FALSE(s.FieldIndex("missing").ok());
+  EXPECT_EQ(s.FieldIndex("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Schema, Equals) {
+  EXPECT_TRUE(ThreeColSchema().Equals(ThreeColSchema()));
+  Schema other({{"id", DataType::kInt64, 8}});
+  EXPECT_FALSE(ThreeColSchema().Equals(other));
+  Schema renamed({{"id2", DataType::kInt64, 8},
+                  {"name", DataType::kBytes, 12},
+                  {"score", DataType::kDouble, 8}});
+  EXPECT_FALSE(ThreeColSchema().Equals(renamed));
+  Schema rewidth({{"id", DataType::kInt64, 8},
+                  {"name", DataType::kBytes, 13},
+                  {"score", DataType::kDouble, 8}});
+  EXPECT_FALSE(ThreeColSchema().Equals(rewidth));
+}
+
+TEST(Schema, ToStringMentionsFieldsAndSize) {
+  std::string str = ThreeColSchema().ToString();
+  EXPECT_NE(str.find("id:int64"), std::string::npos);
+  EXPECT_NE(str.find("name:bytes(12)"), std::string::npos);
+  EXPECT_NE(str.find("28B"), std::string::npos);
+}
+
+TEST(DataType, Names) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_EQ(DataTypeToString(DataType::kBytes), "bytes");
+  EXPECT_EQ(FixedWidth(DataType::kInt64), 8);
+  EXPECT_EQ(FixedWidth(DataType::kDouble), 8);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,103 @@
+#include "schema/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"k", DataType::kInt64, 8},
+                 {"tag", DataType::kBytes, 4},
+                 {"v", DataType::kDouble, 8}});
+}
+
+TEST(Tuple, SetGetRoundtrip) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetInt64(0, -17);
+  t.SetBytes(1, "ab");
+  t.SetDouble(2, 2.5);
+  TupleView v = t.view();
+  EXPECT_EQ(v.GetInt64(0), -17);
+  EXPECT_EQ(v.GetBytes(1), std::string("ab\0\0", 4));
+  EXPECT_DOUBLE_EQ(v.GetDouble(2), 2.5);
+  EXPECT_EQ(v.size(), s.tuple_size());
+  EXPECT_TRUE(v.valid());
+}
+
+TEST(Tuple, DefaultViewInvalid) {
+  TupleView v;
+  EXPECT_FALSE(v.valid());
+}
+
+TEST(Tuple, BytesTruncatedAndPadded) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetBytes(1, "abcdefgh");  // wider than 4
+  EXPECT_EQ(t.view().GetBytes(1), "abcd");
+  t.SetBytes(1, "x");
+  EXPECT_EQ(t.view().GetBytes(1), std::string("x\0\0\0", 4));
+}
+
+TEST(Tuple, SetValueTypeChecked) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetValue(0, Value(int64_t{5}));
+  t.SetValue(1, Value(std::string("zz")));
+  t.SetValue(2, Value(1.25));
+  EXPECT_EQ(t.view().GetValue(0), Value(int64_t{5}));
+  EXPECT_EQ(t.view().GetValue(2), Value(1.25));
+}
+
+TEST(Tuple, GetValueMaterializesEachType) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetInt64(0, 9);
+  t.SetBytes(1, "hi");
+  t.SetDouble(2, -0.5);
+  EXPECT_TRUE(t.view().GetValue(0).is_int64());
+  EXPECT_TRUE(t.view().GetValue(1).is_bytes());
+  EXPECT_TRUE(t.view().GetValue(2).is_double());
+  std::string str = t.view().ToString();
+  EXPECT_NE(str.find('9'), std::string::npos);
+}
+
+TEST(Tuple, ExtractKeySingleColumn) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetInt64(0, 0x0102030405060708LL);
+  std::vector<uint8_t> key;
+  ExtractKey(t.view(), {0}, key);
+  ASSERT_EQ(key.size(), 8u);
+  int64_t back;
+  std::memcpy(&back, key.data(), 8);
+  EXPECT_EQ(back, 0x0102030405060708LL);
+}
+
+TEST(Tuple, ExtractKeyMultiColumnConcatenates) {
+  Schema s = TestSchema();
+  TupleBuffer t(&s);
+  t.SetInt64(0, 1);
+  t.SetBytes(1, "abcd");
+  std::vector<uint8_t> key;
+  ExtractKey(t.view(), {1, 0}, key);  // order matters
+  ASSERT_EQ(key.size(), 12u);
+  EXPECT_EQ(key[0], 'a');
+  EXPECT_EQ(KeyWidth(s, {1, 0}), 12);
+  EXPECT_EQ(KeyWidth(s, {0, 1, 2}), 20);
+}
+
+TEST(Value, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(0.25).AsDouble(), 0.25);
+}
+
+TEST(Value, ToStringAndEquality) {
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value(std::string("s")).ToString(), "s");
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,93 @@
+#include "sim/cost_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace adaptagg {
+namespace {
+
+TEST(CostClock, ComponentsAccumulate) {
+  CostClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0);
+  c.AddCpu(1.0);
+  c.AddIo(2.0);
+  c.AddNet(0.5);
+  EXPECT_DOUBLE_EQ(c.cpu_s(), 1.0);
+  EXPECT_DOUBLE_EQ(c.io_s(), 2.0);
+  EXPECT_DOUBLE_EQ(c.net_s(), 0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 3.5);
+  EXPECT_DOUBLE_EQ(c.idle_s(), 0);
+}
+
+TEST(CostClock, AdvanceToOnlyMovesForward) {
+  CostClock c;
+  c.AddCpu(1.0);
+  c.AdvanceTo(0.5);  // in the past: no-op
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);
+  EXPECT_DOUBLE_EQ(c.idle_s(), 0);
+  c.AdvanceTo(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.5);
+  EXPECT_DOUBLE_EQ(c.idle_s(), 1.5);
+}
+
+TEST(CostClock, ResetClears) {
+  CostClock c;
+  c.AddIo(3.0);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0);
+  EXPECT_DOUBLE_EQ(c.io_s(), 0);
+}
+
+TEST(CostClock, ToStringHasComponents) {
+  CostClock c;
+  c.AddCpu(0.25);
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("cpu=0.25"), std::string::npos);
+}
+
+TEST(SharedEther, SequentialReservations) {
+  SharedEther ether;
+  // First sender at t=0 for 2s -> [0,2).
+  EXPECT_DOUBLE_EQ(ether.Acquire(0.0, 2.0), 0.0);
+  // Second wants t=1 but medium busy until 2 -> starts at 2.
+  EXPECT_DOUBLE_EQ(ether.Acquire(1.0, 1.0), 2.0);
+  // Third arrives later than the medium frees -> starts at its own time.
+  EXPECT_DOUBLE_EQ(ether.Acquire(10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ether.busy_until(), 11.0);
+  ether.Reset();
+  EXPECT_DOUBLE_EQ(ether.busy_until(), 0.0);
+}
+
+TEST(SharedEther, ConcurrentAcquisitionsNeverOverlap) {
+  SharedEther ether;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<std::pair<double, double>>> slots(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          double start = ether.Acquire(0.0, 0.001);
+          slots[t].emplace_back(start, start + 0.001);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  // Collect all intervals; after sorting they must tile without overlap.
+  std::vector<std::pair<double, double>> all;
+  for (auto& v : slots) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].first, all[i - 1].second - 1e-12)
+        << "interval " << i << " overlaps its predecessor";
+  }
+  EXPECT_NEAR(ether.busy_until(), kThreads * kPerThread * 0.001, 1e-6);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,54 @@
+#include "sim/params.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+TEST(SystemParams, Paper32Defaults) {
+  SystemParams p = SystemParams::Paper32();
+  EXPECT_EQ(p.num_nodes, 32);
+  EXPECT_EQ(p.num_tuples, 8'000'000);
+  EXPECT_EQ(p.tuple_bytes, 100);
+  EXPECT_EQ(p.page_bytes, 4096);
+  EXPECT_EQ(p.max_hash_entries, 10'000);
+  EXPECT_EQ(p.network, NetworkKind::kHighBandwidth);
+  // 800 MB relation.
+  EXPECT_DOUBLE_EQ(p.relation_bytes(), 8e8);
+  EXPECT_DOUBLE_EQ(p.tuples_per_node(), 250'000.0);
+  EXPECT_DOUBLE_EQ(p.bytes_per_node(), 25e6);
+}
+
+TEST(SystemParams, InstructionTimesAt40Mips) {
+  SystemParams p = SystemParams::Paper32();
+  // 300 instructions at 40 MIPS = 7.5 microseconds.
+  EXPECT_DOUBLE_EQ(p.t_r(), 7.5e-6);
+  EXPECT_DOUBLE_EQ(p.t_w(), 2.5e-6);
+  EXPECT_DOUBLE_EQ(p.t_h(), 10e-6);
+  EXPECT_DOUBLE_EQ(p.t_a(), 7.5e-6);
+  EXPECT_DOUBLE_EQ(p.t_d(), 0.25e-6);
+  EXPECT_DOUBLE_EQ(p.m_p(), 25e-6);
+  EXPECT_DOUBLE_EQ(p.m_l(), 2e-3);
+}
+
+TEST(SystemParams, Cluster8MatchesImplementationSection) {
+  SystemParams p = SystemParams::Cluster8();
+  EXPECT_EQ(p.num_nodes, 8);
+  EXPECT_EQ(p.num_tuples, 2'000'000);
+  EXPECT_EQ(p.network, NetworkKind::kLimitedBandwidth);
+  // 25 MB per node, as in §5.
+  EXPECT_DOUBLE_EQ(p.bytes_per_node(), 25e6);
+  // 10 Mbit/s Ethernet: ~3.28 ms per 4 KB page.
+  EXPECT_NEAR(p.m_l(), 4096.0 * 8 / 10e6, 1e-9);
+}
+
+TEST(SystemParams, ToStringMentionsKeyValues) {
+  std::string s = SystemParams::Paper32().ToString();
+  EXPECT_NE(s.find("N=32"), std::string::npos);
+  EXPECT_NE(s.find("high-bandwidth"), std::string::npos);
+  EXPECT_EQ(NetworkKindToString(NetworkKind::kLimitedBandwidth),
+            "limited-bandwidth");
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,154 @@
+#include "sort/external_sorter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/random.h"
+
+namespace adaptagg {
+namespace {
+
+class ExternalSorterTest : public ::testing::Test {
+ protected:
+  ExternalSorterTest() : disk_(512) {}
+
+  // 16-byte records: [int64 key][int64 payload]; key compared as the
+  // big-endian-agnostic memcmp order of its little-endian bytes is NOT
+  // numeric order, so tests use non-negative keys built to make memcmp
+  // order meaningful via a big-endian encoding helper.
+  static std::vector<uint8_t> Rec(uint64_t key, int64_t payload) {
+    std::vector<uint8_t> r(16);
+    // Store the key big-endian so memcmp order == numeric order.
+    for (int i = 0; i < 8; ++i) {
+      r[static_cast<size_t>(i)] =
+          static_cast<uint8_t>(key >> (8 * (7 - i)));
+    }
+    std::memcpy(r.data() + 8, &payload, 8);
+    return r;
+  }
+
+  static uint64_t KeyOf(const uint8_t* rec) {
+    uint64_t k = 0;
+    for (int i = 0; i < 8; ++i) k = (k << 8) | rec[i];
+    return k;
+  }
+
+  SimDisk disk_;
+};
+
+TEST_F(ExternalSorterTest, InMemoryOnlySorts) {
+  ExternalSorter sorter(&disk_, 16, 0, 8, /*max_records=*/100, "s");
+  for (uint64_t k : {5ULL, 1ULL, 9ULL, 3ULL, 7ULL}) {
+    ASSERT_TRUE(sorter.Add(Rec(k, 0).data()).ok());
+  }
+  EXPECT_EQ(sorter.num_runs(), 0);
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  std::vector<uint64_t> got;
+  while (const uint8_t* r = stream->Next()) got.push_back(KeyOf(r));
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(sorter.run_pages_written(), 0);
+}
+
+TEST_F(ExternalSorterTest, SpillsRunsAndMerges) {
+  ExternalSorter sorter(&disk_, 16, 0, 8, /*max_records=*/64, "s");
+  Prng prng(7);
+  constexpr int kCount = 2'000;
+  std::map<uint64_t, int> expected;
+  for (int i = 0; i < kCount; ++i) {
+    uint64_t k = prng.NextBelow(500);
+    ++expected[k];
+    ASSERT_TRUE(sorter.Add(Rec(k, i).data()).ok());
+  }
+  EXPECT_GT(sorter.num_runs(), 10);
+  EXPECT_GT(sorter.run_pages_written(), 0);
+
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  uint64_t prev = 0;
+  int64_t count = 0;
+  std::map<uint64_t, int> got;
+  while (const uint8_t* r = stream->Next()) {
+    uint64_t k = KeyOf(r);
+    EXPECT_GE(k, prev) << "out of order at record " << count;
+    prev = k;
+    ++got[k];
+    ++count;
+  }
+  ASSERT_TRUE(stream->status().ok());
+  EXPECT_EQ(count, kCount);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExternalSorterTest, EmptyInput) {
+  ExternalSorter sorter(&disk_, 16, 0, 8, 10, "s");
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->Next(), nullptr);
+}
+
+TEST_F(ExternalSorterTest, DuplicateKeysAllSurvive) {
+  ExternalSorter sorter(&disk_, 16, 0, 8, /*max_records=*/8, "s");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sorter.Add(Rec(42, i).data()).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  int64_t payload_sum = 0;
+  int count = 0;
+  while (const uint8_t* r = stream->Next()) {
+    EXPECT_EQ(KeyOf(r), 42u);
+    int64_t p;
+    std::memcpy(&p, r + 8, 8);
+    payload_sum += p;
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(payload_sum, 99 * 100 / 2);
+}
+
+TEST_F(ExternalSorterTest, KeyInMiddleOfRecord) {
+  // key_offset > 0: sort 24-byte records by bytes [8, 16).
+  ExternalSorter sorter(&disk_, 24, 8, 8, 4, "s");
+  for (uint64_t k : {3ULL, 1ULL, 2ULL, 9ULL, 0ULL, 5ULL}) {
+    std::vector<uint8_t> r(24, 0xEE);
+    for (int i = 0; i < 8; ++i) {
+      r[static_cast<size_t>(8 + i)] =
+          static_cast<uint8_t>(k >> (8 * (7 - i)));
+    }
+    ASSERT_TRUE(sorter.Add(r.data()).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  std::vector<uint64_t> got;
+  while (const uint8_t* r = stream->Next()) {
+    uint64_t k = 0;
+    for (int i = 0; i < 8; ++i) k = (k << 8) | r[8 + i];
+    got.push_back(k);
+  }
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 1, 2, 3, 5, 9}));
+}
+
+TEST_F(ExternalSorterTest, StableAcrossPageBoundaries) {
+  // Records per 512-byte page: (512-4)/16 = 31; runs of 40 span pages.
+  ExternalSorter sorter(&disk_, 16, 0, 8, 40, "s");
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        sorter.Add(Rec(static_cast<uint64_t>(500 - i), i).data()).ok());
+  }
+  auto stream = sorter.Finish();
+  ASSERT_TRUE(stream.ok());
+  uint64_t prev = 0;
+  int count = 0;
+  while (const uint8_t* r = stream->Next()) {
+    EXPECT_GE(KeyOf(r), prev);
+    prev = KeyOf(r);
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+}  // namespace
+}  // namespace adaptagg

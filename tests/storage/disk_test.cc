@@ -1,0 +1,120 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+namespace adaptagg {
+namespace {
+
+std::vector<uint8_t> MakePage(int page_size, uint8_t fill) {
+  return std::vector<uint8_t>(static_cast<size_t>(page_size), fill);
+}
+
+class DiskTest : public ::testing::TestWithParam<bool /*use_file_disk*/> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      const char* tmp = std::getenv("TMPDIR");
+      disk_ = std::make_unique<FileDisk>(tmp != nullptr ? tmp : "/tmp", 512);
+    } else {
+      disk_ = std::make_unique<SimDisk>(512);
+    }
+  }
+  std::unique_ptr<Disk> disk_;
+};
+
+TEST_P(DiskTest, CreateAppendReadRoundtrip) {
+  auto file = disk_->CreateFile("t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(disk_->AppendPage(*file, MakePage(512, 0xAA)).ok());
+  ASSERT_TRUE(disk_->AppendPage(*file, MakePage(512, 0xBB)).ok());
+  auto pages = disk_->NumPages(*file);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(*pages, 2);
+
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(disk_->ReadPage(*file, 0, out).ok());
+  EXPECT_EQ(out[0], 0xAA);
+  ASSERT_TRUE(disk_->ReadPage(*file, 1, out).ok());
+  EXPECT_EQ(out[511], 0xBB);
+}
+
+TEST_P(DiskTest, ErrorsOnBadArguments) {
+  auto file = disk_->CreateFile("t");
+  ASSERT_TRUE(file.ok());
+  // Wrong page size.
+  EXPECT_EQ(disk_->AppendPage(*file, MakePage(100, 0)).code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range read.
+  std::vector<uint8_t> out;
+  EXPECT_EQ(disk_->ReadPage(*file, 0, out).code(),
+            StatusCode::kOutOfRange);
+  // Unknown file id.
+  EXPECT_EQ(disk_->ReadPage(9999, 0, out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk_->NumPages(9999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk_->DeleteFile(9999).code(), StatusCode::kNotFound);
+}
+
+TEST_P(DiskTest, DeleteRemovesFile) {
+  auto file = disk_->CreateFile("t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(disk_->AppendPage(*file, MakePage(512, 1)).ok());
+  ASSERT_TRUE(disk_->DeleteFile(*file).ok());
+  std::vector<uint8_t> out;
+  EXPECT_EQ(disk_->ReadPage(*file, 0, out).code(), StatusCode::kNotFound);
+}
+
+TEST_P(DiskTest, StatsDistinguishSequentialAndRandom) {
+  auto file = disk_->CreateFile("t");
+  ASSERT_TRUE(file.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        disk_->AppendPage(*file, MakePage(512, static_cast<uint8_t>(i)))
+            .ok());
+  }
+  EXPECT_EQ(disk_->stats().pages_written, 10);
+
+  std::vector<uint8_t> out;
+  // Sequential scan 0..9.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(disk_->ReadPage(*file, i, out).ok());
+  }
+  EXPECT_EQ(disk_->stats().pages_read_seq, 10);
+  EXPECT_EQ(disk_->stats().pages_read_rand, 0);
+
+  // Jumping around is random.
+  ASSERT_TRUE(disk_->ReadPage(*file, 5, out).ok());
+  ASSERT_TRUE(disk_->ReadPage(*file, 2, out).ok());
+  EXPECT_EQ(disk_->stats().pages_read_rand, 2);
+  // ...but continuing from a jump is sequential again.
+  ASSERT_TRUE(disk_->ReadPage(*file, 3, out).ok());
+  EXPECT_EQ(disk_->stats().pages_read_seq, 11);
+  EXPECT_EQ(disk_->stats().pages_read(), 13);
+
+  disk_->ResetStats();
+  EXPECT_EQ(disk_->stats().pages_read(), 0);
+  EXPECT_EQ(disk_->stats().pages_written, 0);
+}
+
+TEST_P(DiskTest, MultipleFilesIndependent) {
+  auto f1 = disk_->CreateFile("a");
+  auto f2 = disk_->CreateFile("b");
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_NE(*f1, *f2);
+  ASSERT_TRUE(disk_->AppendPage(*f1, MakePage(512, 1)).ok());
+  ASSERT_TRUE(disk_->AppendPage(*f2, MakePage(512, 2)).ok());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(disk_->ReadPage(*f2, 0, out).ok());
+  EXPECT_EQ(out[0], 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(SimAndFile, DiskTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FileDisk" : "SimDisk";
+                         });
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,71 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+TEST(Page, Capacity) {
+  EXPECT_EQ(PageBuilder::Capacity(4096, 100), 40);
+  EXPECT_EQ(PageBuilder::Capacity(2048, 16), 127);  // header costs 4 bytes
+  EXPECT_EQ(PageBuilder::Capacity(4096, 4092), 1);
+}
+
+TEST(Page, AppendAndReadBack) {
+  PageBuilder builder(256, 8);
+  int cap = PageBuilder::Capacity(256, 8);
+  for (int64_t i = 0; i < cap; ++i) {
+    ASSERT_FALSE(builder.full());
+    builder.Append(reinterpret_cast<const uint8_t*>(&i));
+  }
+  EXPECT_TRUE(builder.full());
+  std::vector<uint8_t> page = builder.Finish();
+  ASSERT_EQ(page.size(), 256u);
+
+  PageReader reader(page.data(), 256, 8);
+  ASSERT_EQ(reader.count(), cap);
+  for (int i = 0; i < cap; ++i) {
+    int64_t v;
+    std::memcpy(&v, reader.record(i), 8);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(Page, BuilderResetsAfterFinish) {
+  PageBuilder builder(128, 16);
+  uint8_t rec[16] = {1};
+  builder.Append(rec);
+  EXPECT_EQ(builder.count(), 1);
+  std::vector<uint8_t> first = builder.Finish();
+  EXPECT_EQ(builder.count(), 0);
+  EXPECT_TRUE(builder.empty());
+
+  rec[0] = 2;
+  builder.Append(rec);
+  std::vector<uint8_t> second = builder.Finish();
+  PageReader r1(first.data(), 128, 16);
+  PageReader r2(second.data(), 128, 16);
+  EXPECT_EQ(r1.record(0)[0], 1);
+  EXPECT_EQ(r2.record(0)[0], 2);
+}
+
+TEST(Page, PartialPageKeepsCount) {
+  PageBuilder builder(4096, 100);
+  uint8_t rec[100] = {};
+  builder.Append(rec);
+  builder.Append(rec);
+  builder.Append(rec);
+  std::vector<uint8_t> page = builder.Finish();
+  PageReader reader(page.data(), 4096, 100);
+  EXPECT_EQ(reader.count(), 3);
+}
+
+TEST(Page, EmptyPage) {
+  PageBuilder builder(512, 32);
+  std::vector<uint8_t> page = builder.Finish();
+  PageReader reader(page.data(), 512, 32);
+  EXPECT_EQ(reader.count(), 0);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,127 @@
+#include "storage/spill_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace adaptagg {
+namespace {
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  SpillFileTest() : disk_(256) {}
+
+  SpillWriter MakeWriter(int raw_width, int partial_width) {
+    auto w = SpillWriter::Create(&disk_, "spill", raw_width, partial_width);
+    EXPECT_TRUE(w.ok());
+    return std::move(w).value();
+  }
+
+  SimDisk disk_;
+};
+
+TEST_F(SpillFileTest, MixedTagRoundtrip) {
+  SpillWriter w = MakeWriter(/*raw=*/16, /*partial=*/24);
+  uint8_t raw[16];
+  uint8_t partial[24];
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      std::memset(partial, i, sizeof(partial));
+      ASSERT_TRUE(w.Append(SpillTag::kPartial, partial).ok());
+    } else {
+      std::memset(raw, i, sizeof(raw));
+      ASSERT_TRUE(w.Append(SpillTag::kRaw, raw).ok());
+    }
+  }
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_records(), 100);
+  EXPECT_GT(w.num_pages(), 1);
+
+  SpillReader reader(&w);
+  SpillTag tag;
+  const uint8_t* rec = nullptr;
+  int i = 0;
+  while (reader.Next(&tag, &rec)) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(tag, SpillTag::kPartial);
+      EXPECT_EQ(rec[23], static_cast<uint8_t>(i));
+    } else {
+      EXPECT_EQ(tag, SpillTag::kRaw);
+      EXPECT_EQ(rec[15], static_cast<uint8_t>(i));
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, 100);
+  EXPECT_EQ(reader.pages_read(), w.num_pages());
+}
+
+TEST_F(SpillFileTest, EmptySpill) {
+  SpillWriter w = MakeWriter(8, 8);
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_pages(), 0);
+  SpillReader reader(&w);
+  SpillTag tag;
+  const uint8_t* rec;
+  EXPECT_FALSE(reader.Next(&tag, &rec));
+}
+
+TEST_F(SpillFileTest, FlushMidStreamPreservesOrder) {
+  SpillWriter w = MakeWriter(8, 8);
+  int64_t v = 1;
+  ASSERT_TRUE(w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  ASSERT_TRUE(w.Flush().ok());
+  v = 2;
+  ASSERT_TRUE(w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_pages(), 2);
+
+  SpillReader reader(&w);
+  SpillTag tag;
+  const uint8_t* rec;
+  ASSERT_TRUE(reader.Next(&tag, &rec));
+  int64_t out;
+  std::memcpy(&out, rec, 8);
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(reader.Next(&tag, &rec));
+  std::memcpy(&out, rec, 8);
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(reader.Next(&tag, &rec));
+}
+
+TEST_F(SpillFileTest, DoubleFlushNoEmptyPage) {
+  SpillWriter w = MakeWriter(8, 8);
+  int64_t v = 1;
+  ASSERT_TRUE(w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  ASSERT_TRUE(w.Flush().ok());
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_pages(), 1);
+}
+
+TEST_F(SpillFileTest, DropReleasesFile) {
+  SpillWriter w = MakeWriter(8, 8);
+  int64_t v = 9;
+  ASSERT_TRUE(w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  ASSERT_TRUE(w.Flush().ok());
+  ASSERT_TRUE(w.Drop().ok());
+  std::vector<uint8_t> page;
+  EXPECT_FALSE(disk_.ReadPage(w.file_id(), 0, page).ok());
+}
+
+TEST_F(SpillFileTest, PagePackingRespectsFrameOverhead) {
+  // 256-byte pages, 4-byte header, frames of 1+8 bytes -> 28 per page.
+  SpillWriter w = MakeWriter(8, 0);
+  int64_t v = 0;
+  for (int i = 0; i < 28; ++i) {
+    ASSERT_TRUE(
+        w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  }
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_pages(), 1);
+  ASSERT_TRUE(
+      w.Append(SpillTag::kRaw, reinterpret_cast<uint8_t*>(&v)).ok());
+  ASSERT_TRUE(w.Flush().ok());
+  EXPECT_EQ(w.num_pages(), 2);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,70 @@
+#ifndef ADAPTAGG_TESTS_TEST_UTIL_H_
+#define ADAPTAGG_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "agg/reference.h"
+#include "cluster/cluster.h"
+#include "core/algorithm.h"
+#include "workload/generator.h"
+
+namespace adaptagg {
+namespace testing_util {
+
+/// gtest helpers for Status/Result.
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    const ::adaptagg::Status _st = (expr);                     \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    const ::adaptagg::Status _st = (expr);                     \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      ADAPTAGG_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)              \
+  auto tmp = (expr);                                           \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();            \
+  lhs = std::move(tmp).value();
+
+/// Small engine-test parameters: fast runs, deliberately tiny hash table
+/// bound so overflow/adaptive paths actually trigger.
+inline SystemParams SmallClusterParams(int num_nodes,
+                                       int64_t num_tuples,
+                                       int64_t max_hash_entries = 512) {
+  SystemParams p;
+  p.num_nodes = num_nodes;
+  p.num_tuples = num_tuples;
+  p.max_hash_entries = max_hash_entries;
+  p.network = NetworkKind::kHighBandwidth;
+  return p;
+}
+
+/// Runs `kind` over `rel` and checks the gathered result against the
+/// single-threaded reference oracle.
+inline void ExpectMatchesReference(AlgorithmKind kind,
+                                   const SystemParams& params,
+                                   const AggregationSpec& spec,
+                                   PartitionedRelation& rel,
+                                   AlgorithmOptions options = {}) {
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+  Cluster cluster(params);
+  RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, options);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected))
+      << AlgorithmKindToString(kind) << ": got " << run.results.num_rows()
+      << " rows, expected " << expected.num_rows();
+}
+
+}  // namespace testing_util
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_TESTS_TEST_UTIL_H_

@@ -1,0 +1,77 @@
+#include "workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace adaptagg {
+namespace {
+
+TEST(Zipf, ValuesInDomain) {
+  ZipfGenerator zipf(100, 0.9, 1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnHeadItems) {
+  ZipfGenerator zipf(1'000, 0.9, 2);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  // Item 0 dominates; the top-10 items take a large share.
+  int head = 0;
+  for (uint64_t g = 0; g < 10; ++g) head += counts[g];
+  EXPECT_GT(counts[0], kDraws / 20);
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(Zipf, ThetaZeroIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  for (uint64_t g = 0; g < 10; ++g) {
+    EXPECT_GT(counts[g], kDraws / 10 * 0.85) << g;
+    EXPECT_LT(counts[g], kDraws / 10 * 1.15) << g;
+  }
+}
+
+TEST(Zipf, DeterministicPerSeed) {
+  ZipfGenerator a(50, 0.5, 9), b(50, 0.5, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(GroupIdSource, SequentialExactRoundRobin) {
+  GroupIdSource src(GroupDistribution::kSequential, 5, 0, 1);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t g = 0; g < 5; ++g) {
+      EXPECT_EQ(src.Next(), g);
+    }
+  }
+}
+
+TEST(GroupIdSource, UniformCoversAllGroups) {
+  GroupIdSource src(GroupDistribution::kUniform, 16, 0, 2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 5'000; ++i) ++counts[src.Next()];
+  EXPECT_EQ(counts.size(), 16u);
+}
+
+TEST(GroupIdSource, ZipfPathWorks) {
+  GroupIdSource src(GroupDistribution::kZipf, 100, 0.8, 3);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(src.Next(), 100u);
+  }
+}
+
+TEST(GroupDistribution, Names) {
+  EXPECT_EQ(GroupDistributionToString(GroupDistribution::kUniform),
+            "uniform");
+  EXPECT_EQ(GroupDistributionToString(GroupDistribution::kZipf), "zipf");
+  EXPECT_EQ(GroupDistributionToString(GroupDistribution::kSequential),
+            "sequential");
+}
+
+}  // namespace
+}  // namespace adaptagg

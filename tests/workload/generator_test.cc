@@ -1,0 +1,160 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "agg/reference.h"
+
+namespace adaptagg {
+namespace {
+
+TEST(BenchSchema, HundredByteTuple) {
+  Schema s = MakeBenchSchema(100);
+  EXPECT_EQ(s.tuple_size(), 100);
+  EXPECT_EQ(s.field(kBenchGroupCol).name, "g");
+  EXPECT_EQ(s.field(kBenchValueCol).name, "v");
+  EXPECT_EQ(MakeBenchSchema(16).tuple_size(), 16);
+}
+
+TEST(Generator, TotalAndPerNodeCounts) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.num_tuples = 10'000;
+  spec.num_groups = 100;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->total_tuples(), 10'000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rel->partition(i).num_tuples(), 2'500);
+  }
+}
+
+TEST(Generator, GroupDomainRespected) {
+  WorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.num_tuples = 5'000;
+  spec.num_groups = 37;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  std::set<int64_t> groups;
+  for (int node = 0; node < 2; ++node) {
+    HeapFileScanner scan(&rel->partition(node));
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      int64_t g = t.GetInt64(kBenchGroupCol);
+      ASSERT_GE(g, 0);
+      ASSERT_LT(g, 37);
+      groups.insert(g);
+    }
+  }
+  EXPECT_EQ(groups.size(), 37u);  // 5000 uniform draws cover 37 groups
+}
+
+TEST(Generator, DeterministicInSeed) {
+  WorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.num_tuples = 1'000;
+  spec.num_groups = 10;
+  spec.seed = 42;
+  auto a = GenerateRelation(spec);
+  auto b = GenerateRelation(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto qa = MakeBenchQuery(&a->schema());
+  ASSERT_TRUE(qa.ok());
+  auto ra = ReferenceAggregate(*qa, *a);
+  auto rb = ReferenceAggregate(*qa, *b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ResultSetsEqual(*ra, *rb, 0.0));
+
+  spec.seed = 43;
+  auto c = GenerateRelation(spec);
+  ASSERT_TRUE(c.ok());
+  auto rc = ReferenceAggregate(*qa, *c);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_FALSE(ResultSetsEqual(*ra, *rc, 0.0));
+}
+
+TEST(Generator, InputSkewQuotas) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.num_tuples = 10'000;
+  spec.num_groups = 10;
+  spec.input_skew_factor = 3.0;
+  spec.input_skew_nodes = 2;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  // Weights 3,3,1,1 over 10000 -> 3750,3750,1250,1250.
+  EXPECT_NEAR(rel->partition(0).num_tuples(), 3'750, 2);
+  EXPECT_NEAR(rel->partition(1).num_tuples(), 3'750, 2);
+  EXPECT_NEAR(rel->partition(2).num_tuples(), 1'250, 2);
+  EXPECT_NEAR(rel->partition(3).num_tuples(), 1'250, 2);
+  EXPECT_EQ(rel->total_tuples(), 10'000);
+}
+
+TEST(Generator, HashPlacementColocatesGroups) {
+  WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.num_tuples = 4'000;
+  spec.num_groups = 40;
+  spec.placement = Placement::kHashOnGroup;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  // Each group must live on exactly one node.
+  std::map<int64_t, std::set<int>> where;
+  for (int node = 0; node < 4; ++node) {
+    HeapFileScanner scan(&rel->partition(node));
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      where[t.GetInt64(kBenchGroupCol)].insert(node);
+    }
+  }
+  for (const auto& [g, nodes] : where) {
+    EXPECT_EQ(nodes.size(), 1u) << "group " << g << " split across nodes";
+  }
+}
+
+TEST(Generator, SequentialDistributionExactGroupSizes) {
+  WorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.num_tuples = 1'000;
+  spec.num_groups = 10;
+  spec.distribution = GroupDistribution::kSequential;
+  auto rel = GenerateRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  auto q = MakeBenchQuery(&rel->schema());
+  ASSERT_TRUE(q.ok());
+  auto ref = ReferenceAggregate(*q, *rel);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_EQ(ref->num_rows(), 10);
+  for (int64_t i = 0; i < ref->num_rows(); ++i) {
+    EXPECT_EQ(ref->row(i).GetInt64(1), 100);  // exact count per group
+  }
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  WorkloadSpec spec;
+  spec.num_nodes = 0;
+  EXPECT_FALSE(GenerateRelation(spec).ok());
+  spec = WorkloadSpec();
+  spec.num_groups = 0;
+  EXPECT_FALSE(GenerateRelation(spec).ok());
+  spec = WorkloadSpec();
+  spec.num_tuples = 10;
+  spec.num_groups = 20;  // more groups than tuples
+  EXPECT_FALSE(GenerateRelation(spec).ok());
+  spec = WorkloadSpec();
+  spec.input_skew_factor = 0.5;  // < 1
+  EXPECT_FALSE(GenerateRelation(spec).ok());
+}
+
+TEST(Generator, SelectivityHelper) {
+  WorkloadSpec spec;
+  spec.num_tuples = 1'000'000;
+  spec.num_groups = 250;
+  EXPECT_DOUBLE_EQ(spec.selectivity(), 2.5e-4);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,84 @@
+#include "workload/skew.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agg/reference.h"
+
+namespace adaptagg {
+namespace {
+
+TEST(OutputSkew, Figure9Layout) {
+  OutputSkewSpec spec;
+  spec.num_nodes = 8;
+  spec.single_group_nodes = 4;
+  spec.num_tuples = 8'000;
+  spec.num_groups = 100;
+  auto rel = GenerateOutputSkewRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->total_tuples(), 8'000);
+
+  for (int node = 0; node < 8; ++node) {
+    std::set<int64_t> groups;
+    HeapFileScanner scan(&rel->partition(node));
+    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+      groups.insert(t.GetInt64(kBenchGroupCol));
+    }
+    if (node < 4) {
+      // Single-group nodes hold exactly their own group id.
+      ASSERT_EQ(groups.size(), 1u) << node;
+      EXPECT_EQ(*groups.begin(), node);
+    } else {
+      // The busy nodes hold many of the remaining 96 groups and none of
+      // the four singleton groups.
+      EXPECT_GT(groups.size(), 50u) << node;
+      for (int64_t g : groups) {
+        EXPECT_GE(g, 4);
+        EXPECT_LT(g, 100);
+      }
+    }
+  }
+}
+
+TEST(OutputSkew, EqualTuplesPerNode) {
+  OutputSkewSpec spec;
+  spec.num_tuples = 8'001;  // remainder goes to the last node
+  spec.num_groups = 64;
+  auto rel = GenerateOutputSkewRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  for (int node = 0; node < 7; ++node) {
+    EXPECT_EQ(rel->partition(node).num_tuples(), 1'000);
+  }
+  EXPECT_EQ(rel->partition(7).num_tuples(), 1'001);
+}
+
+TEST(OutputSkew, AllGroupsPresent) {
+  OutputSkewSpec spec;
+  spec.num_tuples = 40'000;
+  spec.num_groups = 500;
+  auto rel = GenerateOutputSkewRelation(spec);
+  ASSERT_TRUE(rel.ok());
+  auto q = MakeBenchQuery(&rel->schema());
+  ASSERT_TRUE(q.ok());
+  auto ref = ReferenceAggregate(*q, *rel);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->num_rows(), 500);
+}
+
+TEST(OutputSkew, Validation) {
+  OutputSkewSpec spec;
+  spec.single_group_nodes = 9;  // > nodes
+  EXPECT_FALSE(GenerateOutputSkewRelation(spec).ok());
+  spec = OutputSkewSpec();
+  spec.num_groups = 4;  // == single-group nodes
+  EXPECT_FALSE(GenerateOutputSkewRelation(spec).ok());
+  spec = OutputSkewSpec();
+  spec.num_nodes = 4;
+  spec.single_group_nodes = 4;  // no busy nodes left
+  spec.num_groups = 10;
+  EXPECT_FALSE(GenerateOutputSkewRelation(spec).ok());
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,122 @@
+#include "workload/tpcd.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/reference.h"
+
+namespace adaptagg {
+namespace {
+
+TEST(Lineitem, SchemaShape) {
+  Schema s = LineitemSchema();
+  EXPECT_EQ(s.num_fields(), 10);
+  auto idx = s.FieldIndex("l_returnflag");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(s.field(*idx).width, 1);
+  EXPECT_EQ(s.field(*idx).type, DataType::kBytes);
+}
+
+TEST(Lineitem, GenerationCountsAndRoundRobin) {
+  TpcdSpec spec;
+  spec.num_nodes = 4;
+  spec.num_rows = 8'000;
+  auto rel = GenerateLineitem(spec);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->total_tuples(), 8'000);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rel->partition(i).num_tuples(), 2'000);
+  }
+}
+
+TEST(Lineitem, ValueDomains) {
+  TpcdSpec spec;
+  spec.num_nodes = 2;
+  spec.num_rows = 2'000;
+  auto rel = GenerateLineitem(spec);
+  ASSERT_TRUE(rel.ok());
+  const Schema& s = rel->schema();
+  HeapFileScanner scan(&rel->partition(0));
+  for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
+    int64_t qty = t.GetInt64(3);
+    EXPECT_GE(qty, 1);
+    EXPECT_LE(qty, 50);
+    double disc = t.GetDouble(5);
+    EXPECT_GE(disc, 0.0);
+    EXPECT_LE(disc, 0.10 + 1e-12);
+    std::string flag = t.GetBytes(7);
+    EXPECT_TRUE(flag == "A" || flag == "N" || flag == "R") << flag;
+    std::string status = t.GetBytes(8);
+    EXPECT_TRUE(status == "O" || status == "F");
+  }
+  (void)s;
+}
+
+TEST(Lineitem, Q1HasAtMostSixGroups) {
+  TpcdSpec spec;
+  spec.num_nodes = 2;
+  spec.num_rows = 5'000;
+  auto rel = GenerateLineitem(spec);
+  ASSERT_TRUE(rel.ok());
+  auto q1 = MakeQ1Query(&rel->schema());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->key_width(), 2);  // two 1-byte columns
+  auto ref = ReferenceAggregate(*q1, *rel);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LE(ref->num_rows(), 6);
+  EXPECT_GE(ref->num_rows(), 4);
+  // Counts sum to the row count.
+  int64_t total = 0;
+  for (int64_t i = 0; i < ref->num_rows(); ++i) {
+    total += ref->row(i).GetInt64(2);  // count_order
+  }
+  EXPECT_EQ(total, 5'000);
+}
+
+TEST(Lineitem, DistinctOrdersNearQuarterOfRows) {
+  TpcdSpec spec;
+  spec.num_nodes = 2;
+  spec.num_rows = 8'000;
+  auto rel = GenerateLineitem(spec);
+  ASSERT_TRUE(rel.ok());
+  auto distinct = MakeDistinctOrdersQuery(&rel->schema());
+  ASSERT_TRUE(distinct.ok());
+  auto ref = ReferenceAggregate(*distinct, *rel);
+  ASSERT_TRUE(ref.ok());
+  // rows/4 order keys drawn uniformly: most are hit at least once.
+  EXPECT_GT(ref->num_rows(), 8'000 / 4 * 0.9);
+  EXPECT_LE(ref->num_rows(), 8'000 / 4);
+}
+
+TEST(Lineitem, PerPartQueryMidCardinality) {
+  TpcdSpec spec;
+  spec.num_nodes = 2;
+  spec.num_rows = 6'000;
+  auto rel = GenerateLineitem(spec);
+  ASSERT_TRUE(rel.ok());
+  auto q = MakePerPartQuery(&rel->schema());
+  ASSERT_TRUE(q.ok());
+  auto ref = ReferenceAggregate(*q, *rel);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_GT(ref->num_rows(), 100);
+  EXPECT_LT(ref->num_rows(), 6'000 / 4);
+}
+
+TEST(Lineitem, DeterministicPerSeed) {
+  TpcdSpec spec;
+  spec.num_nodes = 2;
+  spec.num_rows = 1'000;
+  auto a = GenerateLineitem(spec);
+  auto b = GenerateLineitem(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto q = MakeQ1Query(&a->schema());
+  ASSERT_TRUE(q.ok());
+  auto ra = ReferenceAggregate(*q, *a);
+  auto rb = ReferenceAggregate(*q, *b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(ResultSetsEqual(*ra, *rb, 0.0));
+}
+
+}  // namespace
+}  // namespace adaptagg
