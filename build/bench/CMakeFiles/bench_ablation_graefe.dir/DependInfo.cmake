@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_graefe.cc" "bench/CMakeFiles/bench_ablation_graefe.dir/bench_ablation_graefe.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_graefe.dir/bench_ablation_graefe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

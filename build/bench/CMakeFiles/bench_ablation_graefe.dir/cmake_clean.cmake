@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_graefe.dir/bench_ablation_graefe.cc.o"
+  "CMakeFiles/bench_ablation_graefe.dir/bench_ablation_graefe.cc.o.d"
+  "bench_ablation_graefe"
+  "bench_ablation_graefe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_graefe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

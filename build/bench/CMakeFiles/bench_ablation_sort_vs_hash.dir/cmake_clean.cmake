@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sort_vs_hash.dir/bench_ablation_sort_vs_hash.cc.o"
+  "CMakeFiles/bench_ablation_sort_vs_hash.dir/bench_ablation_sort_vs_hash.cc.o.d"
+  "bench_ablation_sort_vs_hash"
+  "bench_ablation_sort_vs_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sort_vs_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

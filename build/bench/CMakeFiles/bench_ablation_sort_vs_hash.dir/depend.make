@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_sort_vs_hash.
+# This may be replaced when dependencies are built.

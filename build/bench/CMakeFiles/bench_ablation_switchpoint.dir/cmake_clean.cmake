@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switchpoint.dir/bench_ablation_switchpoint.cc.o"
+  "CMakeFiles/bench_ablation_switchpoint.dir/bench_ablation_switchpoint.cc.o.d"
+  "bench_ablation_switchpoint"
+  "bench_ablation_switchpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switchpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

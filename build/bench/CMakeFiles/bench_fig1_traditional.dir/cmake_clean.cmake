@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_traditional.dir/bench_fig1_traditional.cc.o"
+  "CMakeFiles/bench_fig1_traditional.dir/bench_fig1_traditional.cc.o.d"
+  "bench_fig1_traditional"
+  "bench_fig1_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_engine.dir/bench_fig3_engine.cc.o"
+  "CMakeFiles/bench_fig3_engine.dir/bench_fig3_engine.cc.o.d"
+  "bench_fig3_engine"
+  "bench_fig3_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lowbw.dir/bench_fig4_lowbw.cc.o"
+  "CMakeFiles/bench_fig4_lowbw.dir/bench_fig4_lowbw.cc.o.d"
+  "bench_fig4_lowbw"
+  "bench_fig4_lowbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lowbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scaleup_low.dir/bench_fig5_scaleup_low.cc.o"
+  "CMakeFiles/bench_fig5_scaleup_low.dir/bench_fig5_scaleup_low.cc.o.d"
+  "bench_fig5_scaleup_low"
+  "bench_fig5_scaleup_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scaleup_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

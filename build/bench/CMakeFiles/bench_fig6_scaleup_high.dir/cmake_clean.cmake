@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_scaleup_high.dir/bench_fig6_scaleup_high.cc.o"
+  "CMakeFiles/bench_fig6_scaleup_high.dir/bench_fig6_scaleup_high.cc.o.d"
+  "bench_fig6_scaleup_high"
+  "bench_fig6_scaleup_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scaleup_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_samplesize.dir/bench_fig7_samplesize.cc.o"
+  "CMakeFiles/bench_fig7_samplesize.dir/bench_fig7_samplesize.cc.o.d"
+  "bench_fig7_samplesize"
+  "bench_fig7_samplesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_samplesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

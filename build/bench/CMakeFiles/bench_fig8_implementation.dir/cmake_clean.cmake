@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_implementation.dir/bench_fig8_implementation.cc.o"
+  "CMakeFiles/bench_fig8_implementation.dir/bench_fig8_implementation.cc.o.d"
+  "bench_fig8_implementation"
+  "bench_fig8_implementation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_implementation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_skew.dir/bench_input_skew.cc.o"
+  "CMakeFiles/bench_input_skew.dir/bench_input_skew.cc.o.d"
+  "bench_input_skew"
+  "bench_input_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_elimination.dir/duplicate_elimination.cpp.o"
+  "CMakeFiles/duplicate_elimination.dir/duplicate_elimination.cpp.o.d"
+  "duplicate_elimination"
+  "duplicate_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for duplicate_elimination.
+# This may be replaced when dependencies are built.

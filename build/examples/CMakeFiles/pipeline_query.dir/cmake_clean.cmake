@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_query.dir/pipeline_query.cpp.o"
+  "CMakeFiles/pipeline_query.dir/pipeline_query.cpp.o.d"
+  "pipeline_query"
+  "pipeline_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

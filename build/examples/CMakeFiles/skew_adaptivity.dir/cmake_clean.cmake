@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_adaptivity.dir/skew_adaptivity.cpp.o"
+  "CMakeFiles/skew_adaptivity.dir/skew_adaptivity.cpp.o.d"
+  "skew_adaptivity"
+  "skew_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

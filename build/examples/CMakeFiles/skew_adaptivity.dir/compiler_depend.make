@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for skew_adaptivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for skew_adaptivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_aggregates.dir/tpcd_aggregates.cpp.o"
+  "CMakeFiles/tpcd_aggregates.dir/tpcd_aggregates.cpp.o.d"
+  "tpcd_aggregates"
+  "tpcd_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/agg_function.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/agg_function.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/agg_function.cc.o.d"
+  "/root/repo/src/agg/agg_spec.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/agg_spec.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/agg_spec.cc.o.d"
+  "/root/repo/src/agg/hash_table.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/hash_table.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/hash_table.cc.o.d"
+  "/root/repo/src/agg/reference.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/reference.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/reference.cc.o.d"
+  "/root/repo/src/agg/sort_aggregator.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/sort_aggregator.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/sort_aggregator.cc.o.d"
+  "/root/repo/src/agg/spilling_aggregator.cc" "src/CMakeFiles/adaptagg_agg.dir/agg/spilling_aggregator.cc.o" "gcc" "src/CMakeFiles/adaptagg_agg.dir/agg/spilling_aggregator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_agg.dir/agg/agg_function.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/agg_function.cc.o.d"
+  "CMakeFiles/adaptagg_agg.dir/agg/agg_spec.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/agg_spec.cc.o.d"
+  "CMakeFiles/adaptagg_agg.dir/agg/hash_table.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/hash_table.cc.o.d"
+  "CMakeFiles/adaptagg_agg.dir/agg/reference.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/reference.cc.o.d"
+  "CMakeFiles/adaptagg_agg.dir/agg/sort_aggregator.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/sort_aggregator.cc.o.d"
+  "CMakeFiles/adaptagg_agg.dir/agg/spilling_aggregator.cc.o"
+  "CMakeFiles/adaptagg_agg.dir/agg/spilling_aggregator.cc.o.d"
+  "libadaptagg_agg.a"
+  "libadaptagg_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

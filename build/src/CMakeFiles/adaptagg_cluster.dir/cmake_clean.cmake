@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/exchange.cc.o"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/exchange.cc.o.d"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/node_context.cc.o"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/node_context.cc.o.d"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/run_report.cc.o"
+  "CMakeFiles/adaptagg_cluster.dir/cluster/run_report.cc.o.d"
+  "libadaptagg_cluster.a"
+  "libadaptagg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

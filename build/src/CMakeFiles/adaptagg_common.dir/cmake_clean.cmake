@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_common.dir/common/algorithm_kind.cc.o"
+  "CMakeFiles/adaptagg_common.dir/common/algorithm_kind.cc.o.d"
+  "CMakeFiles/adaptagg_common.dir/common/logging.cc.o"
+  "CMakeFiles/adaptagg_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/adaptagg_common.dir/common/random.cc.o"
+  "CMakeFiles/adaptagg_common.dir/common/random.cc.o.d"
+  "CMakeFiles/adaptagg_common.dir/common/status.cc.o"
+  "CMakeFiles/adaptagg_common.dir/common/status.cc.o.d"
+  "libadaptagg_common.a"
+  "libadaptagg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_repartitioning.cc" "src/CMakeFiles/adaptagg_core.dir/core/adaptive_repartitioning.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/adaptive_repartitioning.cc.o.d"
+  "/root/repo/src/core/adaptive_two_phase.cc" "src/CMakeFiles/adaptagg_core.dir/core/adaptive_two_phase.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/adaptive_two_phase.cc.o.d"
+  "/root/repo/src/core/algorithm.cc" "src/CMakeFiles/adaptagg_core.dir/core/algorithm.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/algorithm.cc.o.d"
+  "/root/repo/src/core/centralized_two_phase.cc" "src/CMakeFiles/adaptagg_core.dir/core/centralized_two_phase.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/centralized_two_phase.cc.o.d"
+  "/root/repo/src/core/graefe_two_phase.cc" "src/CMakeFiles/adaptagg_core.dir/core/graefe_two_phase.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/graefe_two_phase.cc.o.d"
+  "/root/repo/src/core/phases.cc" "src/CMakeFiles/adaptagg_core.dir/core/phases.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/phases.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/adaptagg_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/repartitioning.cc" "src/CMakeFiles/adaptagg_core.dir/core/repartitioning.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/repartitioning.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/CMakeFiles/adaptagg_core.dir/core/sampling.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/sampling.cc.o.d"
+  "/root/repo/src/core/sort_two_phase.cc" "src/CMakeFiles/adaptagg_core.dir/core/sort_two_phase.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/sort_two_phase.cc.o.d"
+  "/root/repo/src/core/two_phase.cc" "src/CMakeFiles/adaptagg_core.dir/core/two_phase.cc.o" "gcc" "src/CMakeFiles/adaptagg_core.dir/core/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_core.dir/core/adaptive_repartitioning.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/adaptive_repartitioning.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/adaptive_two_phase.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/adaptive_two_phase.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/algorithm.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/algorithm.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/centralized_two_phase.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/centralized_two_phase.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/graefe_two_phase.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/graefe_two_phase.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/phases.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/phases.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/query.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/query.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/repartitioning.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/repartitioning.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/sampling.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/sampling.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/sort_two_phase.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/sort_two_phase.cc.o.d"
+  "CMakeFiles/adaptagg_core.dir/core/two_phase.cc.o"
+  "CMakeFiles/adaptagg_core.dir/core/two_phase.cc.o.d"
+  "libadaptagg_core.a"
+  "libadaptagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

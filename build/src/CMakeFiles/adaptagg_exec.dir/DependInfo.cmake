@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/adaptagg_exec.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/adaptagg_exec.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/adaptagg_exec.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/adaptagg_exec.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/adaptagg_exec.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/adaptagg_exec.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/CMakeFiles/adaptagg_exec.dir/exec/select.cc.o" "gcc" "src/CMakeFiles/adaptagg_exec.dir/exec/select.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/adaptagg_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/adaptagg_exec.dir/exec/project.cc.o"
+  "CMakeFiles/adaptagg_exec.dir/exec/project.cc.o.d"
+  "CMakeFiles/adaptagg_exec.dir/exec/scan.cc.o"
+  "CMakeFiles/adaptagg_exec.dir/exec/scan.cc.o.d"
+  "CMakeFiles/adaptagg_exec.dir/exec/select.cc.o"
+  "CMakeFiles/adaptagg_exec.dir/exec/select.cc.o.d"
+  "libadaptagg_exec.a"
+  "libadaptagg_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

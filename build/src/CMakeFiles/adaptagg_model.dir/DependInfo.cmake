@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/adaptive.cc" "src/CMakeFiles/adaptagg_model.dir/model/adaptive.cc.o" "gcc" "src/CMakeFiles/adaptagg_model.dir/model/adaptive.cc.o.d"
+  "/root/repo/src/model/cost_model.cc" "src/CMakeFiles/adaptagg_model.dir/model/cost_model.cc.o" "gcc" "src/CMakeFiles/adaptagg_model.dir/model/cost_model.cc.o.d"
+  "/root/repo/src/model/sampling_model.cc" "src/CMakeFiles/adaptagg_model.dir/model/sampling_model.cc.o" "gcc" "src/CMakeFiles/adaptagg_model.dir/model/sampling_model.cc.o.d"
+  "/root/repo/src/model/traditional.cc" "src/CMakeFiles/adaptagg_model.dir/model/traditional.cc.o" "gcc" "src/CMakeFiles/adaptagg_model.dir/model/traditional.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

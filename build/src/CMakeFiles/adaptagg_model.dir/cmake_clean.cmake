@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_model.dir/model/adaptive.cc.o"
+  "CMakeFiles/adaptagg_model.dir/model/adaptive.cc.o.d"
+  "CMakeFiles/adaptagg_model.dir/model/cost_model.cc.o"
+  "CMakeFiles/adaptagg_model.dir/model/cost_model.cc.o.d"
+  "CMakeFiles/adaptagg_model.dir/model/sampling_model.cc.o"
+  "CMakeFiles/adaptagg_model.dir/model/sampling_model.cc.o.d"
+  "CMakeFiles/adaptagg_model.dir/model/traditional.cc.o"
+  "CMakeFiles/adaptagg_model.dir/model/traditional.cc.o.d"
+  "libadaptagg_model.a"
+  "libadaptagg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

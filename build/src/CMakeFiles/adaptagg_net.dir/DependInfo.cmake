@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/adaptagg_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/adaptagg_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/inproc_transport.cc" "src/CMakeFiles/adaptagg_net.dir/net/inproc_transport.cc.o" "gcc" "src/CMakeFiles/adaptagg_net.dir/net/inproc_transport.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/adaptagg_net.dir/net/message.cc.o" "gcc" "src/CMakeFiles/adaptagg_net.dir/net/message.cc.o.d"
+  "/root/repo/src/net/network_model.cc" "src/CMakeFiles/adaptagg_net.dir/net/network_model.cc.o" "gcc" "src/CMakeFiles/adaptagg_net.dir/net/network_model.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/CMakeFiles/adaptagg_net.dir/net/tcp_transport.cc.o" "gcc" "src/CMakeFiles/adaptagg_net.dir/net/tcp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_net.dir/net/channel.cc.o"
+  "CMakeFiles/adaptagg_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/adaptagg_net.dir/net/inproc_transport.cc.o"
+  "CMakeFiles/adaptagg_net.dir/net/inproc_transport.cc.o.d"
+  "CMakeFiles/adaptagg_net.dir/net/message.cc.o"
+  "CMakeFiles/adaptagg_net.dir/net/message.cc.o.d"
+  "CMakeFiles/adaptagg_net.dir/net/network_model.cc.o"
+  "CMakeFiles/adaptagg_net.dir/net/network_model.cc.o.d"
+  "CMakeFiles/adaptagg_net.dir/net/tcp_transport.cc.o"
+  "CMakeFiles/adaptagg_net.dir/net/tcp_transport.cc.o.d"
+  "libadaptagg_net.a"
+  "libadaptagg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/adaptagg_schema.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/adaptagg_schema.dir/schema/schema.cc.o.d"
+  "/root/repo/src/schema/tuple.cc" "src/CMakeFiles/adaptagg_schema.dir/schema/tuple.cc.o" "gcc" "src/CMakeFiles/adaptagg_schema.dir/schema/tuple.cc.o.d"
+  "/root/repo/src/schema/value.cc" "src/CMakeFiles/adaptagg_schema.dir/schema/value.cc.o" "gcc" "src/CMakeFiles/adaptagg_schema.dir/schema/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_schema.dir/schema/schema.cc.o"
+  "CMakeFiles/adaptagg_schema.dir/schema/schema.cc.o.d"
+  "CMakeFiles/adaptagg_schema.dir/schema/tuple.cc.o"
+  "CMakeFiles/adaptagg_schema.dir/schema/tuple.cc.o.d"
+  "CMakeFiles/adaptagg_schema.dir/schema/value.cc.o"
+  "CMakeFiles/adaptagg_schema.dir/schema/value.cc.o.d"
+  "libadaptagg_schema.a"
+  "libadaptagg_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adaptagg_schema.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_clock.cc" "src/CMakeFiles/adaptagg_sim.dir/sim/cost_clock.cc.o" "gcc" "src/CMakeFiles/adaptagg_sim.dir/sim/cost_clock.cc.o.d"
+  "/root/repo/src/sim/params.cc" "src/CMakeFiles/adaptagg_sim.dir/sim/params.cc.o" "gcc" "src/CMakeFiles/adaptagg_sim.dir/sim/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

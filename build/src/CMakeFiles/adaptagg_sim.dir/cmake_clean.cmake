@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_sim.dir/sim/cost_clock.cc.o"
+  "CMakeFiles/adaptagg_sim.dir/sim/cost_clock.cc.o.d"
+  "CMakeFiles/adaptagg_sim.dir/sim/params.cc.o"
+  "CMakeFiles/adaptagg_sim.dir/sim/params.cc.o.d"
+  "libadaptagg_sim.a"
+  "libadaptagg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_sort.dir/sort/external_sorter.cc.o"
+  "CMakeFiles/adaptagg_sort.dir/sort/external_sorter.cc.o.d"
+  "libadaptagg_sort.a"
+  "libadaptagg_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/adaptagg_storage.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/adaptagg_storage.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/adaptagg_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/adaptagg_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/adaptagg_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/adaptagg_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/partitioned_relation.cc" "src/CMakeFiles/adaptagg_storage.dir/storage/partitioned_relation.cc.o" "gcc" "src/CMakeFiles/adaptagg_storage.dir/storage/partitioned_relation.cc.o.d"
+  "/root/repo/src/storage/spill_file.cc" "src/CMakeFiles/adaptagg_storage.dir/storage/spill_file.cc.o" "gcc" "src/CMakeFiles/adaptagg_storage.dir/storage/spill_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/adaptagg_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/adaptagg_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/adaptagg_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/adaptagg_storage.dir/storage/page.cc.o"
+  "CMakeFiles/adaptagg_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/adaptagg_storage.dir/storage/partitioned_relation.cc.o"
+  "CMakeFiles/adaptagg_storage.dir/storage/partitioned_relation.cc.o.d"
+  "CMakeFiles/adaptagg_storage.dir/storage/spill_file.cc.o"
+  "CMakeFiles/adaptagg_storage.dir/storage/spill_file.cc.o.d"
+  "libadaptagg_storage.a"
+  "libadaptagg_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

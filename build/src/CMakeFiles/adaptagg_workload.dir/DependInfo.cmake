@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/adaptagg_workload.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/adaptagg_workload.dir/workload/distributions.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/adaptagg_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/adaptagg_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/skew.cc" "src/CMakeFiles/adaptagg_workload.dir/workload/skew.cc.o" "gcc" "src/CMakeFiles/adaptagg_workload.dir/workload/skew.cc.o.d"
+  "/root/repo/src/workload/tpcd.cc" "src/CMakeFiles/adaptagg_workload.dir/workload/tpcd.cc.o" "gcc" "src/CMakeFiles/adaptagg_workload.dir/workload/tpcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

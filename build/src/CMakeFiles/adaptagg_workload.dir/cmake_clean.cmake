@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_workload.dir/workload/distributions.cc.o"
+  "CMakeFiles/adaptagg_workload.dir/workload/distributions.cc.o.d"
+  "CMakeFiles/adaptagg_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/adaptagg_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/adaptagg_workload.dir/workload/skew.cc.o"
+  "CMakeFiles/adaptagg_workload.dir/workload/skew.cc.o.d"
+  "CMakeFiles/adaptagg_workload.dir/workload/tpcd.cc.o"
+  "CMakeFiles/adaptagg_workload.dir/workload/tpcd.cc.o.d"
+  "libadaptagg_workload.a"
+  "libadaptagg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadaptagg_workload.a"
+)

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_test.dir/agg/agg_function_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/agg_function_test.cc.o.d"
+  "CMakeFiles/agg_test.dir/agg/agg_spec_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/agg_spec_test.cc.o.d"
+  "CMakeFiles/agg_test.dir/agg/hash_table_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/hash_table_test.cc.o.d"
+  "CMakeFiles/agg_test.dir/agg/reference_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/reference_test.cc.o.d"
+  "CMakeFiles/agg_test.dir/agg/sort_aggregator_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/sort_aggregator_test.cc.o.d"
+  "CMakeFiles/agg_test.dir/agg/spilling_aggregator_test.cc.o"
+  "CMakeFiles/agg_test.dir/agg/spilling_aggregator_test.cc.o.d"
+  "agg_test"
+  "agg_test.pdb"
+  "agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

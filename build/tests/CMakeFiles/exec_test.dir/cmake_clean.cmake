@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/expression_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/expression_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/operator_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/operator_test.cc.o.d"
+  "exec_test"
+  "exec_test.pdb"
+  "exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

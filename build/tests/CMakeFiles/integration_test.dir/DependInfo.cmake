@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/correctness_property_test.cc" "tests/CMakeFiles/integration_test.dir/integration/correctness_property_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/correctness_property_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/fault_injection_test.cc" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fault_injection_test.cc.o.d"
+  "/root/repo/tests/integration/file_disk_engine_test.cc" "tests/CMakeFiles/integration_test.dir/integration/file_disk_engine_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/file_disk_engine_test.cc.o.d"
+  "/root/repo/tests/integration/fuzz_query_test.cc" "tests/CMakeFiles/integration_test.dir/integration/fuzz_query_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fuzz_query_test.cc.o.d"
+  "/root/repo/tests/integration/model_engine_agreement_test.cc" "tests/CMakeFiles/integration_test.dir/integration/model_engine_agreement_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/model_engine_agreement_test.cc.o.d"
+  "/root/repo/tests/integration/skew_integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration/skew_integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/skew_integration_test.cc.o.d"
+  "/root/repo/tests/integration/tcp_cluster_test.cc" "tests/CMakeFiles/integration_test.dir/integration/tcp_cluster_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/tcp_cluster_test.cc.o.d"
+  "/root/repo/tests/integration/where_having_test.cc" "tests/CMakeFiles/integration_test.dir/integration/where_having_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/where_having_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adaptagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adaptagg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/correctness_property_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/correctness_property_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fault_injection_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/file_disk_engine_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/file_disk_engine_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fuzz_query_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fuzz_query_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/model_engine_agreement_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/model_engine_agreement_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/skew_integration_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/skew_integration_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/tcp_cluster_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/tcp_cluster_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/where_having_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/where_having_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

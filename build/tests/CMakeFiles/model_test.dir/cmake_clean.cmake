@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/cost_model_test.cc.o"
+  "CMakeFiles/model_test.dir/model/cost_model_test.cc.o.d"
+  "CMakeFiles/model_test.dir/model/model_properties_test.cc.o"
+  "CMakeFiles/model_test.dir/model/model_properties_test.cc.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

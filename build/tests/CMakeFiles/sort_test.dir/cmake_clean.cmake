@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_test.dir/sort/external_sorter_test.cc.o"
+  "CMakeFiles/sort_test.dir/sort/external_sorter_test.cc.o.d"
+  "sort_test"
+  "sort_test.pdb"
+  "sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

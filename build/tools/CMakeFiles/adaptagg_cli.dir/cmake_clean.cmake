@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptagg_cli.dir/adaptagg_cli.cc.o"
+  "CMakeFiles/adaptagg_cli.dir/adaptagg_cli.cc.o.d"
+  "adaptagg_cli"
+  "adaptagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
