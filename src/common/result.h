@@ -12,8 +12,10 @@ namespace adaptagg {
 /// `Result<T>` holds either a value of type T or a non-OK Status,
 /// analogous to arrow::Result / absl::StatusOr. Accessing the value of an
 /// errored result is a programming error (asserts in debug builds).
+/// `[[nodiscard]]` mirrors Status: silently dropping a Result drops its
+/// error; deliberate drops are written `(void)expr;` with a reason.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

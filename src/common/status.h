@@ -28,7 +28,12 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A RocksDB/Arrow-style status object: either OK (cheap, no allocation) or
 /// an error code plus message.
-class Status {
+///
+/// `[[nodiscard]]`: a function returning Status whose result is ignored is
+/// a compile-time warning (an error under ADAPTAGG_WERROR). Deliberate
+/// drops must be spelled `(void)expr;` with a comment saying why ignoring
+/// the error is correct.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
