@@ -1,5 +1,6 @@
 #include "exec/expression.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.h"
@@ -75,22 +76,26 @@ class ColNamedExpr : public Expr {
 
   Result<DataType> Validate(const Schema& schema) const override {
     ADAPTAGG_ASSIGN_OR_RETURN(int idx, schema.FieldIndex(name_));
-    // Cache the resolution for Eval. Validate is called once per schema;
-    // re-validating against a different schema re-resolves.
-    index_ = idx;
+    // Cache the resolution for Eval; re-validating against a different
+    // schema re-resolves. Atomic because a shared predicate tree is
+    // re-validated by every node thread (SelectOperator::Make) while
+    // peers may already be evaluating it: all writers store the same
+    // value for a given schema, but the accesses still need ordering.
+    index_.store(idx, std::memory_order_release);
     return schema.field(idx).type;
   }
 
   Value Eval(const TupleView& row) const override {
-    ADAPTAGG_DCHECK(index_ >= 0) << "Eval before Validate";
-    return row.GetValue(index_);
+    int idx = index_.load(std::memory_order_acquire);
+    ADAPTAGG_DCHECK(idx >= 0) << "Eval before Validate";
+    return row.GetValue(idx);
   }
 
   std::string ToString() const override { return name_; }
 
  private:
   std::string name_;
-  mutable int index_ = -1;
+  mutable std::atomic<int> index_{-1};
 };
 
 class LitExpr : public Expr {
