@@ -107,12 +107,22 @@ class TcpTransport : public Transport {
 
  private:
   void ReadLoop(int fd) {
+    // Upper bound on one frame: far above any message-page size the
+    // engine produces, far below what a corrupt length prefix could
+    // demand. A violation means the stream is desynchronized, so the
+    // connection is dropped rather than resynchronized.
+    constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
     std::vector<uint8_t> buf;
     while (true) {
       uint8_t len_bytes[4];
       if (!ReadFully(fd, len_bytes, 4).ok()) return;  // peer closed
       uint32_t len;
       std::memcpy(&len, len_bytes, 4);
+      if (len > kMaxFrameBytes) {
+        ADAPTAGG_LOG(kError) << "tcp frame length " << len
+                             << " exceeds cap; closing connection";
+        return;
+      }
       buf.resize(len);
       if (!ReadFully(fd, buf.data(), len).ok()) return;
       Result<Message> msg = Message::Deserialize(buf.data(), len);
