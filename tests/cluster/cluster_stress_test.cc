@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+// Whole-substrate concurrency stress: every paper algorithm drives the
+// node threads, the exchange layer, the network cost model, and the
+// per-node CostClocks at once. Under TSan this is the proof that the
+// run/exchange substrate is race-free end to end; uninstrumented it
+// doubles as a repeated-run correctness check against the reference
+// oracle.
+
+TEST(ClusterStress, AllAlgorithmsRepeatedRuns) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 4'000;
+  wspec.num_groups = 600;  // above M=256: overflow and switch paths fire
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec, MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  SystemParams params = SmallClusterParams(4, wspec.num_tuples, 256);
+  AlgorithmOptions opts;
+  opts.init_seg = 500;
+  for (int round = 0; round < 2; ++round) {
+    for (AlgorithmKind kind : AllAlgorithms()) {
+      SCOPED_TRACE(AlgorithmKindToString(kind) + " round " +
+                   std::to_string(round));
+      Cluster cluster(params);
+      RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
+      ASSERT_OK(run.status);
+      EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+      // Clocks are written by node threads and read here after the join:
+      // the documented single-owner lifecycle of CostClock.
+      ASSERT_EQ(run.clocks.size(), 4u);
+      for (const CostClock& c : run.clocks) {
+        EXPECT_GE(c.now(), 0.0);
+        EXPECT_GE(c.cpu_s(), 0.0);
+      }
+    }
+  }
+}
+
+// Two independent clusters running concurrently on separate thread pools
+// must not share any mutable state (globals, statics, caches). TSan
+// flags any accidental cross-cluster coupling.
+TEST(ClusterStress, ConcurrentIndependentClusters) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 3'000;
+  wspec.num_groups = 100;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel_a, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel_b, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec_a,
+                       MakeBenchQuery(&rel_a.schema()));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec_b,
+                       MakeBenchQuery(&rel_b.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                       ReferenceAggregate(spec_a, rel_a));
+
+  SystemParams params = SmallClusterParams(3, wspec.num_tuples);
+  auto run_one = [&params](const AggregationSpec& spec,
+                           PartitionedRelation& rel, AlgorithmKind kind,
+                           RunResult* out) {
+    Cluster cluster(params);
+    *out = cluster.Run(*MakeAlgorithm(kind), spec, rel);
+  };
+  RunResult run_a;
+  RunResult run_b;
+  std::thread ta(run_one, std::cref(spec_a), std::ref(rel_a),
+                 AlgorithmKind::kTwoPhase, &run_a);
+  std::thread tb(run_one, std::cref(spec_b), std::ref(rel_b),
+                 AlgorithmKind::kRepartitioning, &run_b);
+  ta.join();
+  tb.join();
+  ASSERT_OK(run_a.status);
+  ASSERT_OK(run_b.status);
+  EXPECT_TRUE(ResultSetsEqual(run_a.results, expected));
+  EXPECT_TRUE(ResultSetsEqual(run_b.results, expected));
+}
+
+// A failing node aborts its peers while their exchanges are mid-stream;
+// repeated to shake out lifetime bugs in the abort broadcast path.
+TEST(ClusterStress, RepeatedAbortPropagation) {
+  class FailAtNodeOne : public Algorithm {
+   public:
+    std::string name() const override { return "fail-at-1"; }
+    Status RunNode(NodeContext& ctx) const override {
+      if (ctx.node_id() == 1) {
+        return Status::Internal("injected stress failure");
+      }
+      // Peers wait for traffic that will never fully arrive; the abort
+      // broadcast must wake them out of blocking Recv.
+      while (true) {
+        ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx.Recv());
+        if (msg.type == MessageType::kAbort) {
+          return Status::Internal("aborted by peer " +
+                                  std::to_string(msg.from));
+        }
+      }
+    }
+  };
+
+  WorkloadSpec wspec;
+  wspec.num_nodes = 4;
+  wspec.num_tuples = 400;
+  wspec.num_groups = 10;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec, MakeBenchQuery(&rel.schema()));
+  Cluster cluster(SmallClusterParams(4, wspec.num_tuples));
+  for (int round = 0; round < 5; ++round) {
+    RunResult run = cluster.Run(FailAtNodeOne(), spec, rel);
+    ASSERT_FALSE(run.status.ok());
+    EXPECT_NE(run.status.message().find("injected stress failure"),
+              std::string::npos)
+        << run.status.ToString();
+  }
+}
+
+// The TCP transport under the full engine: connect, run, tear down, in a
+// loop, with adaptive algorithms that reorder traffic mid-run.
+TEST(ClusterStress, TcpMeshRunTeardownLoop) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 1'500;
+  wspec.num_groups = 300;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec, MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  SystemParams params = SmallClusterParams(3, wspec.num_tuples, 256);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Cluster cluster(params);
+    cluster.set_transport_factory(
+        [](int n) { return MakeTcpMesh(n, 43'900); });
+    RunResult run = cluster.Run(
+        *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel);
+    ASSERT_OK(run.status);
+    EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg
