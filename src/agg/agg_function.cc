@@ -150,7 +150,8 @@ void AggregateOp::MergePartial(uint8_t* state, const uint8_t* other) const {
       } else {
         Store<double>(state, Load<double>(state) + Load<double>(other));
       }
-      Store<int64_t>(state + 8, Load<int64_t>(state + 8) + Load<int64_t>(other + 8));
+      Store<int64_t>(state + 8,
+                     Load<int64_t>(state + 8) + Load<int64_t>(other + 8));
       return;
     case AggKind::kMin:
       if (Load<int64_t>(other + 8) == 0) return;  // other saw no tuples

@@ -9,7 +9,8 @@
 namespace adaptagg {
 
 Cluster::Cluster(SystemParams params) : params_(std::move(params)) {
-  transport_factory_ = [](int n) -> Result<std::vector<std::unique_ptr<Transport>>> {
+  transport_factory_ =
+      [](int n) -> Result<std::vector<std::unique_ptr<Transport>>> {
     return MakeInprocMesh(n);
   };
 }

@@ -10,7 +10,13 @@ namespace adaptagg {
 /// Severity levels for the lightweight logger. kFatal aborts the process
 /// after emitting the message (used for invariant violations — the library
 /// does not use exceptions).
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
 
 /// Sets the global minimum level that is actually emitted (default kInfo,
 /// overridable with the ADAPTAGG_LOG_LEVEL environment variable: 0-4).

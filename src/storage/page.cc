@@ -21,7 +21,8 @@ int PageBuilder::Capacity(int page_size, int record_size) {
 void PageBuilder::Append(const uint8_t* data) {
   ADAPTAGG_DCHECK(!full());
   uint8_t* dst = bytes_.data() + sizeof(uint32_t) +
-                 static_cast<size_t>(count_) * static_cast<size_t>(record_size_);
+                 static_cast<size_t>(count_) *
+                     static_cast<size_t>(record_size_);
   std::memcpy(dst, data, static_cast<size_t>(record_size_));
   ++count_;
 }

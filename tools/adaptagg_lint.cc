@@ -1,0 +1,443 @@
+// adaptagg_lint: mechanical enforcement of the project's conventions.
+//
+// Registered as a ctest (`ctest -R adaptagg_lint`), so a convention
+// violation fails the suite the same way a broken unit test does. Pure
+// standard library; usage:
+//
+//   adaptagg_lint <repo_root>
+//
+// Rules (see DESIGN.md "Correctness tooling" for the rationale):
+//   G1  every header carries an include guard ADAPTAGG_<PATH>_H_ whose
+//       #ifndef / #define / trailing "#endif  // <guard>" all agree;
+//   G2  file names are lower_snake_case;
+//   S1  no `throw` / `try` / `catch` anywhere under src/ — fallible code
+//       returns Status / Result<T>;
+//   S2  no `using namespace` in src/ or in any header;
+//   S3  src/ lines fit in 80 columns; no tabs, trailing blanks, or CRLF;
+//   S4  a src/ .cc with a sibling .h includes that .h first; a .cc
+//       without one includes at least one header of its own subsystem;
+//   S5  common/status.h and common/result.h keep `[[nodiscard]]` on
+//       Status / Result<T> (the no-silently-dropped-status rule is then
+//       enforced by the compiler on every call site);
+//   S6  no std::cout / std::cerr in src/ outside common/logging.cc —
+//       diagnostics go through ADAPTAGG_LOG.
+//
+// Comment and string-literal contents are ignored by the token rules.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void Report(const std::string& file, int line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file, line, rule, message});
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Replaces the contents of comments and string/char literals with spaces
+/// (newlines preserved) so token rules cannot fire inside them.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of the active raw string, ")delim"
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
+            state = State::kRawString;
+            i = paren;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `word` appears in `line` as a whole token.
+bool HasToken(const std::string& line, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + word.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// ADAPTAGG_<relpath with / and . as _, uppercased>_ — src/ headers drop
+/// the leading "src/" (historic convention), all other trees keep theirs.
+std::string ExpectedGuard(const std::string& rel) {
+  std::string base = rel;
+  if (base.rfind("src/", 0) == 0) base = base.substr(4);
+  std::string guard = "ADAPTAGG_";
+  for (char c : base) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& rel,
+                      const std::vector<std::string>& lines) {
+  const std::string guard = ExpectedGuard(rel);
+  int ifndef_line = -1;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (l.rfind("#ifndef ", 0) == 0) {
+      if (l.substr(8) != guard) {
+        Report(rel, static_cast<int>(i) + 1, "G1",
+               "include guard is '" + l.substr(8) + "', expected '" +
+                   guard + "'");
+        return;
+      }
+      ifndef_line = static_cast<int>(i);
+      break;
+    }
+    if (!l.empty() && l.rfind("//", 0) != 0) {
+      Report(rel, static_cast<int>(i) + 1, "G1",
+             "first non-comment line must be '#ifndef " + guard + "'");
+      return;
+    }
+  }
+  if (ifndef_line < 0) {
+    Report(rel, 1, "G1", "missing include guard '" + guard + "'");
+    return;
+  }
+  const size_t def = static_cast<size_t>(ifndef_line) + 1;
+  if (def >= lines.size() || lines[def] != "#define " + guard) {
+    Report(rel, static_cast<int>(def) + 1, "G1",
+           "'#ifndef " + guard + "' must be followed by '#define " +
+               guard + "'");
+  }
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    if (it->empty()) continue;
+    if (*it != "#endif  // " + guard) {
+      Report(rel, static_cast<int>(lines.size()), "G1",
+             "header must end with '#endif  // " + guard + "'");
+    }
+    return;
+  }
+}
+
+void CheckFileName(const std::string& rel, const fs::path& path) {
+  const std::string name = path.filename().string();
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '.') {
+      Report(rel, 1, "G2",
+             "file name '" + name + "' is not lower_snake_case");
+      return;
+    }
+  }
+}
+
+void CheckSrcTokens(const std::string& rel,
+                    const std::vector<std::string>& stripped) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    for (const char* kw : {"throw", "try", "catch"}) {
+      if (HasToken(l, kw)) {
+        Report(rel, static_cast<int>(i) + 1, "S1",
+               std::string("'") + kw +
+                   "' is banned in src/ (return Status/Result instead)");
+      }
+    }
+    if (l.find("using namespace") != std::string::npos) {
+      Report(rel, static_cast<int>(i) + 1, "S2",
+             "'using namespace' is banned in src/ and headers");
+    }
+  }
+}
+
+void CheckWhitespace(const std::string& rel, const std::string& raw,
+                     const std::vector<std::string>& lines) {
+  if (raw.find('\r') != std::string::npos) {
+    Report(rel, 1, "S3", "CRLF line endings");
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (l.size() > 80) {
+      Report(rel, static_cast<int>(i) + 1, "S3",
+             "line is " + std::to_string(l.size()) + " columns (max 80)");
+    }
+    if (l.find('\t') != std::string::npos) {
+      Report(rel, static_cast<int>(i) + 1, "S3", "tab character");
+    }
+    if (!l.empty() && (l.back() == ' ' || l.back() == '\t')) {
+      Report(rel, static_cast<int>(i) + 1, "S3", "trailing whitespace");
+    }
+  }
+  if (!raw.empty() && raw.back() != '\n') {
+    Report(rel, static_cast<int>(lines.size()), "S3",
+           "missing final newline");
+  }
+}
+
+void CheckCcPairing(const fs::path& root, const std::string& rel,
+                    const std::vector<std::string>& lines) {
+  // rel is "src/<dir>/<stem>.cc"; project includes are written relative
+  // to src/.
+  const std::string in_src = rel.substr(4);
+  const std::string stem = in_src.substr(0, in_src.size() - 3);
+  const size_t slash = in_src.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string()
+                              : in_src.substr(0, slash + 1);
+
+  std::string first_include;
+  bool includes_same_dir_header = false;
+  for (const std::string& l : lines) {
+    if (l.rfind("#include \"", 0) != 0) continue;
+    const size_t close = l.find('"', 10);
+    if (close == std::string::npos) continue;
+    const std::string inc = l.substr(10, close - 10);
+    if (first_include.empty()) first_include = inc;
+    if (!dir.empty() && inc.rfind(dir, 0) == 0 &&
+        inc.find('/', dir.size()) == std::string::npos) {
+      includes_same_dir_header = true;
+    }
+  }
+
+  if (fs::exists(root / "src" / (stem + ".h"))) {
+    if (first_include != stem + ".h") {
+      Report(rel, 1, "S4",
+             "first include must be its own header \"" + stem + ".h\"");
+    }
+  } else if (!includes_same_dir_header) {
+    Report(rel, 1, "S4",
+           ".cc without a sibling .h must include a header of its own "
+           "subsystem (" +
+               dir + "*.h)");
+  }
+}
+
+void CheckNodiscard(const fs::path& root) {
+  const struct {
+    const char* file;
+    const char* token;
+  } kRequired[] = {
+      {"src/common/status.h", "class [[nodiscard]] Status"},
+      {"src/common/result.h", "class [[nodiscard]] Result"},
+  };
+  for (const auto& req : kRequired) {
+    const std::string text = ReadFile(root / req.file);
+    if (text.find(req.token) == std::string::npos) {
+      Report(req.file, 1, "S5",
+             std::string("expected '") + req.token +
+                 "' — the dropped-status compiler check depends on it");
+    }
+  }
+}
+
+void CheckNoStdout(const std::string& rel,
+                   const std::vector<std::string>& stripped) {
+  if (rel == "src/common/logging.cc") return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (stripped[i].find("std::cout") != std::string::npos ||
+        stripped[i].find("std::cerr") != std::string::npos) {
+      Report(rel, static_cast<int>(i) + 1, "S6",
+             "direct std::cout/std::cerr in src/ (use ADAPTAGG_LOG)");
+    }
+  }
+}
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "adaptagg_lint: no src/ under '%s'\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<std::string> rels;
+  for (const char* tree : {"src", "tests", "tools", "bench", "examples"}) {
+    if (!fs::exists(root / tree)) continue;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / tree)) {
+      if (!entry.is_regular_file() || !HasSourceExtension(entry.path())) {
+        continue;
+      }
+      rels.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+
+  for (const std::string& rel : rels) {
+    const fs::path path = root / rel;
+    const bool in_src = rel.rfind("src/", 0) == 0;
+    const bool is_header = path.extension() == ".h";
+
+    const std::string raw = ReadFile(path);
+    const std::vector<std::string> lines = SplitLines(raw);
+    const std::vector<std::string> stripped =
+        SplitLines(StripCommentsAndStrings(raw));
+
+    CheckFileName(rel, path);
+    if (is_header) {
+      CheckHeaderGuard(rel, lines);
+      // src/ headers get the same check via CheckSrcTokens below.
+      if (!in_src) {
+        for (size_t i = 0; i < stripped.size(); ++i) {
+          if (stripped[i].find("using namespace") != std::string::npos) {
+            Report(rel, static_cast<int>(i) + 1, "S2",
+                   "'using namespace' is banned in headers");
+          }
+        }
+      }
+    }
+    if (in_src) {
+      CheckSrcTokens(rel, stripped);
+      CheckWhitespace(rel, raw, lines);
+      CheckNoStdout(rel, stripped);
+      if (path.extension() == ".cc") CheckCcPairing(root, rel, lines);
+    }
+  }
+  CheckNodiscard(root);
+
+  for (const Finding& f : g_findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!g_findings.empty()) {
+    std::fprintf(stderr, "adaptagg_lint: %zu finding(s) in %zu files\n",
+                 g_findings.size(), rels.size());
+    return 1;
+  }
+  std::printf("adaptagg_lint: %zu files clean\n", rels.size());
+  return 0;
+}
