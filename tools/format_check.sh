@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checks (default) or applies (--fix) clang-format over all C++ sources.
+#
+#   tools/format_check.sh          # diff-style check, non-zero on drift
+#   tools/format_check.sh --fix    # rewrite files in place
+#
+# Exits 0 with a notice when clang-format is not installed, so the check
+# is advisory on machines without LLVM but enforcing in CI images that
+# have it. Style: .clang-format at the repo root (Google, 80 columns).
+set -u
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "format_check: '$FMT' not found; skipping (install LLVM or set" \
+       "CLANG_FORMAT to enforce locally)"
+  exit 0
+fi
+
+FILES=$(find src tests tools bench examples \
+          -name '*.h' -o -name '*.cc' -o -name '*.cpp' | sort)
+
+if [ "${1:-}" = "--fix" ]; then
+  # shellcheck disable=SC2086
+  "$FMT" -i $FILES
+  echo "format_check: formatted $(echo "$FILES" | wc -l) files"
+  exit 0
+fi
+
+STATUS=0
+for f in $FILES; do
+  if ! "$FMT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    STATUS=1
+  fi
+done
+[ "$STATUS" -eq 0 ] && echo "format_check: all files clean"
+exit "$STATUS"
