@@ -32,6 +32,8 @@ void Run() {
   }
   cols.push_back("worst-adaptive/best-static");
   TablePrinter table(cols);
+  BenchJsonWriter json("fig3_engine",
+                       params.ToString() + " scale=" + FmtSeconds(scale));
 
   Cluster cluster(params);
   for (double s : SelectivitySweep(params.num_tuples)) {
@@ -55,6 +57,12 @@ void Run() {
       EngineRunOutcome out = RunEngine(cluster, kind, *spec, *rel, opts);
       row.push_back(out.ok ? FmtSeconds(out.sim_time_s) : "ERR");
       if (!out.ok) continue;
+      json.AddPoint(
+          AlgorithmKindToString(kind) + "/S=" + FmtSci(s), out.sim_time_s,
+          out.wall_time_s,
+          out.wall_time_s > 0
+              ? static_cast<double>(params.num_tuples) / out.wall_time_s
+              : 0);
       if (kind == AlgorithmKind::kTwoPhase ||
           kind == AlgorithmKind::kRepartitioning) {
         static_best = static_best == 0
@@ -68,6 +76,7 @@ void Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.Write();
   std::printf(
       "\nExpected shape (paper Fig. 3): with a fast network the ratio\n"
       "column stays close to 1 across the entire selectivity range — the\n"

@@ -99,5 +99,86 @@ void PrintHeader(const std::string& figure, const std::string& description,
   std::printf("config: %s\n\n", config.c_str());
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_id, std::string config)
+    : bench_id_(std::move(bench_id)), config_(std::move(config)) {}
+
+void BenchJsonWriter::AddPoint(const std::string& name, double sim_time_s,
+                               double wall_time_s, double tuples_per_sec) {
+  points_.push_back({name, sim_time_s, wall_time_s, tuples_per_sec});
+}
+
+bool BenchJsonWriter::Write(const std::string& dir) const {
+  std::string out_dir = dir;
+  if (out_dir.empty()) {
+    const char* env = std::getenv("ADAPTAGG_BENCH_JSON_DIR");
+    out_dir = env != nullptr ? env : ".";
+  }
+  const std::string path = out_dir + "/BENCH_" + bench_id_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": \"%s\",\n",
+               JsonEscape(bench_id_).c_str(), JsonEscape(config_).c_str());
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& pt = points_[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"sim_time_s\": %s, "
+                 "\"wall_time_s\": %s, \"tuples_per_sec\": %s}%s\n",
+                 JsonEscape(pt.name).c_str(),
+                 JsonNumber(pt.sim_time_s).c_str(),
+                 JsonNumber(pt.wall_time_s).c_str(),
+                 JsonNumber(pt.tuples_per_sec).c_str(),
+                 i + 1 < points_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("\nwrote %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace bench
 }  // namespace adaptagg

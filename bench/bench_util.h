@@ -69,6 +69,42 @@ EngineRunOutcome RunEngine(Cluster& cluster, AlgorithmKind kind,
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& config);
 
+/// Collects benchmark points and writes them as `BENCH_<bench_id>.json`
+/// so numbers can be checked into the repo and diffed across commits.
+/// Layout:
+///
+///   {"bench": "...", "config": "...",
+///    "points": [{"name": "...", "sim_time_s": ...,
+///                "wall_time_s": ..., "tuples_per_sec": ...}, ...]}
+///
+/// Times are seconds; `tuples_per_sec` is input tuples divided by wall
+/// time (0 when a point has no tuple count). Non-finite values are
+/// written as 0 to keep the file valid JSON.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_id, std::string config);
+
+  void AddPoint(const std::string& name, double sim_time_s,
+                double wall_time_s, double tuples_per_sec);
+
+  /// Writes `<dir>/BENCH_<bench_id>.json` (dir defaults to
+  /// ADAPTAGG_BENCH_JSON_DIR or "."). Returns false and prints to stderr
+  /// on I/O failure.
+  bool Write(const std::string& dir = std::string()) const;
+
+ private:
+  struct Point {
+    std::string name;
+    double sim_time_s;
+    double wall_time_s;
+    double tuples_per_sec;
+  };
+
+  std::string bench_id_;
+  std::string config_;
+  std::vector<Point> points_;
+};
+
 }  // namespace bench
 }  // namespace adaptagg
 

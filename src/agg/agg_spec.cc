@@ -6,6 +6,46 @@
 #include "common/random.h"
 
 namespace adaptagg {
+namespace {
+
+/// Seed for group-key hashing; all key hashes in the system (table
+/// probing, node routing, spill bucketing) derive from this one value.
+constexpr uint64_t kKeyHashSeed = 0x5ca1ab1e;
+
+// FNV-1a constants (must match HashBytes in common/random.cc; the batch
+// fast path below re-implements its word loop without the tail).
+constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Appends a copy to the plan, merging with the previous run when both
+/// source and destination are contiguous.
+void AddCopyRun(std::vector<ProjCopyRun>& plan, int src, int dst,
+                int width) {
+  if (!plan.empty()) {
+    ProjCopyRun& last = plan.back();
+    if (last.src_offset + last.width == src &&
+        last.dst_offset + last.width == dst) {
+      last.width += width;
+      return;
+    }
+  }
+  plan.push_back({src, dst, width});
+}
+
+FusedKernelKind DetectFusedKernel(const AggregationSpec& spec) {
+  if (spec.ops().empty()) return FusedKernelKind::kDistinct;
+  if (spec.aggs().size() == 2 &&
+      spec.aggs()[0].kind == AggKind::kCount &&
+      spec.aggs()[1].kind == AggKind::kSum &&
+      spec.ops()[1].input_type() == DataType::kInt64) {
+    // State layout is [count:int64][sum:int64] and the single value slot
+    // sits right after the key — the canonical bench query's shape.
+    return FusedKernelKind::kCountSumInt64;
+  }
+  return FusedKernelKind::kGeneric;
+}
+
+}  // namespace
 
 Result<AggregationSpec> AggregationSpec::Make(
     const Schema* input_schema, std::vector<int> group_cols,
@@ -88,19 +128,27 @@ Result<AggregationSpec> AggregationSpec::Make(
     out_fields.push_back(f);
   }
   spec.final_schema_ = Schema(std::move(out_fields));
+
+  // Compile the projection into coalesced copies and pick the update
+  // kernel the batch paths will dispatch to.
+  int dst = 0;
+  for (const auto& [off, width] : spec.key_parts_) {
+    AddCopyRun(spec.projection_plan_, off, dst, width);
+    dst += width;
+  }
+  for (size_t i = 0; i < spec.value_cols_.size(); ++i) {
+    AddCopyRun(spec.projection_plan_, spec.value_src_offsets_[i], dst, 8);
+    dst += 8;
+  }
+  spec.fused_kernel_ = DetectFusedKernel(spec);
   return spec;
 }
 
 void AggregationSpec::ProjectRaw(const TupleView& tuple, uint8_t* out) const {
   const uint8_t* src = tuple.data();
-  uint8_t* dst = out;
-  for (const auto& [off, width] : key_parts_) {
-    std::memcpy(dst, src + off, static_cast<size_t>(width));
-    dst += width;
-  }
-  for (size_t i = 0; i < value_cols_.size(); ++i) {
-    std::memcpy(dst, src + value_src_offsets_[i], 8);
-    dst += 8;
+  for (const ProjCopyRun& run : projection_plan_) {
+    std::memcpy(out + run.dst_offset, src + run.src_offset,
+                static_cast<size_t>(run.width));
   }
 }
 
@@ -138,7 +186,31 @@ void AggregationSpec::FinalizeRecord(const uint8_t* key, const uint8_t* state,
 }
 
 uint64_t AggregationSpec::HashKey(const uint8_t* key) const {
-  return HashBytes(key, static_cast<size_t>(key_width_), /*seed=*/0x5ca1ab1e);
+  return HashBytes(key, static_cast<size_t>(key_width_), kKeyHashSeed);
+}
+
+void AggregationSpec::HashKeys(const uint8_t* recs, int stride, int n,
+                               uint64_t* out) const {
+  if (key_width_ % 8 == 0) {
+    // Word-at-a-time fast path: same FNV-1a word loop as HashBytes but
+    // with no byte tail, so the per-record loop is branch-free.
+    const int words = key_width_ / 8;
+    for (int i = 0; i < n; ++i) {
+      const uint8_t* p = recs + static_cast<int64_t>(i) * stride;
+      uint64_t h = kFnvBasis ^ kKeyHashSeed;
+      for (int w = 0; w < words; ++w) {
+        uint64_t v;
+        std::memcpy(&v, p + w * 8, 8);
+        h = (h ^ v) * kFnvPrime;
+      }
+      out[i] = SplitMix64(h);
+    }
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    out[i] = HashBytes(recs + static_cast<int64_t>(i) * stride,
+                       static_cast<size_t>(key_width_), kKeyHashSeed);
+  }
 }
 
 Result<AggregationSpec> MakeCountSumSpec(const Schema* input_schema,

@@ -10,6 +10,25 @@
 
 namespace adaptagg {
 
+/// One coalesced memcpy of a projection: copies `width` bytes from input
+/// row offset `src_offset` to projected record offset `dst_offset`.
+/// Adjacent columns collapse into a single run (the canonical [g, v]
+/// query projects with one 16-byte copy instead of two 8-byte ones).
+struct ProjCopyRun {
+  int src_offset = 0;
+  int dst_offset = 0;
+  int width = 0;
+};
+
+/// Which specialized batch update kernel a spec qualifies for. Detected
+/// once in Make() so the batch upsert paths dispatch per batch, not per
+/// tuple (see batch_kernels.h).
+enum class FusedKernelKind {
+  kGeneric,        ///< interpreted UpdateFromProjected loop
+  kDistinct,       ///< zero aggregates: probe/insert only
+  kCountSumInt64,  ///< COUNT(*), SUM(int64) — the canonical bench query
+};
+
 /// The compiled form of a `SELECT <group cols>, <aggs> FROM R GROUP BY
 /// <group cols>` query. Precomputes the three record layouts every
 /// algorithm works with:
@@ -78,6 +97,22 @@ class AggregationSpec {
   /// tuples to nodes; callers derive independent bits from the one hash).
   uint64_t HashKey(const uint8_t* key) const;
 
+  /// Batch form of HashKey: hashes the key prefix of `n` records laid
+  /// out `stride` bytes apart starting at `recs`, writing one hash per
+  /// record to `out`. Bit-identical to HashKey; keys whose width is a
+  /// multiple of 8 take a word-at-a-time fast path with no tail loop.
+  void HashKeys(const uint8_t* recs, int stride, int n,
+                uint64_t* out) const;
+
+  /// The coalesced copy plan ProjectRaw executes (exposed for the batch
+  /// gather path and for tests).
+  const std::vector<ProjCopyRun>& projection_plan() const {
+    return projection_plan_;
+  }
+
+  /// The specialized update kernel this spec qualifies for.
+  FusedKernelKind fused_kernel() const { return fused_kernel_; }
+
  private:
   const Schema* input_ = nullptr;
   std::vector<int> group_cols_;
@@ -98,6 +133,10 @@ class AggregationSpec {
   // and offset of its state inside the state block.
   std::vector<int> op_value_offsets_;
   std::vector<int> op_state_offsets_;
+
+  // Coalesced (src, dst, width) copies implementing ProjectRaw.
+  std::vector<ProjCopyRun> projection_plan_;
+  FusedKernelKind fused_kernel_ = FusedKernelKind::kGeneric;
 
   Schema final_schema_;
 };

@@ -1,0 +1,86 @@
+#ifndef ADAPTAGG_AGG_BATCH_KERNELS_H_
+#define ADAPTAGG_AGG_BATCH_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/agg_spec.h"
+
+namespace adaptagg {
+
+/// Tuples per processing batch. Fixed to the scan loops' inbox-poll
+/// cadence (core/phases.h kPollInterval) so that batching changes
+/// neither when a node services its inbox nor any poll-dependent switch
+/// decision; phases.h statically asserts the two stay equal.
+inline constexpr int kBatchWidth = 128;
+
+/// How many probes ahead the batch upsert kernels prefetch. Far enough
+/// to cover an L2 miss at ~4 probes/cycle-budget, near enough that the
+/// prefetched lines are still resident when reached.
+inline constexpr int kPrefetchDistance = 8;
+
+/// Portable prefetch-for-read into all cache levels.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// A batch of up to kBatchWidth projected records plus their key hashes.
+/// Scan loops gather into it one page-run at a time (projection happens
+/// at gather, because operator TupleViews only stay valid until the next
+/// operator call), hash all keys in one pass, and hand the batch to the
+/// aggregation kernels. The arena is allocated once and reused across
+/// batches.
+class TupleBatch {
+ public:
+  /// `spec` must outlive the batch.
+  explicit TupleBatch(const AggregationSpec* spec);
+
+  void Clear() { size_ = 0; }
+  int size() const { return size_; }
+  bool full() const { return size_ >= kBatchWidth; }
+
+  /// Projects `tuple` into the next slot. Requires !full().
+  void Gather(const TupleView& tuple) {
+    spec_->ProjectRaw(tuple,
+                      arena_.data() + static_cast<size_t>(size_) * stride_);
+    ++size_;
+  }
+
+  /// Projects up to `n` consecutive raw records (`rec_size` bytes apart,
+  /// starting at `recs`) in one call — a single memcpy when the
+  /// projection plan is the identity prefix of the record. Returns how
+  /// many were gathered (bounded by remaining batch room).
+  int GatherRun(const uint8_t* recs, int rec_size, int n);
+
+  /// Hashes every gathered record's key. Call once after gathering.
+  void ComputeHashes() {
+    spec_->HashKeys(arena_.data(), static_cast<int>(stride_), size_,
+                    hashes_.data());
+  }
+
+  const uint8_t* record(int i) const {
+    return arena_.data() + static_cast<size_t>(i) * stride_;
+  }
+  uint64_t hash(int i) const { return hashes_[i]; }
+
+  /// Flat access for the batch kernels.
+  const uint8_t* records() const { return arena_.data(); }
+  int stride() const { return static_cast<int>(stride_); }
+  const uint64_t* hashes() const { return hashes_.data(); }
+  const AggregationSpec& spec() const { return *spec_; }
+
+ private:
+  const AggregationSpec* spec_;
+  size_t stride_;
+  int size_ = 0;
+  std::vector<uint8_t> arena_;
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_AGG_BATCH_KERNELS_H_

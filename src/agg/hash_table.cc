@@ -1,5 +1,6 @@
 #include "agg/hash_table.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -11,6 +12,53 @@ int64_t NextPow2(int64_t v) {
   int64_t p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+/// Slots allocated up front; tables bounded below this never resize at
+/// all, larger ones grow by doubling from here.
+constexpr int64_t kInitialSlots = int64_t{1} << 16;
+
+inline bool KeysEqual(const uint8_t* a, const uint8_t* b, int width,
+                      bool key8) {
+  if (key8) {
+    uint64_t x;
+    uint64_t y;
+    std::memcpy(&x, a, 8);
+    std::memcpy(&y, b, 8);
+    return x == y;
+  }
+  return std::memcmp(a, b, static_cast<size_t>(width)) == 0;
+}
+
+/// Folds one projected record into a group state. The fused variants
+/// hoist the per-op dispatch of UpdateFromProjected out of the probe
+/// loop; they must stay behaviorally identical to it (InitState has
+/// already zeroed/initialized the state on insert).
+template <FusedKernelKind K>
+inline void FusedUpdate(const AggregationSpec& spec, uint8_t* state,
+                        const uint8_t* rec, int key_width) {
+  if constexpr (K == FusedKernelKind::kCountSumInt64) {
+    // State layout [count:int64][sum:int64]; the single SUM input is the
+    // 8-byte value slot right after the key.
+    int64_t count;
+    int64_t sum;
+    int64_t v;
+    std::memcpy(&count, state, 8);
+    std::memcpy(&sum, state + 8, 8);
+    std::memcpy(&v, rec + key_width, 8);
+    count += 1;
+    sum += v;
+    std::memcpy(state, &count, 8);
+    std::memcpy(state + 8, &sum, 8);
+  } else if constexpr (K == FusedKernelKind::kDistinct) {
+    // Duplicate elimination: reaching the slot is the whole update.
+    (void)spec;
+    (void)state;
+    (void)rec;
+    (void)key_width;
+  } else {
+    spec.UpdateFromProjected(state, rec);
+  }
 }
 
 }  // namespace
@@ -26,13 +74,23 @@ AggHashTable::AggHashTable(const AggregationSpec* spec, int64_t max_entries)
   int64_t buckets = NextPow2(max_entries_ + max_entries_ / 2 + 1);
   buckets_.assign(static_cast<size_t>(buckets), -1);
   bucket_mask_ = static_cast<uint64_t>(buckets - 1);
-  arena_.reserve(static_cast<size_t>(
-      std::min<int64_t>(max_entries_, 1 << 16) * slot_width_));
+  // Pre-size the slot arena so the insert path never resizes per record
+  // (EnsureSlotCapacity doubles beyond this for very large bounds).
+  capacity_slots_ = std::min<int64_t>(max_entries_, kInitialSlots);
+  arena_.resize(static_cast<size_t>(capacity_slots_ * slot_width_));
 }
 
 int64_t AggHashTable::MemoryBytes() const {
-  return static_cast<int64_t>(arena_.capacity()) +
+  return capacity_slots_ * slot_width_ +
          static_cast<int64_t>(buckets_.size() * sizeof(int64_t));
+}
+
+void AggHashTable::EnsureSlotCapacity(int64_t slots) {
+  if (slots <= capacity_slots_) return;
+  int64_t grown = capacity_slots_;
+  while (grown < slots) grown *= 2;
+  capacity_slots_ = std::min<int64_t>(grown, max_entries_);
+  arena_.resize(static_cast<size_t>(capacity_slots_ * slot_width_));
 }
 
 int64_t AggHashTable::Probe(const uint8_t* key, uint64_t hash,
@@ -67,7 +125,7 @@ AggHashTable::UpsertResult AggHashTable::FindOrInsert(const uint8_t* key,
     return UpsertResult::kFull;
   }
   int64_t slot = size_++;
-  arena_.resize(static_cast<size_t>(size_) * slot_width_);
+  EnsureSlotCapacity(size_);
   uint8_t* slot_ptr = arena_.data() + slot * slot_width_;
   std::memcpy(slot_ptr, key, static_cast<size_t>(key_width_));
   spec_->InitState(slot_ptr + key_width_);
@@ -96,6 +154,109 @@ AggHashTable::UpsertResult AggHashTable::UpsertPartial(const uint8_t* partial,
   return r;
 }
 
+template <FusedKernelKind K, bool Key8, bool StopAtFull>
+int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
+                                  std::vector<int>* overflow) {
+  const int n = batch.size();
+  const uint8_t* recs = batch.records();
+  const int stride = batch.stride();
+  const uint64_t* hashes = batch.hashes();
+  // Make room for the worst case up front: pointers into the arena stay
+  // stable for the whole batch and no insert pays a resize check.
+  EnsureSlotCapacity(std::min<int64_t>(max_entries_, size_ + (n - from)));
+  uint8_t* arena = arena_.data();
+
+  for (int i = from; i < n; ++i) {
+    // Two-stage software pipeline: pull the bucket-array line for probe
+    // i+D, and the slot line for probe i+D/2 (whose bucket head is, by
+    // then, usually resident). Pure prefetches — collisions and inserts
+    // between now and then only waste the hint, never correctness.
+    if (i + kPrefetchDistance < n) {
+      PrefetchRead(&buckets_[hashes[i + kPrefetchDistance] & bucket_mask_]);
+    }
+    if (i + kPrefetchDistance / 2 < n) {
+      int64_t ahead =
+          buckets_[hashes[i + kPrefetchDistance / 2] & bucket_mask_];
+      if (ahead >= 0) PrefetchRead(arena + ahead * slot_width_);
+    }
+
+    const uint8_t* rec = recs + static_cast<int64_t>(i) * stride;
+    const uint64_t hash = hashes[i];
+    uint64_t pos = hash & bucket_mask_;
+    uint8_t* hit_state = nullptr;
+    uint64_t insert_pos = 0;
+    bool found = false;
+    while (true) {
+      int64_t slot = buckets_[pos];
+      if (slot < 0) {
+        insert_pos = pos;
+        break;
+      }
+      uint8_t* slot_ptr = arena + slot * slot_width_;
+      if (KeysEqual(slot_ptr, rec, key_width_, Key8)) {
+        hit_state = slot_ptr + key_width_;
+        found = true;
+        break;
+      }
+      pos = (pos + 1) & bucket_mask_;
+    }
+
+    if (found) {
+      FusedUpdate<K>(*spec_, hit_state, rec, key_width_);
+      continue;
+    }
+    if (size_ >= max_entries_) {
+      if constexpr (StopAtFull) {
+        return i - from;
+      } else {
+        overflow->push_back(i);
+        continue;
+      }
+    }
+    int64_t slot = size_++;
+    uint8_t* slot_ptr = arena + slot * slot_width_;
+    std::memcpy(slot_ptr, rec, static_cast<size_t>(key_width_));
+    spec_->InitState(slot_ptr + key_width_);
+    buckets_[static_cast<size_t>(insert_pos)] = slot;
+    FusedUpdate<K>(*spec_, slot_ptr + key_width_, rec, key_width_);
+  }
+  return n - from;
+}
+
+template <bool StopAtFull>
+int AggHashTable::DispatchUpsertBatch(const TupleBatch& batch, int from,
+                                      std::vector<int>* overflow) {
+  const bool key8 = key_width_ == 8;
+  switch (spec_->fused_kernel()) {
+    case FusedKernelKind::kCountSumInt64:
+      return key8 ? UpsertBatchImpl<FusedKernelKind::kCountSumInt64, true,
+                                    StopAtFull>(batch, from, overflow)
+                  : UpsertBatchImpl<FusedKernelKind::kCountSumInt64, false,
+                                    StopAtFull>(batch, from, overflow);
+    case FusedKernelKind::kDistinct:
+      return key8 ? UpsertBatchImpl<FusedKernelKind::kDistinct, true,
+                                    StopAtFull>(batch, from, overflow)
+                  : UpsertBatchImpl<FusedKernelKind::kDistinct, false,
+                                    StopAtFull>(batch, from, overflow);
+    case FusedKernelKind::kGeneric:
+      break;
+  }
+  return key8 ? UpsertBatchImpl<FusedKernelKind::kGeneric, true, StopAtFull>(
+                    batch, from, overflow)
+              : UpsertBatchImpl<FusedKernelKind::kGeneric, false, StopAtFull>(
+                    batch, from, overflow);
+}
+
+int AggHashTable::UpsertProjectedBatch(const TupleBatch& batch, int from) {
+  return DispatchUpsertBatch<true>(batch, from, nullptr);
+}
+
+void AggHashTable::UpsertProjectedBatchOverflow(const TupleBatch& batch,
+                                                int from,
+                                                std::vector<int>& overflow) {
+  DispatchUpsertBatch<false>(batch, from, &overflow);
+}
+
 const uint8_t* AggHashTable::Find(const uint8_t* key, uint64_t hash) const {
   bool found = false;
   int64_t pos = Probe(key, hash, &found);
@@ -105,7 +266,6 @@ const uint8_t* AggHashTable::Find(const uint8_t* key, uint64_t hash) const {
 
 void AggHashTable::Clear() {
   std::fill(buckets_.begin(), buckets_.end(), -1);
-  arena_.clear();
   size_ = 0;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "agg/agg_spec.h"
+#include "agg/batch_kernels.h"
 
 namespace adaptagg {
 
@@ -35,7 +36,9 @@ class AggHashTable {
   bool full() const { return size_ >= max_entries_; }
   const AggregationSpec& spec() const { return *spec_; }
 
-  /// Approximate bytes held by the table (arena + index).
+  /// Bytes held by the table: actual allocated slot-arena bytes plus the
+  /// bucket index. (Historically this reported only the constructor's
+  /// initial reservation and undercounted grown tables.)
   int64_t MemoryBytes() const;
 
   /// Finds the slot for `key` (with its precomputed hash), inserting an
@@ -50,6 +53,24 @@ class AggHashTable {
 
   /// Upserts a partial record: init+merge on insert, merge on hit.
   UpsertResult UpsertPartial(const uint8_t* partial, uint64_t hash);
+
+  // --- batch entry points (prefetched probes, fused update kernels) ---
+
+  /// Upserts batch records [from, batch.size()) in order, stopping at
+  /// the first record that would need a new slot while the table is at
+  /// max_entries. Returns the number of records consumed; the stopping
+  /// record (index `from` + return value) is left entirely unprocessed,
+  /// so adaptive algorithms can switch strategy at the precise tuple
+  /// where the table filled — bit-identical to the tuple-at-a-time loop.
+  int UpsertProjectedBatch(const TupleBatch& batch, int from);
+
+  /// Upserts every batch record in [from, batch.size()). Records hitting
+  /// a full table (UpsertResult::kFull) are appended to `overflow` (as
+  /// batch indices, in order) instead of stopping the batch; existing
+  /// groups still update in place. Used by the spill and Graefe
+  /// forwarding paths, which handle misses record by record.
+  void UpsertProjectedBatchOverflow(const TupleBatch& batch, int from,
+                                    std::vector<int>& overflow);
 
   /// Pure lookup: state block of `key`, or nullptr.
   const uint8_t* Find(const uint8_t* key, uint64_t hash) const;
@@ -69,15 +90,29 @@ class AggHashTable {
  private:
   int64_t Probe(const uint8_t* key, uint64_t hash, bool* found) const;
 
+  /// Grows the arena (doubling, capped at max_entries) until it holds at
+  /// least `slots` slots, so inserts never resize mid-batch.
+  void EnsureSlotCapacity(int64_t slots);
+
+  template <FusedKernelKind K, bool Key8, bool StopAtFull>
+  int UpsertBatchImpl(const TupleBatch& batch, int from,
+                      std::vector<int>* overflow);
+
+  template <bool StopAtFull>
+  int DispatchUpsertBatch(const TupleBatch& batch, int from,
+                          std::vector<int>* overflow);
+
   const AggregationSpec* spec_;
   int64_t max_entries_;
   int key_width_;
   int state_width_;
   int slot_width_;
 
-  // arena_ holds `size_` consecutive slots; buckets_ maps hash positions
-  // to slot indices (-1 = empty).
+  // arena_ is pre-sized to `capacity_slots_` slots (of which the first
+  // `size_` are live); buckets_ maps hash positions to slot indices
+  // (-1 = empty).
   std::vector<uint8_t> arena_;
+  int64_t capacity_slots_ = 0;
   std::vector<int64_t> buckets_;
   uint64_t bucket_mask_ = 0;
   int64_t size_ = 0;

@@ -43,6 +43,13 @@ Status SortAggregator::AddPartial(const uint8_t* partial) {
   return Add(kPartialTag, partial, spec_->partial_width());
 }
 
+Status SortAggregator::AddProjectedBatch(const TupleBatch& batch) {
+  for (int i = 0; i < batch.size(); ++i) {
+    ADAPTAGG_RETURN_IF_ERROR(AddProjected(batch.record(i)));
+  }
+  return Status::OK();
+}
+
 Status SortAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "agg/agg_spec.h"
+#include "agg/batch_kernels.h"
 #include "sort/external_sorter.h"
 
 namespace adaptagg {
@@ -28,6 +29,11 @@ class SortAggregator {
 
   Status AddProjected(const uint8_t* proj);
   Status AddPartial(const uint8_t* partial);
+
+  /// Batch form of AddProjected (sorting has no probe loop to fuse, so
+  /// this is a plain per-record loop kept for interface symmetry with
+  /// SpillingAggregator).
+  Status AddProjectedBatch(const TupleBatch& batch);
 
   /// Emits every group exactly once, in ascending key order.
   Status Finish(const EmitFn& emit);

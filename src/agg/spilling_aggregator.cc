@@ -86,6 +86,19 @@ Status SpillingAggregator::AddPartial(const uint8_t* partial) {
              spec_->HashKey(spec_->KeyOfPartial(partial)));
 }
 
+Status SpillingAggregator::AddProjectedBatch(const TupleBatch& batch) {
+  overflow_scratch_.clear();
+  table_.UpsertProjectedBatchOverflow(batch, 0, overflow_scratch_);
+  for (int idx : overflow_scratch_) {
+    ADAPTAGG_RETURN_IF_ERROR(EnsureBuckets());
+    ++stats_.overflow_records;
+    ADAPTAGG_RETURN_IF_ERROR(
+        buckets_[static_cast<size_t>(BucketOf(batch.hash(idx)))]->Append(
+            SpillTag::kRaw, batch.record(idx)));
+  }
+  return Status::OK();
+}
+
 Status SpillingAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;

@@ -46,6 +46,12 @@ class SpillingAggregator {
   Status AddProjected(const uint8_t* proj);
   Status AddPartial(const uint8_t* partial);
 
+  /// Batch form of AddProjected: one fused, prefetched table pass for
+  /// the whole batch, then record-at-a-time spilling of the (rare)
+  /// overflow misses. Behaviorally identical to calling AddProjected on
+  /// every record in order.
+  Status AddProjectedBatch(const TupleBatch& batch);
+
   /// Emits all groups (table first, then recursive buckets) and releases
   /// the spill files.
   Status Finish(const EmitFn& emit);
@@ -77,6 +83,7 @@ class SpillingAggregator {
 
   AggHashTable table_;
   std::vector<std::unique_ptr<SpillWriter>> buckets_;
+  std::vector<int> overflow_scratch_;
   SpillStats stats_;
   bool finished_ = false;
 };

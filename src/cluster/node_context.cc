@@ -157,4 +157,43 @@ TupleView LocalScanner::Next() {
   return t;
 }
 
+int LocalScanner::FillBatch(TupleBatch& batch) {
+  batch.Clear();
+  if (!status_.ok() || op_ == nullptr) return 0;
+  TupleView views[kBatchWidth];
+  while (!batch.full()) {
+    int got = op_->NextBatch(views, kBatchWidth - batch.size());
+    if (got == 0) {
+      status_ = op_->Close();
+      op_.reset();
+      ctx_->SyncDiskIo();
+      break;
+    }
+    // Project at gather: the views only stay valid until the next
+    // operator call, the projected copies live in the batch arena.
+    // Scans hand back densely packed page records, so gather maximal
+    // contiguous runs in one call each (selection gaps break runs).
+    const int rec_size = ctx_->spec().input_schema().tuple_size();
+    int i = 0;
+    while (i < got) {
+      const uint8_t* base = views[i].data();
+      int j = i + 1;
+      while (j < got &&
+             views[j].data() ==
+                 base + static_cast<size_t>(j - i) * rec_size) {
+        ++j;
+      }
+      batch.GatherRun(base, rec_size, j - i);
+      i = j;
+    }
+  }
+  const int n = batch.size();
+  if (n > 0) {
+    ctx_->clock().AddCpu(static_cast<double>(n) * select_cost_);
+    ctx_->stats().tuples_scanned += n;
+    batch.ComputeHashes();
+  }
+  return n;
+}
+
 }  // namespace adaptagg

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "agg/agg_spec.h"
+#include "agg/batch_kernels.h"
 #include "agg/spilling_aggregator.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
@@ -180,6 +181,13 @@ class LocalScanner {
   /// Next tuple, or an invalid view at end of input (or on error —
   /// check status() after the loop).
   TupleView Next();
+
+  /// Batch form: clears `batch`, then gathers (projects) up to
+  /// kBatchWidth surviving tuples into it and hashes their keys.
+  /// Returns the batch size; 0 at end of input (or on error — check
+  /// status()). Per-tuple scan costs and the tuples_scanned counter are
+  /// charged in bulk, identically to calling Next() per tuple.
+  int FillBatch(TupleBatch& batch);
 
   /// OK unless opening or scanning the pipeline failed.
   const Status& status() const { return status_; }

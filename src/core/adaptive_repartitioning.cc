@@ -45,9 +45,10 @@ class AdaptiveRepartitioning : public Algorithm {
     std::unordered_set<uint64_t> seen_groups;
     bool judged = false;
 
-    auto switch_to_local = [&](bool own_decision) -> Status {
+    auto switch_to_local = [&](bool own_decision,
+                               int64_t at_tuple) -> Status {
       ctx.stats().switched = true;
-      ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
+      ctx.stats().switch_at_tuple = at_tuple;
       mode = Mode::kLocalAgg;
       if (own_decision && !broadcast_sent) {
         broadcast_sent = true;
@@ -67,71 +68,105 @@ class AdaptiveRepartitioning : public Algorithm {
     };
 
     {
-      LocalScanner scan(&ctx);
-      std::vector<uint8_t> proj(
-          static_cast<size_t>(spec.projected_width()));
       const double route_cost = p.t_h() + p.t_d();
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
-      int64_t since_poll = 0;
-      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-        spec.ProjectRaw(t, proj.data());
-        uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
-        switch (mode) {
-          case Mode::kRepartition: {
-            ctx.clock().AddCpu(route_cost);
-            ++ctx.stats().raw_records_sent;
-            ADAPTAGG_RETURN_IF_ERROR(
-                ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
-            if (!judged) {
-              if (static_cast<int64_t>(seen_groups.size()) <= few_groups) {
-                seen_groups.insert(h);
+
+      // Routes batch records [i, sz) to their owner nodes in one go.
+      auto route_run = [&](const TupleBatch& batch, int i,
+                           int sz) -> Status {
+        ctx.clock().AddCpu(static_cast<double>(sz - i) * route_cost);
+        ctx.stats().raw_records_sent += sz - i;
+        for (; i < sz; ++i) {
+          ADAPTAGG_RETURN_IF_ERROR(
+              ex_raw.Add(DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+        }
+        return Status::OK();
+      };
+
+      auto process = [&](const TupleBatch& batch, int64_t base) -> Status {
+        const int sz = batch.size();
+        int i = 0;
+        while (i < sz) {
+          switch (mode) {
+            case Mode::kRepartition: {
+              if (judged) {
+                // The judgment is behind us and the mode can only change
+                // at a poll: bulk-route the rest of the batch.
+                ADAPTAGG_RETURN_IF_ERROR(route_run(batch, i, sz));
+                i = sz;
+                break;
               }
-              if (ctx.stats().tuples_scanned >= init_seg) {
-                judged = true;
-                if (static_cast<int64_t>(seen_groups.size()) < few_groups) {
-                  ADAPTAGG_RETURN_IF_ERROR(
-                      switch_to_local(/*own_decision=*/true));
+              // Until the init_seg judgment, route tuple by tuple so the
+              // distinct-group census and the decision fire at the exact
+              // same global tuple index as the per-tuple loop.
+              while (i < sz) {
+                ctx.clock().AddCpu(route_cost);
+                ++ctx.stats().raw_records_sent;
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
+                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+                const uint64_t h = batch.hash(i);
+                const int64_t global = base + i + 1;
+                ++i;
+                if (static_cast<int64_t>(seen_groups.size()) <=
+                    few_groups) {
+                  seen_groups.insert(h);
+                }
+                if (global >= init_seg) {
+                  judged = true;
+                  if (static_cast<int64_t>(seen_groups.size()) <
+                      few_groups) {
+                    ADAPTAGG_RETURN_IF_ERROR(switch_to_local(
+                        /*own_decision=*/true, global));
+                  }
+                  break;
                 }
               }
+              break;
             }
-            break;
-          }
-          case Mode::kLocalAgg: {
-            ctx.clock().AddCpu(local_cost);
-            AggHashTable::UpsertResult r =
-                local.UpsertProjected(proj.data(), h);
-            if (r == AggHashTable::UpsertResult::kFull) {
-              // A-2P's own overflow switch: flush and repartition again.
-              ADAPTAGG_RETURN_IF_ERROR(
-                  SendTablePartials(ctx, local, ex_partial, dest));
-              mode = Mode::kRepartitionAgain;
-              ctx.clock().AddCpu(p.t_d());
-              ++ctx.stats().raw_records_sent;
-              ADAPTAGG_RETURN_IF_ERROR(
-                  ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
+            case Mode::kLocalAgg: {
+              int consumed = local.UpsertProjectedBatch(batch, i);
+              ctx.clock().AddCpu(static_cast<double>(consumed) *
+                                 local_cost);
+              i += consumed;
+              if (i < sz) {
+                // A-2P's own overflow switch: flush and repartition
+                // again, starting with the tuple that found the table
+                // full.
+                ctx.clock().AddCpu(local_cost);
+                ADAPTAGG_RETURN_IF_ERROR(
+                    SendTablePartials(ctx, local, ex_partial, dest));
+                mode = Mode::kRepartitionAgain;
+                ctx.clock().AddCpu(p.t_d());
+                ++ctx.stats().raw_records_sent;
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
+                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+                ++i;
+              }
+              break;
             }
-            break;
-          }
-          case Mode::kRepartitionAgain: {
-            ctx.clock().AddCpu(route_cost);
-            ++ctx.stats().raw_records_sent;
-            ADAPTAGG_RETURN_IF_ERROR(
-                ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
-            break;
+            case Mode::kRepartitionAgain: {
+              ADAPTAGG_RETURN_IF_ERROR(route_run(batch, i, sz));
+              i = sz;
+              break;
+            }
           }
         }
-        if (++since_poll >= kPollInterval) {
-          since_poll = 0;
-          ctx.SyncDiskIo();
-          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-          if (mode == Mode::kRepartition && recv.end_of_phase_seen()) {
-            ADAPTAGG_RETURN_IF_ERROR(
-                switch_to_local(/*own_decision=*/false));
-          }
+        return Status::OK();
+      };
+
+      auto poll = [&]() -> Status {
+        ctx.SyncDiskIo();
+        ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+        if (mode == Mode::kRepartition && recv.end_of_phase_seen()) {
+          // Polls happen only on full-batch boundaries, so this matches
+          // the per-tuple loop's switch point (a poll-interval multiple).
+          ADAPTAGG_RETURN_IF_ERROR(switch_to_local(
+              /*own_decision=*/false, ctx.stats().tuples_scanned));
         }
-      }
-      ADAPTAGG_RETURN_IF_ERROR(scan.status());
-      ctx.SyncDiskIo();
+        return Status::OK();
+      };
+
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(ctx, process, poll));
     }
 
     if (mode == Mode::kLocalAgg && local.size() > 0) {

@@ -38,46 +38,50 @@ class AdaptiveTwoPhase : public Algorithm {
 
     bool repartition_mode = false;
     {
-      LocalScanner scan(&ctx);
-      std::vector<uint8_t> proj(
-          static_cast<size_t>(spec.projected_width()));
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
       const double route_cost = p.t_h() + p.t_d();
-      int64_t since_poll = 0;
-      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-        spec.ProjectRaw(t, proj.data());
-        if (!repartition_mode) {
-          ctx.clock().AddCpu(local_cost);
-          uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
-          AggHashTable::UpsertResult r = local.UpsertProjected(proj.data(), h);
-          if (r == AggHashTable::UpsertResult::kFull) {
-            // Memory overflow: flush accumulated partials, free the
-            // table, and repartition from here on.
-            ctx.stats().switched = true;
-            ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
-            ADAPTAGG_RETURN_IF_ERROR(
-                SendTablePartials(ctx, local, ex_partial, dest));
-            repartition_mode = true;
-            ctx.clock().AddCpu(p.t_d());
-            ++ctx.stats().raw_records_sent;
-            ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(DestOfKeyHash(h, n),
-                                                proj.data()));
-          }
-        } else {
-          ctx.clock().AddCpu(route_cost);
-          uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
-          ++ctx.stats().raw_records_sent;
-          ADAPTAGG_RETURN_IF_ERROR(
-              ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
-        }
-        if (++since_poll >= kPollInterval) {
-          since_poll = 0;
-          ctx.SyncDiskIo();
-          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-        }
-      }
-      ADAPTAGG_RETURN_IF_ERROR(scan.status());
-      ctx.SyncDiskIo();
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+          ctx,
+          [&](const TupleBatch& batch, int64_t base) -> Status {
+            const int sz = batch.size();
+            int i = 0;
+            while (i < sz && !repartition_mode) {
+              // Stop-at-full upsert: batch record base-relative index i
+              // + consumed is the precise tuple where the table filled.
+              int consumed = local.UpsertProjectedBatch(batch, i);
+              ctx.clock().AddCpu(static_cast<double>(consumed) *
+                                 local_cost);
+              i += consumed;
+              if (i < sz) {
+                // Memory overflow: flush accumulated partials, free the
+                // table, and repartition from here on.
+                ctx.clock().AddCpu(local_cost);
+                ctx.stats().switched = true;
+                ctx.stats().switch_at_tuple = base + i + 1;
+                ADAPTAGG_RETURN_IF_ERROR(
+                    SendTablePartials(ctx, local, ex_partial, dest));
+                repartition_mode = true;
+                ctx.clock().AddCpu(p.t_d());
+                ++ctx.stats().raw_records_sent;
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
+                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+                ++i;
+              }
+            }
+            if (i < sz) {
+              ctx.clock().AddCpu(static_cast<double>(sz - i) * route_cost);
+              ctx.stats().raw_records_sent += sz - i;
+              for (; i < sz; ++i) {
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
+                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+              }
+            }
+            return Status::OK();
+          },
+          [&]() {
+            ctx.SyncDiskIo();
+            return recv.Poll();
+          }));
     }
 
     if (!repartition_mode) {

@@ -29,23 +29,21 @@ class CentralizedTwoPhase : public Algorithm {
                              ctx.options().spill_fanout,
                              "lc2p_n" + std::to_string(ctx.node_id()));
     {
-      LocalScanner scan(&ctx);
-      std::vector<uint8_t> proj(
-          static_cast<size_t>(spec.projected_width()));
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
-      int64_t since_poll = 0;
-      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-        spec.ProjectRaw(t, proj.data());
-        ctx.clock().AddCpu(agg_cost);
-        ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
-        if (ctx.is_coordinator() && ++since_poll >= kPollInterval) {
-          since_poll = 0;
-          ctx.SyncDiskIo();
-          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-        }
-      }
-      ADAPTAGG_RETURN_IF_ERROR(scan.status());
-      ctx.SyncDiskIo();
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+          ctx,
+          [&](const TupleBatch& batch, int64_t) {
+            ctx.clock().AddCpu(static_cast<double>(batch.size()) *
+                               agg_cost);
+            return local.AddProjectedBatch(batch);
+          },
+          [&]() {
+            // Workers expect no traffic before their send; only the
+            // coordinator services its inbox mid-scan.
+            if (!ctx.is_coordinator()) return Status::OK();
+            ctx.SyncDiskIo();
+            return recv.Poll();
+          }));
     }
 
     // All partials go to the coordinator.

@@ -33,35 +33,32 @@ class GraefeTwoPhase : public Algorithm {
 
     AggHashTable local(&spec, ctx.max_hash_entries());
     {
-      LocalScanner scan(&ctx);
-      std::vector<uint8_t> proj(
-          static_cast<size_t>(spec.projected_width()));
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
-      int64_t since_poll = 0;
-      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-        spec.ProjectRaw(t, proj.data());
-        ctx.clock().AddCpu(local_cost);
-        uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
-        AggHashTable::UpsertResult r = local.UpsertProjected(proj.data(), h);
-        if (r == AggHashTable::UpsertResult::kFull) {
-          if (!ctx.stats().switched) {
-            ctx.stats().switched = true;
-            ctx.stats().switch_at_tuple = ctx.stats().tuples_scanned;
-          }
-          // Forward the overflow tuple to its owner's global phase.
-          ctx.clock().AddCpu(p.t_d());
-          ++ctx.stats().raw_records_sent;
-          ADAPTAGG_RETURN_IF_ERROR(
-              ex_raw.Add(DestOfKeyHash(h, n), proj.data()));
-        }
-        if (++since_poll >= kPollInterval) {
-          since_poll = 0;
-          ctx.SyncDiskIo();
-          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-        }
-      }
-      ADAPTAGG_RETURN_IF_ERROR(scan.status());
-      ctx.SyncDiskIo();
+      std::vector<int> overflow;
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+          ctx,
+          [&](const TupleBatch& batch, int64_t base) -> Status {
+            ctx.clock().AddCpu(static_cast<double>(batch.size()) *
+                               local_cost);
+            overflow.clear();
+            local.UpsertProjectedBatchOverflow(batch, 0, overflow);
+            for (int idx : overflow) {
+              if (!ctx.stats().switched) {
+                ctx.stats().switched = true;
+                ctx.stats().switch_at_tuple = base + idx + 1;
+              }
+              // Forward the overflow tuple to its owner's global phase.
+              ctx.clock().AddCpu(p.t_d());
+              ++ctx.stats().raw_records_sent;
+              ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
+                  DestOfKeyHash(batch.hash(idx), n), batch.record(idx)));
+            }
+            return Status::OK();
+          },
+          [&]() {
+            ctx.SyncDiskIo();
+            return recv.Poll();
+          }));
     }
 
     ADAPTAGG_RETURN_IF_ERROR(

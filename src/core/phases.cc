@@ -112,22 +112,17 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
                            ctx.options().spill_fanout,
                            "l2p_n" + std::to_string(ctx.node_id()));
   {
-    LocalScanner scan(&ctx);
-    std::vector<uint8_t> proj(static_cast<size_t>(spec.projected_width()));
     const double agg_cost = p.t_r() + p.t_h() + p.t_a();
-    int64_t since_poll = 0;
-    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-      spec.ProjectRaw(t, proj.data());
-      ctx.clock().AddCpu(agg_cost);
-      ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
-      if (++since_poll >= kPollInterval) {
-        since_poll = 0;
-        ctx.SyncDiskIo();
-        ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-      }
-    }
-    ADAPTAGG_RETURN_IF_ERROR(scan.status());
-    ctx.SyncDiskIo();
+    ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+        ctx,
+        [&](const TupleBatch& batch, int64_t) {
+          ctx.clock().AddCpu(static_cast<double>(batch.size()) * agg_cost);
+          return local.AddProjectedBatch(batch);
+        },
+        [&]() {
+          ctx.SyncDiskIo();
+          return recv.Poll();
+        }));
   }
 
   // Ship local partials to their owner nodes.
@@ -156,26 +151,25 @@ Status RunRepartitioningBody(NodeContext& ctx) {
               kPhaseData);
 
   {
-    LocalScanner scan(&ctx);
-    std::vector<uint8_t> proj(static_cast<size_t>(spec.projected_width()));
     // Select already charged t_r + t_w; Rep adds hashing and destination
     // computation (§2.3).
     const double route_cost = p.t_h() + p.t_d();
-    int64_t since_poll = 0;
-    for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-      spec.ProjectRaw(t, proj.data());
-      ctx.clock().AddCpu(route_cost);
-      uint64_t h = spec.HashKey(spec.KeyOfProjected(proj.data()));
-      ++ctx.stats().raw_records_sent;
-      ADAPTAGG_RETURN_IF_ERROR(ex.Add(DestOfKeyHash(h, n), proj.data()));
-      if (++since_poll >= kPollInterval) {
-        since_poll = 0;
-        ctx.SyncDiskIo();
-        ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-      }
-    }
-    ADAPTAGG_RETURN_IF_ERROR(scan.status());
-    ctx.SyncDiskIo();
+    ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+        ctx,
+        [&](const TupleBatch& batch, int64_t) -> Status {
+          const int sz = batch.size();
+          ctx.clock().AddCpu(static_cast<double>(sz) * route_cost);
+          ctx.stats().raw_records_sent += sz;
+          for (int i = 0; i < sz; ++i) {
+            ADAPTAGG_RETURN_IF_ERROR(
+                ex.Add(DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+          }
+          return Status::OK();
+        },
+        [&]() {
+          ctx.SyncDiskIo();
+          return recv.Poll();
+        }));
   }
 
   ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());

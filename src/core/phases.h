@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "agg/batch_kernels.h"
 #include "cluster/exchange.h"
 #include "cluster/node_context.h"
 
@@ -17,6 +18,39 @@ inline constexpr uint32_t kPhaseData = 1;
 /// Polling while producing is what lets Adaptive Repartitioning react to
 /// end-of-phase messages mid-scan, and keeps inbox queues short.
 inline constexpr int64_t kPollInterval = 128;
+
+// The batch pipeline processes exactly one poll interval per batch, so
+// batching perturbs neither the poll cadence nor any decision that
+// observes it (A-Rep's follow-suit switch points land on the same tuple
+// counts as the historical per-tuple loop).
+static_assert(kBatchWidth == kPollInterval,
+              "scan batches must match the inbox poll cadence");
+
+/// The shared scan loop all six algorithms run: gathers the node's local
+/// input one batch (= poll interval) at a time, hands each batch to
+/// `process(batch, base)` — where `base` is the number of tuples scanned
+/// before this batch, so the 1-based global index of batch record i is
+/// base + i + 1 — and calls `poll()` after every full batch, exactly
+/// where the per-tuple loops polled after every kPollInterval-th tuple.
+/// `poll` is responsible for SyncDiskIo + inbox servicing (C-2P workers
+/// never poll at all).
+template <typename ProcessFn, typename PollFn>
+Status RunBatchedScan(NodeContext& ctx, ProcessFn&& process, PollFn&& poll) {
+  LocalScanner scan(&ctx);
+  TupleBatch batch(&ctx.spec());
+  while (true) {
+    const int64_t base = ctx.stats().tuples_scanned;
+    const int n = scan.FillBatch(batch);
+    if (n == 0) break;
+    ADAPTAGG_RETURN_IF_ERROR(process(batch, base));
+    if (n == kBatchWidth) {
+      ADAPTAGG_RETURN_IF_ERROR(poll());
+    }
+  }
+  ADAPTAGG_RETURN_IF_ERROR(scan.status());
+  ctx.SyncDiskIo();
+  return Status::OK();
+}
 
 /// Consumes data-phase messages for one node: raw pages and partial pages
 /// are folded into the node's global-phase aggregator with the paper's

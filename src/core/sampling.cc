@@ -55,9 +55,14 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
       ctx.SyncDiskIo();
       PageReader reader(page_bytes.data(), ctx.disk()->page_size(),
                         schema.tuple_size());
-      for (int i = 0; i < reader.count() && sampled < per_node; ++i) {
-        ++sampled;
-        ctx.clock().AddCpu(select_cost + agg_cost);
+      // Examination cost is page-at-a-time: every sampled tuple is
+      // read and hashed before the WHERE filter applies.
+      const int take = static_cast<int>(std::min<int64_t>(
+          reader.count(), per_node - sampled));
+      sampled += take;
+      ctx.clock().AddCpu(static_cast<double>(take) *
+                         (select_cost + agg_cost));
+      for (int i = 0; i < take; ++i) {
         TupleView t(reader.record(i), &schema);
         // Sampling estimates the groups of the *filtered* relation when
         // the query has a WHERE clause.

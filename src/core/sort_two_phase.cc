@@ -40,23 +40,18 @@ class SortTwoPhase : public Algorithm {
     SortAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
                          "lsort_n" + std::to_string(ctx.node_id()));
     {
-      LocalScanner scan(&ctx);
-      std::vector<uint8_t> proj(
-          static_cast<size_t>(spec.projected_width()));
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
-      int64_t since_poll = 0;
-      for (TupleView t = scan.Next(); t.valid(); t = scan.Next()) {
-        spec.ProjectRaw(t, proj.data());
-        ctx.clock().AddCpu(agg_cost);
-        ADAPTAGG_RETURN_IF_ERROR(local.AddProjected(proj.data()));
-        if (++since_poll >= kPollInterval) {
-          since_poll = 0;
-          ctx.SyncDiskIo();
-          ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
-        }
-      }
-      ADAPTAGG_RETURN_IF_ERROR(scan.status());
-      ctx.SyncDiskIo();
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+          ctx,
+          [&](const TupleBatch& batch, int64_t) {
+            ctx.clock().AddCpu(static_cast<double>(batch.size()) *
+                               agg_cost);
+            return local.AddProjectedBatch(batch);
+          },
+          [&]() {
+            ctx.SyncDiskIo();
+            return recv.Poll();
+          }));
     }
 
     // Ship local partials to their owner nodes.

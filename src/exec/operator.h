@@ -29,6 +29,20 @@ class RowOperator {
   /// Next row, or an invalid view at end of stream.
   virtual TupleView Next() = 0;
 
+  /// Fills `out` with up to `max` rows; returns the count, 0 at end of
+  /// stream. All returned views stay valid together until the next
+  /// Next()/NextBatch()/Close() call (a stronger guarantee than Next(),
+  /// which batch consumers rely on to gather a page worth of rows). The
+  /// base implementation yields one row per call; operators that can do
+  /// better (scans over paged storage, filters) override it.
+  virtual int NextBatch(TupleView* out, int max) {
+    if (max <= 0) return 0;
+    TupleView t = Next();
+    if (!t.valid()) return 0;
+    out[0] = t;
+    return 1;
+  }
+
   virtual Status Close() = 0;
 
   virtual std::string name() const = 0;

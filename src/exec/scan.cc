@@ -43,6 +43,27 @@ TupleView ScanOperator::Next() {
   return t;
 }
 
+int ScanOperator::NextBatch(TupleView* out, int max) {
+  if (max <= 0) return 0;
+  run_scratch_.resize(static_cast<size_t>(max));
+  int64_t pages_before = scanner_->pages_read();
+  int got = scanner_->NextRun(run_scratch_.data(), max);
+  if (scanner_->pages_read() != pages_before) {
+    ChargeDiskDelta();
+  }
+  const Schema* schema = &file_->schema();
+  for (int i = 0; i < got; ++i) {
+    out[i] = TupleView(run_scratch_[i], schema);
+  }
+  if (got > 0) {
+    if (clock_ != nullptr) {
+      clock_->AddCpu(static_cast<double>(got) * select_cost_);
+    }
+    rows_ += got;
+  }
+  return got;
+}
+
 Status ScanOperator::Close() {
   ChargeDiskDelta();
   Status st = scanner_ != nullptr ? scanner_->status() : Status::OK();

@@ -1,6 +1,8 @@
 #ifndef ADAPTAGG_EXEC_SCAN_H_
 #define ADAPTAGG_EXEC_SCAN_H_
 
+#include <vector>
+
 #include "exec/operator.h"
 #include "sim/cost_clock.h"
 #include "sim/params.h"
@@ -22,6 +24,7 @@ class ScanOperator : public RowOperator {
   const Schema& schema() const override { return file_->schema(); }
   Status Open() override;
   TupleView Next() override;
+  int NextBatch(TupleView* out, int max) override;
   Status Close() override;
   std::string name() const override { return "scan"; }
   int64_t rows_produced() const override { return rows_; }
@@ -33,6 +36,7 @@ class ScanOperator : public RowOperator {
   CostClock* clock_;
   const SystemParams* params_;
   std::unique_ptr<HeapFileScanner> scanner_;
+  std::vector<const uint8_t*> run_scratch_;
   DiskStats last_disk_;
   double select_cost_ = 0;
   int64_t rows_ = 0;

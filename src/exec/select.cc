@@ -39,4 +39,28 @@ TupleView SelectOperator::Next() {
   }
 }
 
+int SelectOperator::NextBatch(TupleView* out, int max) {
+  // Filter each child batch in place; survivors keep pointing into the
+  // child's storage, which stays valid until we call the child again —
+  // and we only do that after returning a non-empty batch.
+  while (true) {
+    int got = child_->NextBatch(out, max);
+    if (got == 0) return 0;
+    seen_ += got;
+    if (clock_ != nullptr) {
+      clock_->AddCpu(static_cast<double>(got) * eval_cost_);
+    }
+    int kept = 0;
+    for (int i = 0; i < got; ++i) {
+      if (EvalPredicate(*predicate_, out[i])) {
+        out[kept++] = out[i];
+      }
+    }
+    if (kept > 0) {
+      rows_ += kept;
+      return kept;
+    }
+  }
+}
+
 }  // namespace adaptagg

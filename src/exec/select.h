@@ -24,6 +24,7 @@ class SelectOperator : public RowOperator {
   const Schema& schema() const override { return child_->schema(); }
   Status Open() override { return child_->Open(); }
   TupleView Next() override;
+  int NextBatch(TupleView* out, int max) override;
   Status Close() override { return child_->Close(); }
   std::string name() const override {
     return "select(" + predicate_->ToString() + ")";

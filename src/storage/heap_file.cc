@@ -1,5 +1,7 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace adaptagg {
@@ -69,6 +71,21 @@ TupleView HeapFileScanner::Next() {
                     file_->schema().tuple_size());
   const uint8_t* rec = reader.record(record_in_page_++);
   return TupleView(rec, &file_->schema());
+}
+
+int HeapFileScanner::NextRun(const uint8_t** out, int max) {
+  if (max <= 0) return 0;
+  while (record_in_page_ >= records_in_page_) {
+    if (!LoadPage(next_page_)) return 0;
+  }
+  PageReader reader(page_bytes_.data(), file_->disk()->page_size(),
+                    file_->schema().tuple_size());
+  int take = std::min(max, records_in_page_ - record_in_page_);
+  for (int i = 0; i < take; ++i) {
+    out[i] = reader.record(record_in_page_ + i);
+  }
+  record_in_page_ += take;
+  return take;
 }
 
 Status HeapFileScanner::SeekToPage(int64_t index) {

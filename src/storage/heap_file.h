@@ -59,6 +59,13 @@ class HeapFileScanner {
   /// or on a disk error — distinguish by checking status().
   TupleView Next();
 
+  /// Fills `out` with up to `max` record pointers from the current page
+  /// (loading the next page first when it is exhausted, so one call
+  /// never spans pages and performs at most one disk read). Returns the
+  /// count; 0 at end of file or on error. Pointers stay valid until the
+  /// next NextRun/Next/SeekToPage call.
+  int NextRun(const uint8_t** out, int max);
+
   /// OK unless a page read failed; once non-OK the scanner stays ended.
   const Status& status() const { return status_; }
 

@@ -1,0 +1,142 @@
+// Golden switch-point tests: the batched scan pipeline must reproduce
+// the exact per-node switch_at_tuple values (and send/row counts) that
+// the original tuple-at-a-time loops produced. The goldens below were
+// captured from the pre-batch implementation on these deterministic
+// configurations.
+//
+// A-2P and Graefe switch points are purely local decisions (the memory
+// bound fills at a fixed tuple), so they are pinned exactly for any node
+// count. A-Rep's *own* decisions (the init_seg judgment and subsequent
+// table overflow) are also deterministic and pinned; its *follow-suit*
+// switches depend on when a peer's end-of-phase broadcast arrives, so
+// multi-node A-Rep gets structural invariants instead of exact pins.
+
+#include <gtest/gtest.h>
+
+#include "core/phases.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+struct NodeGolden {
+  int64_t switch_at_tuple;
+  int64_t raw_records_sent;
+  int64_t partial_records_sent;
+  int64_t result_rows;
+};
+
+RunResult RunConfig(AlgorithmKind kind, int nodes, int64_t tuples,
+                    int64_t groups, int64_t m, AlgorithmOptions opts = {}) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = nodes;
+  wspec.num_tuples = tuples;
+  wspec.num_groups = groups;
+  auto rel = GenerateRelation(wspec);
+  EXPECT_TRUE(rel.ok());
+  auto spec = MakeBenchQuery(&rel->schema());
+  EXPECT_TRUE(spec.ok());
+  Cluster cluster(SmallClusterParams(nodes, tuples, m));
+  RunResult run = cluster.Run(*MakeAlgorithm(kind), *spec, *rel, opts);
+  EXPECT_TRUE(run.status.ok()) << run.status.ToString();
+  return run;
+}
+
+void ExpectGolden(const RunResult& run,
+                  const std::vector<NodeGolden>& golden) {
+  ASSERT_EQ(run.node_stats.size(), golden.size());
+  for (size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    const auto& s = run.node_stats[i];
+    EXPECT_TRUE(s.switched);
+    EXPECT_EQ(s.switch_at_tuple, golden[i].switch_at_tuple);
+    EXPECT_EQ(s.raw_records_sent, golden[i].raw_records_sent);
+    EXPECT_EQ(s.partial_records_sent, golden[i].partial_records_sent);
+    EXPECT_EQ(s.result_rows, golden[i].result_rows);
+  }
+}
+
+TEST(BatchSwitchGolden, AdaptiveTwoPhaseFourNodes) {
+  RunResult run =
+      RunConfig(AlgorithmKind::kAdaptiveTwoPhase, 4, 8'000, 4'000, 128);
+  ExpectGolden(run, {{131, 1870, 128, 869},
+                     {129, 1872, 128, 861},
+                     {134, 1867, 128, 896},
+                     {131, 1870, 128, 848}});
+}
+
+TEST(BatchSwitchGolden, GraefeTwoPhaseFourNodes) {
+  RunResult run =
+      RunConfig(AlgorithmKind::kGraefeTwoPhase, 4, 8'000, 4'000, 128);
+  ExpectGolden(run, {{131, 1808, 128, 869},
+                     {129, 1819, 128, 861},
+                     {134, 1810, 128, 896},
+                     {131, 1799, 128, 848}});
+}
+
+TEST(BatchSwitchGolden, AdaptiveTwoPhaseAblationFraction) {
+  AlgorithmOptions opts;
+  opts.switch_fill_fraction = 0.25;
+  RunResult run = RunConfig(AlgorithmKind::kAdaptiveTwoPhase, 2, 4'000,
+                            2'000, 1'000, opts);
+  ExpectGolden(run, {{272, 1729, 250, 870}, {265, 1736, 250, 854}});
+}
+
+TEST(BatchSwitchGolden, AdaptiveTwoPhaseSingleNode) {
+  RunResult run =
+      RunConfig(AlgorithmKind::kAdaptiveTwoPhase, 1, 5'000, 900, 777);
+  ExpectGolden(run, {{1775, 3226, 777, 894}});
+}
+
+TEST(BatchSwitchGolden, AdaptiveRepartitioningOwnDecisionAtInitSeg) {
+  // 20 groups < few_groups=50 at the init_seg=700 judgment: the node
+  // decides on its own to go local at exactly tuple 700.
+  AlgorithmOptions opts;
+  opts.init_seg = 700;
+  opts.few_groups_threshold = 50;
+  RunResult run = RunConfig(AlgorithmKind::kAdaptiveRepartitioning, 1,
+                            5'000, 20, 512, opts);
+  ExpectGolden(run, {{700, 700, 20, 20}});
+}
+
+TEST(BatchSwitchGolden, AdaptiveRepartitioningLocalOverflowAfterSwitch) {
+  // Switches to local at init_seg=500 (400 observed groups < 450), then
+  // the 256-entry local table overflows and it repartitions again; the
+  // raw-record count pins the exact overflow tuple.
+  AlgorithmOptions opts;
+  opts.init_seg = 500;
+  opts.few_groups_threshold = 450;
+  RunResult run = RunConfig(AlgorithmKind::kAdaptiveRepartitioning, 1,
+                            6'000, 400, 256, opts);
+  ExpectGolden(run, {{500, 5'611, 256, 400}});
+}
+
+TEST(BatchSwitchGolden, AdaptiveRepartitioningMultiNodeInvariants) {
+  // With multiple nodes the non-deciding nodes follow suit when the
+  // end-of-phase broadcast arrives — a poll-time event, so the exact
+  // tuple is scheduling-dependent. Structurally it must always be either
+  // the decider's own init_seg point or a full-batch poll boundary.
+  AlgorithmOptions opts;
+  opts.init_seg = 1'000;
+  opts.few_groups_threshold = 400;
+  RunResult run = RunConfig(AlgorithmKind::kAdaptiveRepartitioning, 4,
+                            12'000, 20, 512, opts);
+  int own_decisions = 0;
+  for (const auto& s : run.node_stats) {
+    EXPECT_TRUE(s.switched);
+    EXPECT_EQ(s.partial_records_sent, 20);
+    if (s.switch_at_tuple == 1'000) {
+      ++own_decisions;
+    } else {
+      EXPECT_EQ(s.switch_at_tuple % kPollInterval, 0)
+          << "follow-suit switches happen on poll boundaries, got "
+          << s.switch_at_tuple;
+    }
+  }
+  EXPECT_GE(own_decisions, 1) << "someone must have decided first";
+}
+
+}  // namespace
+}  // namespace adaptagg
