@@ -72,7 +72,8 @@ void Run() {
 }  // namespace bench
 }  // namespace adaptagg
 
-int main() {
+int main(int, char** argv) {
+  adaptagg::bench::SetBenchBinaryName(argv[0]);
   adaptagg::bench::Run();
   return 0;
 }

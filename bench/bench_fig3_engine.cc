@@ -57,6 +57,7 @@ void Run() {
       EngineRunOutcome out = RunEngine(cluster, kind, *spec, *rel, opts);
       row.push_back(out.ok ? FmtSeconds(out.sim_time_s) : "ERR");
       if (!out.ok) continue;
+      json.MergeMetrics(out.metrics);
       json.AddPoint(
           AlgorithmKindToString(kind) + "/S=" + FmtSci(s), out.sim_time_s,
           out.wall_time_s,
@@ -88,7 +89,8 @@ void Run() {
 }  // namespace bench
 }  // namespace adaptagg
 
-int main() {
+int main(int, char** argv) {
+  adaptagg::bench::SetBenchBinaryName(argv[0]);
   adaptagg::bench::Run();
   return 0;
 }

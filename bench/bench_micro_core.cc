@@ -245,6 +245,7 @@ void RunLocalAggHarness(bench::BenchJsonWriter& json) {
 }  // namespace adaptagg
 
 int main(int argc, char** argv) {
+  adaptagg::bench::SetBenchBinaryName(argv[0]);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,24 @@
 
 namespace adaptagg {
 namespace bench {
+namespace {
+
+std::string& BinaryNameStorage() {
+  static std::string name = "unknown";
+  return name;
+}
+
+}  // namespace
+
+void SetBenchBinaryName(const char* argv0) {
+  if (argv0 == nullptr || *argv0 == '\0') return;
+  std::string s(argv0);
+  const size_t slash = s.find_last_of('/');
+  BinaryNameStorage() =
+      slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+std::string BenchBinaryName() { return BinaryNameStorage(); }
 
 TablePrinter::TablePrinter(std::vector<std::string> columns)
     : columns_(std::move(columns)) {}
@@ -76,20 +94,40 @@ double BenchScale() {
 EngineRunOutcome RunEngine(Cluster& cluster, AlgorithmKind kind,
                            const AggregationSpec& spec,
                            PartitionedRelation& rel,
-                           const AlgorithmOptions& options) {
+                           const AlgorithmOptions& options,
+                           const std::string& trace_label) {
   EngineRunOutcome out;
-  RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, options);
+  const char* trace_dir = std::getenv("ADAPTAGG_TRACE_DIR");
+  AlgorithmOptions opts = options;
+  if (trace_dir != nullptr) {
+    opts.obs.spans = true;
+    opts.obs.traces = true;
+  }
+  RunResult run = cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
   if (!run.status.ok()) {
     std::fprintf(stderr, "engine run %s failed: %s\n",
                  AlgorithmKindToString(kind).c_str(),
                  run.status.ToString().c_str());
     return out;
   }
+  if (trace_dir != nullptr) {
+    const std::string label =
+        trace_label.empty() ? AlgorithmKindToString(kind) : trace_label;
+    const std::string path =
+        std::string(trace_dir) + "/TRACE_" + label + ".json";
+    Status st =
+        WriteChromeTrace(run.trace_events, run.num_nodes, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export to %s failed: %s\n", path.c_str(),
+                   st.ToString().c_str());
+    }
+  }
   out.ok = true;
   out.sim_time_s = run.sim_time_s;
   out.wall_time_s = run.wall_time_s;
   out.nodes_switched = run.nodes_switched();
   out.spilled_records = run.total_spilled_records();
+  out.metrics = std::move(run.metrics);
   return out;
 }
 
@@ -148,6 +186,10 @@ void BenchJsonWriter::AddPoint(const std::string& name, double sim_time_s,
   points_.push_back({name, sim_time_s, wall_time_s, tuples_per_sec});
 }
 
+void BenchJsonWriter::MergeMetrics(const MetricsSnapshot& metrics) {
+  metrics_.Merge(metrics);
+}
+
 bool BenchJsonWriter::Write(const std::string& dir) const {
   std::string out_dir = dir;
   if (out_dir.empty()) {
@@ -160,8 +202,12 @@ bool BenchJsonWriter::Write(const std::string& dir) const {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": \"%s\",\n",
-               JsonEscape(bench_id_).c_str(), JsonEscape(config_).c_str());
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n"
+               "  \"bench_binary\": \"%s\",\n  \"config\": \"%s\",\n",
+               JsonEscape(bench_id_).c_str(), kBenchJsonSchemaVersion,
+               JsonEscape(BenchBinaryName()).c_str(),
+               JsonEscape(config_).c_str());
   std::fprintf(f, "  \"points\": [\n");
   for (size_t i = 0; i < points_.size(); ++i) {
     const Point& pt = points_[i];
@@ -174,7 +220,12 @@ bool BenchJsonWriter::Write(const std::string& dir) const {
                  JsonNumber(pt.tuples_per_sec).c_str(),
                  i + 1 < points_.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  if (metrics_.empty()) {
+    std::fprintf(f, "  ]\n}\n");
+  } else {
+    std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+                 MetricsToJson(metrics_, 4).c_str());
+  }
   const bool ok = std::fclose(f) == 0;
   if (ok) std::printf("\nwrote %s\n", path.c_str());
   return ok;

@@ -11,10 +11,20 @@
 #include "cluster/cluster.h"
 #include "core/algorithm.h"
 #include "model/cost_model.h"
+#include "obs/metrics_export.h"
+#include "obs/trace_export.h"
 #include "workload/generator.h"
 
 namespace adaptagg {
 namespace bench {
+
+/// Records the benchmark binary's name (basename of argv[0]) so
+/// BenchJsonWriter can stamp it into every BENCH_*.json. Call first
+/// thing in main().
+void SetBenchBinaryName(const char* argv0);
+
+/// The name recorded by SetBenchBinaryName, or "unknown".
+std::string BenchBinaryName();
 
 /// Prints an aligned text table: header row, separator, data rows.
 class TablePrinter {
@@ -51,41 +61,61 @@ std::vector<double> SelectivitySweep(int64_t num_tuples,
 double BenchScale();
 
 /// One engine run: generates (or reuses) the workload and reports modeled
-/// completion time.
+/// completion time plus the run's merged metric snapshot.
 struct EngineRunOutcome {
   double sim_time_s = 0;
   double wall_time_s = 0;
   int nodes_switched = 0;
   int64_t spilled_records = 0;
   bool ok = false;
+  MetricsSnapshot metrics;
 };
 
+/// Runs `kind` on the cluster. When the environment variable
+/// ADAPTAGG_TRACE_DIR is set, trace collection is forced on and the run
+/// is exported as `<dir>/TRACE_<label>.json` (Chrome trace-event
+/// format); `trace_label` defaults to the algorithm name, and the last
+/// run with a given label wins.
 EngineRunOutcome RunEngine(Cluster& cluster, AlgorithmKind kind,
                            const AggregationSpec& spec,
                            PartitionedRelation& rel,
-                           const AlgorithmOptions& options);
+                           const AlgorithmOptions& options,
+                           const std::string& trace_label = std::string());
 
 /// Prints the standard bench header: figure id, description, config line.
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& config);
 
+/// Schema version stamped into every BENCH_*.json. Bump when the layout
+/// changes incompatibly. v2 added schema_version, bench_binary, and the
+/// embedded metrics object.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 /// Collects benchmark points and writes them as `BENCH_<bench_id>.json`
 /// so numbers can be checked into the repo and diffed across commits.
-/// Layout:
+/// Layout (schema v2):
 ///
-///   {"bench": "...", "config": "...",
+///   {"bench": "...", "schema_version": 2, "bench_binary": "...",
+///    "config": "...",
 ///    "points": [{"name": "...", "sim_time_s": ...,
-///                "wall_time_s": ..., "tuples_per_sec": ...}, ...]}
+///                "wall_time_s": ..., "tuples_per_sec": ...}, ...],
+///    "metrics": {...}}
 ///
 /// Times are seconds; `tuples_per_sec` is input tuples divided by wall
 /// time (0 when a point has no tuple count). Non-finite values are
-/// written as 0 to keep the file valid JSON.
+/// written as 0 to keep the file valid JSON. `metrics` is the merged
+/// observability snapshot of every run fed to MergeMetrics (omitted
+/// when empty, e.g. in obs-disabled builds).
 class BenchJsonWriter {
  public:
   BenchJsonWriter(std::string bench_id, std::string config);
 
   void AddPoint(const std::string& name, double sim_time_s,
                 double wall_time_s, double tuples_per_sec);
+
+  /// Folds one run's metric snapshot into the bench-wide snapshot that
+  /// Write embeds under "metrics".
+  void MergeMetrics(const MetricsSnapshot& metrics);
 
   /// Writes `<dir>/BENCH_<bench_id>.json` (dir defaults to
   /// ADAPTAGG_BENCH_JSON_DIR or "."). Returns false and prints to stderr
@@ -103,6 +133,7 @@ class BenchJsonWriter {
   std::string bench_id_;
   std::string config_;
   std::vector<Point> points_;
+  MetricsSnapshot metrics_;
 };
 
 }  // namespace bench

@@ -25,6 +25,7 @@ int TupleBatch::GatherRun(const uint8_t* recs, int rec_size, int n) {
       rec_size == static_cast<int>(stride_)) {
     // Identity projection over densely packed records: one bulk copy.
     std::memcpy(dst0, recs, static_cast<size_t>(n) * stride_);
+    stats_.identity_copy_tuples += n;
   } else {
     for (int i = 0; i < n; ++i) {
       const uint8_t* src = recs + static_cast<size_t>(i) * rec_size;
@@ -36,6 +37,7 @@ int TupleBatch::GatherRun(const uint8_t* recs, int rec_size, int n) {
     }
   }
   size_ += n;
+  stats_.gathered_tuples += n;
   return n;
 }
 

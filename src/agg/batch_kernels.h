@@ -28,6 +28,21 @@ inline void PrefetchRead(const void* p) {
 #endif
 }
 
+/// Plain counters of one TupleBatch's gather activity, updated once per
+/// gather call (never per tuple). Single-threaded like the batch itself.
+struct BatchGatherStats {
+  /// Tuples gathered through Gather/GatherRun.
+  int64_t gathered_tuples = 0;
+  /// GatherRun tuples that took the identity-projection bulk-memcpy fast
+  /// path.
+  int64_t identity_copy_tuples = 0;
+
+  void Accumulate(const BatchGatherStats& other) {
+    gathered_tuples += other.gathered_tuples;
+    identity_copy_tuples += other.identity_copy_tuples;
+  }
+};
+
 /// A batch of up to kBatchWidth projected records plus their key hashes.
 /// Scan loops gather into it one page-run at a time (projection happens
 /// at gather, because operator TupleViews only stay valid until the next
@@ -48,6 +63,7 @@ class TupleBatch {
     spec_->ProjectRaw(tuple,
                       arena_.data() + static_cast<size_t>(size_) * stride_);
     ++size_;
+    ++stats_.gathered_tuples;
   }
 
   /// Projects up to `n` consecutive raw records (`rec_size` bytes apart,
@@ -73,12 +89,16 @@ class TupleBatch {
   const uint64_t* hashes() const { return hashes_.data(); }
   const AggregationSpec& spec() const { return *spec_; }
 
+  /// Cumulative gather counters (survive Clear()).
+  const BatchGatherStats& stats() const { return stats_; }
+
  private:
   const AggregationSpec* spec_;
   size_t stride_;
   int size_ = 0;
   std::vector<uint8_t> arena_;
   std::vector<uint64_t> hashes_;
+  BatchGatherStats stats_;
 };
 
 }  // namespace adaptagg

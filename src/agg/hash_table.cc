@@ -91,6 +91,7 @@ void AggHashTable::EnsureSlotCapacity(int64_t slots) {
   while (grown < slots) grown *= 2;
   capacity_slots_ = std::min<int64_t>(grown, max_entries_);
   arena_.resize(static_cast<size_t>(capacity_slots_ * slot_width_));
+  ++stats_.resizes;
 }
 
 int64_t AggHashTable::Probe(const uint8_t* key, uint64_t hash,
@@ -116,7 +117,9 @@ AggHashTable::UpsertResult AggHashTable::FindOrInsert(const uint8_t* key,
                                                       uint8_t** state) {
   bool found = false;
   int64_t pos = Probe(key, hash, &found);
+  ++stats_.probes;
   if (found) {
+    ++stats_.hits;
     *state = arena_.data() + pos * slot_width_ + key_width_;
     return UpsertResult::kUpdated;
   }
@@ -124,6 +127,7 @@ AggHashTable::UpsertResult AggHashTable::FindOrInsert(const uint8_t* key,
     *state = nullptr;
     return UpsertResult::kFull;
   }
+  ++stats_.inserts;
   int64_t slot = size_++;
   EnsureSlotCapacity(size_);
   uint8_t* slot_ptr = arena_.data() + slot * slot_width_;
@@ -165,6 +169,10 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
   // stable for the whole batch and no insert pays a resize check.
   EnsureSlotCapacity(std::min<int64_t>(max_entries_, size_ + (n - from)));
   uint8_t* arena = arena_.data();
+  const int64_t size_before = size_;
+  const int64_t ovf_before =
+      overflow != nullptr ? static_cast<int64_t>(overflow->size()) : 0;
+  constexpr bool kFused = K != FusedKernelKind::kGeneric;
 
   for (int i = from; i < n; ++i) {
     // Two-stage software pipeline: pull the bucket-array line for probe
@@ -207,6 +215,7 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
     }
     if (size_ >= max_entries_) {
       if constexpr (StopAtFull) {
+        NoteBatch(i - from, size_before, 0, kFused);
         return i - from;
       } else {
         overflow->push_back(i);
@@ -220,6 +229,10 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
     buckets_[static_cast<size_t>(insert_pos)] = slot;
     FusedUpdate<K>(*spec_, slot_ptr + key_width_, rec, key_width_);
   }
+  const int64_t overflowed =
+      overflow != nullptr ? static_cast<int64_t>(overflow->size()) - ovf_before
+                          : 0;
+  NoteBatch(n - from, size_before, overflowed, kFused);
   return n - from;
 }
 

@@ -9,6 +9,35 @@
 
 namespace adaptagg {
 
+/// Plain (non-atomic) operation counters of one AggHashTable. The table
+/// is single-threaded by contract, so these are bare int64 fields; the
+/// batch entry points update them once per batch, never per tuple, to
+/// keep the hot loops untouched. Cumulative across Clear() so a spilling
+/// aggregator's recursive passes add up.
+struct HashTableStats {
+  /// Probe sequences started (one per upsert; pure Find() is not counted).
+  int64_t probes = 0;
+  /// Probes that landed on an existing group.
+  int64_t hits = 0;
+  /// New groups created.
+  int64_t inserts = 0;
+  /// Slot-arena growth events (doubling).
+  int64_t resizes = 0;
+  /// Tuples consumed through the batch entry points.
+  int64_t batch_tuples = 0;
+  /// Batch tuples handled by a fused (non-generic) update kernel.
+  int64_t fused_tuples = 0;
+
+  void Accumulate(const HashTableStats& other) {
+    probes += other.probes;
+    hits += other.hits;
+    inserts += other.inserts;
+    resizes += other.resizes;
+    batch_tuples += other.batch_tuples;
+    fused_tuples += other.fused_tuples;
+  }
+};
+
 /// Memory-bounded open-addressing aggregation hash table (the paper's
 /// in-memory hash table with a maximum of M entries, Table 1: M = 10K).
 ///
@@ -84,10 +113,24 @@ class AggHashTable {
     }
   }
 
-  /// Empties the table, keeping capacity.
+  /// Empties the table, keeping capacity. Stats are cumulative across
+  /// clears.
   void Clear();
 
+  const HashTableStats& stats() const { return stats_; }
+
  private:
+  /// Folds one batch's outcome into stats_ at batch granularity.
+  void NoteBatch(int consumed, int64_t size_before, int64_t overflowed,
+                 bool fused) {
+    stats_.batch_tuples += consumed;
+    stats_.probes += consumed;
+    const int64_t inserted = size_ - size_before;
+    stats_.inserts += inserted;
+    stats_.hits += consumed - inserted - overflowed;
+    if (fused) stats_.fused_tuples += consumed;
+  }
+
   int64_t Probe(const uint8_t* key, uint64_t hash, bool* found) const;
 
   /// Grows the arena (doubling, capped at max_entries) until it holds at
@@ -116,6 +159,7 @@ class AggHashTable {
   std::vector<int64_t> buckets_;
   uint64_t bucket_mask_ = 0;
   int64_t size_ = 0;
+  HashTableStats stats_;
 };
 
 }  // namespace adaptagg

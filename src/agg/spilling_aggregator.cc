@@ -130,6 +130,7 @@ Status SpillingAggregator::Finish(const EmitFn& emit) {
     ADAPTAGG_RETURN_IF_ERROR(bucket->Drop());
     ADAPTAGG_RETURN_IF_ERROR(child.Finish(emit));
     stats_.Accumulate(child.stats());
+    child_ht_stats_.Accumulate(child.ht_stats());
     stats_.max_depth = std::max(stats_.max_depth, depth_ + 1);
   }
   buckets_.clear();

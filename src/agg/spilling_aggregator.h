@@ -65,6 +65,15 @@ class SpillingAggregator {
 
   const SpillStats& stats() const { return stats_; }
 
+  /// Hash-table counters summed over this aggregator's resident table and
+  /// every recursive child table (children are folded in as their Finish
+  /// completes).
+  HashTableStats ht_stats() const {
+    HashTableStats s = table_.stats();
+    s.Accumulate(child_ht_stats_);
+    return s;
+  }
+
  private:
   SpillingAggregator(const AggregationSpec* spec, Disk* disk,
                      int64_t max_entries, int fanout, std::string name,
@@ -85,6 +94,7 @@ class SpillingAggregator {
   std::vector<std::unique_ptr<SpillWriter>> buckets_;
   std::vector<int> overflow_scratch_;
   SpillStats stats_;
+  HashTableStats child_ht_stats_;
   bool finished_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <chrono>
+#include <iterator>
 #include <mutex>
 #include <thread>
 
@@ -57,12 +58,15 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   std::mutex gather_mu;
   std::vector<std::vector<uint8_t>> gathered;
 
+  // One wall epoch for the whole run so all nodes' trace wall timelines
+  // share an origin.
+  const double wall_epoch_s = WallSeconds();
   std::vector<std::unique_ptr<NodeContext>> contexts;
   contexts.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     contexts.push_back(std::make_unique<NodeContext>(
         i, params_, spec, options, &rel.partition(i), &rel.disk(i),
-        (*transports)[static_cast<size_t>(i)].get(), &net));
+        (*transports)[static_cast<size_t>(i)].get(), &net, wall_epoch_s));
     contexts.back()->SetGather(&gather_mu, &gathered);
   }
 
@@ -110,6 +114,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
     }
   }
 
+  result.num_nodes = n;
   result.clocks.reserve(static_cast<size_t>(n));
   result.node_stats.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -117,6 +122,15 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
     result.sim_time_s = std::max(result.sim_time_s, ctx.clock().now());
     result.clocks.push_back(ctx.clock());
     result.node_stats.push_back(ctx.stats());
+    // Fold stat-tracked values into the shard, then merge shards in node
+    // order (Merge is commutative, so the order is cosmetic).
+    ctx.FinalizeObs();
+    result.metrics.Merge(ctx.obs().Snapshot());
+    std::vector<TraceEvent> node_events = ctx.obs().trace().TakeEvents();
+    result.trace_events.insert(
+        result.trace_events.end(),
+        std::make_move_iterator(node_events.begin()),
+        std::make_move_iterator(node_events.end()));
   }
   // On the shared medium, the wire is a sequential resource whose total
   // occupancy adds to the completion time (§2's no-overlap model).

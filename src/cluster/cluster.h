@@ -40,6 +40,14 @@ struct RunResult {
   std::vector<NodeRunStats> node_stats;
   /// Gathered final rows (when options.gather_results).
   ResultSet results;
+  /// Merged metric snapshot over every node's registry shard (empty when
+  /// options.obs.metrics is off or the build disables observability).
+  MetricsSnapshot metrics;
+  /// Concatenated per-node trace event logs (only when options.obs.traces
+  /// is on). Export with ChromeTraceJson/WriteChromeTrace.
+  std::vector<TraceEvent> trace_events;
+  /// Node count of the run (the trace exporter's track count).
+  int num_nodes = 0;
 
   int64_t total_result_rows() const {
     int64_t n = 0;

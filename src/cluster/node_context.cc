@@ -10,7 +10,8 @@ NodeContext::NodeContext(int node_id, const SystemParams& params,
                          const AggregationSpec& spec,
                          const AlgorithmOptions& options,
                          HeapFile* local_partition, Disk* disk,
-                         Transport* transport, NetworkModel* net)
+                         Transport* transport, NetworkModel* net,
+                         double obs_wall_epoch_s)
     : node_id_(node_id),
       params_(params),
       spec_(spec),
@@ -19,6 +20,9 @@ NodeContext::NodeContext(int node_id, const SystemParams& params,
       disk_(disk),
       transport_(transport),
       net_(net),
+      obs_(std::make_unique<NodeObs>(
+          node_id, options.obs, &clock_,
+          obs_wall_epoch_s >= 0 ? obs_wall_epoch_s : WallSeconds())),
       row_buf_(static_cast<size_t>(spec.final_schema().tuple_size())) {
   if (disk_ != nullptr) last_disk_ = disk_->stats();
 }
@@ -42,6 +46,12 @@ int64_t NodeContext::few_groups_threshold() const {
 Status NodeContext::Send(int to, Message msg) {
   net_->OnSend(clock_, msg);
   ++stats_.messages_sent;
+  const int64_t bytes = static_cast<int64_t>(msg.payload.size());
+  obs_->net_msgs_sent.Increment();
+  obs_->net_bytes_sent.Add(bytes);
+  obs_->net_pages_sent.Add(
+      (bytes + params_.page_bytes - 1) / params_.page_bytes);
+  obs_->net_msg_bytes.Observe(bytes);
   return transport_->Send(to, std::move(msg));
 }
 
@@ -115,6 +125,24 @@ Status NodeContext::FinishResults() {
   }
   SyncDiskIo();
   return Status::OK();
+}
+
+void NodeContext::FinalizeObs() {
+  NodeObs& o = *obs_;
+  o.scan_tuples.Add(stats_.tuples_scanned);
+  o.net_raw_records_sent.Add(stats_.raw_records_sent);
+  o.net_partial_records_sent.Add(stats_.partial_records_sent);
+  o.net_raw_records_received.Add(stats_.raw_records_received);
+  o.net_partial_records_received.Add(stats_.partial_records_received);
+  o.core_result_rows.Add(stats_.result_rows);
+  o.core_rows_filtered_by_having.Add(stats_.rows_filtered_by_having);
+  o.agg_spill_records.Add(stats_.spill.overflow_records);
+  o.agg_spill_pages_written.Add(stats_.spill.spill_pages_written);
+  o.agg_spill_pages_read.Add(stats_.spill.spill_pages_read);
+  if (transport_ != nullptr) {
+    o.net_channel_depth_high_water.UpdateMax(
+        static_cast<int64_t>(transport_->inbox_high_water()));
+  }
 }
 
 LocalScanner::LocalScanner(NodeContext* ctx)

@@ -13,6 +13,7 @@
 #include "exec/operator.h"
 #include "net/network_model.h"
 #include "net/transport.h"
+#include "obs/node_obs.h"
 #include "sim/cost_clock.h"
 #include "sim/params.h"
 #include "storage/heap_file.h"
@@ -62,6 +63,10 @@ struct AlgorithmOptions {
 
   /// Seed for sampling randomness.
   uint64_t seed = 42;
+
+  /// Observability switches for the run (metrics / phase spans / trace
+  /// event log). Defaults: metrics and spans on, traces off.
+  ObsConfig obs;
 };
 
 /// Per-node execution counters reported back by a run.
@@ -91,10 +96,14 @@ class Cluster;
 /// against this interface.
 class NodeContext {
  public:
+  /// `obs_wall_epoch_s` aligns this node's trace wall timeline with the
+  /// rest of the cluster (Cluster::Run passes one WallSeconds() reading
+  /// to every node); negative means "use this node's own construction
+  /// time", which standalone/test contexts can leave defaulted.
   NodeContext(int node_id, const SystemParams& params,
               const AggregationSpec& spec, const AlgorithmOptions& options,
               HeapFile* local_partition, Disk* disk, Transport* transport,
-              NetworkModel* net);
+              NetworkModel* net, double obs_wall_epoch_s = -1);
 
   NodeContext(const NodeContext&) = delete;
   NodeContext& operator=(const NodeContext&) = delete;
@@ -117,6 +126,17 @@ class NodeContext {
 
   CostClock& clock() { return clock_; }
   NodeRunStats& stats() { return stats_; }
+
+  /// This node's observability shard (metric registry, trace recorder,
+  /// pre-bound handles). Always present; disabled configs make every
+  /// update a no-op.
+  NodeObs& obs() { return *obs_; }
+
+  /// Folds the end-of-run values that are tracked elsewhere — NodeRunStats
+  /// record counters, spill stats, the transport's inbox high-water —
+  /// into the metric shard. Called once per node after the algorithm
+  /// returns (by Cluster::Run, or manually in standalone harnesses).
+  void FinalizeObs();
 
   // --- messaging (costs charged via the NetworkModel) ---
   Status Send(int to, Message msg);
@@ -160,6 +180,7 @@ class NodeContext {
 
   CostClock clock_;
   NodeRunStats stats_;
+  std::unique_ptr<NodeObs> obs_;
   DiskStats last_disk_;
   std::deque<Message> stash_;
 

@@ -4,20 +4,74 @@
 #include <sstream>
 
 namespace adaptagg {
+namespace {
+
+/// Snapshot value of `name`, or `fallback` when the run carried no
+/// metrics (obs disabled at runtime or compile time).
+int64_t SnapOr(const MetricsSnapshot& m, const std::string& name,
+               int64_t fallback) {
+  const MetricsSnapshot::Entry* e = m.Find(name);
+  return e != nullptr ? e->value : fallback;
+}
+
+/// Appends one "phase <name>: ..." line per phase.<name>.sim_us counter
+/// in the snapshot (cluster totals across nodes).
+void AppendPhaseLines(std::ostringstream& os, const MetricsSnapshot& m) {
+  const std::string prefix = "phase.";
+  const std::string suffix = ".sim_us";
+  for (const MetricsSnapshot::Entry& e : m.entries) {
+    if (e.name.rfind(prefix, 0) != 0) continue;
+    if (e.name.size() <= prefix.size() + suffix.size()) continue;
+    if (e.name.compare(e.name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+      continue;
+    }
+    const std::string phase = e.name.substr(
+        prefix.size(), e.name.size() - prefix.size() - suffix.size());
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  phase %s: sim=%.6f s wall=%.6f s spans=%lld\n", phase.c_str(),
+        static_cast<double>(e.value) * 1e-6,
+        static_cast<double>(m.Value(prefix + phase + ".wall_us")) * 1e-6,
+        static_cast<long long>(m.Value(prefix + phase + ".count")));
+    os << buf;
+  }
+}
+
+}  // namespace
 
 std::string RunReport(const RunResult& run) {
   std::ostringstream os;
-  char buf[160];
+  char buf[200];
+  // Headline counters come from the merged metric snapshot when the run
+  // carried one, with the always-on NodeRunStats as the fallback, so the
+  // report works identically on obs-disabled builds.
+  const MetricsSnapshot& m = run.metrics;
   std::snprintf(buf, sizeof(buf),
                 "status: %s\nmodeled time: %.6f s (wire %.6f s), wall "
                 "%.6f s\nresult rows: %lld, spilled records: %lld, nodes "
                 "switched: %d\n",
                 run.status.ToString().c_str(), run.sim_time_s,
                 run.wire_time_s, run.wall_time_s,
-                static_cast<long long>(run.total_result_rows()),
-                static_cast<long long>(run.total_spilled_records()),
+                static_cast<long long>(SnapOr(m, "core.result_rows",
+                                              run.total_result_rows())),
+                static_cast<long long>(SnapOr(m, "agg.spill.records",
+                                              run.total_spilled_records())),
                 run.nodes_switched());
   os << buf;
+  if (!m.empty()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "network: %lld bytes in %lld msgs (%lld pages), peak channel "
+        "depth %lld\n",
+        static_cast<long long>(m.Value("net.bytes_sent")),
+        static_cast<long long>(m.Value("net.msgs_sent")),
+        static_cast<long long>(m.Value("net.pages_sent")),
+        static_cast<long long>(m.Value("net.channel_depth_high_water")));
+    os << buf;
+    AppendPhaseLines(os, m);
+  }
   for (size_t i = 0; i < run.clocks.size(); ++i) {
     const NodeRunStats& s = run.node_stats[i];
     std::snprintf(
@@ -36,14 +90,17 @@ std::string RunReport(const RunResult& run) {
 }
 
 std::string RunSummaryLine(const RunResult& run) {
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "sim=%.6f wire=%.6f wall=%.6f rows=%lld spilled=%lld "
-                "switched=%d",
+                "switched=%d bytes=%lld chdepth=%lld",
                 run.sim_time_s, run.wire_time_s, run.wall_time_s,
                 static_cast<long long>(run.total_result_rows()),
                 static_cast<long long>(run.total_spilled_records()),
-                run.nodes_switched());
+                run.nodes_switched(),
+                static_cast<long long>(run.metrics.Value("net.bytes_sent")),
+                static_cast<long long>(
+                    run.metrics.Value("net.channel_depth_high_water")));
   return buf;
 }
 

@@ -9,11 +9,18 @@ namespace adaptagg {
 
 /// Human-readable multi-line summary of a run: modeled/wall time, result
 /// rows, per-node clock breakdowns, adaptive switches, spill volume.
+/// When the run carries a merged metric snapshot (obs enabled), the
+/// headline counters are read from it and the report adds a network
+/// line (bytes/msgs/pages, peak channel depth) plus one line per
+/// recorded phase with cluster-total sim and wall time.
 /// What examples and the CLI print in verbose mode.
 std::string RunReport(const RunResult& run);
 
 /// One-line machine-readable summary:
-/// "sim=<s> wire=<s> wall=<s> rows=<n> spilled=<n> switched=<n>".
+/// "sim=<s> wire=<s> wall=<s> rows=<n> spilled=<n> switched=<n>
+///  bytes=<n> chdepth=<n>".
+/// bytes= and chdepth= come from the metric snapshot and read 0 when
+/// observability is disabled.
 std::string RunSummaryLine(const RunResult& run);
 
 }  // namespace adaptagg

@@ -49,6 +49,13 @@ class AdaptiveRepartitioning : public Algorithm {
                                int64_t at_tuple) -> Status {
       ctx.stats().switched = true;
       ctx.stats().switch_at_tuple = at_tuple;
+      ctx.obs().RecordSwitch(
+          "switch.end_of_phase",
+          {{"at_tuple", at_tuple},
+           {"own_decision", own_decision ? 1 : 0},
+           {"seen_groups", static_cast<int64_t>(seen_groups.size())},
+           {"init_seg", init_seg},
+           {"few_groups_threshold", few_groups}});
       mode = Mode::kLocalAgg;
       if (own_decision && !broadcast_sent) {
         broadcast_sent = true;
@@ -68,6 +75,7 @@ class AdaptiveRepartitioning : public Algorithm {
     };
 
     {
+      PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double route_cost = p.t_h() + p.t_d();
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
 
@@ -133,6 +141,11 @@ class AdaptiveRepartitioning : public Algorithm {
                 // again, starting with the tuple that found the table
                 // full.
                 ctx.clock().AddCpu(local_cost);
+                ctx.obs().RecordSwitch(
+                    "switch.overflow",
+                    {{"at_tuple", base + i + 1},
+                     {"table_size", local.size()},
+                     {"table_limit", ctx.max_hash_entries()}});
                 ADAPTAGG_RETURN_IF_ERROR(
                     SendTablePartials(ctx, local, ex_partial, dest));
                 mode = Mode::kRepartitionAgain;
@@ -167,17 +180,23 @@ class AdaptiveRepartitioning : public Algorithm {
       };
 
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(ctx, process, poll));
-    }
 
-    if (mode == Mode::kLocalAgg && local.size() > 0) {
-      ADAPTAGG_RETURN_IF_ERROR(
-          SendTablePartials(ctx, local, ex_partial, dest));
+      if (mode == Mode::kLocalAgg && local.size() > 0) {
+        ADAPTAGG_RETURN_IF_ERROR(
+            SendTablePartials(ctx, local, ex_partial, dest));
+      }
+      ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+      scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
+      scan_span.AddArg("switched", ctx.stats().switched ? 1 : 0);
     }
-    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    AccumulateHashTableObs(ctx, local.stats());
 
-    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    {
+      PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+      ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    }
     return EmitFinalResults(ctx, global);
   }
 };

@@ -38,6 +38,7 @@ class AdaptiveTwoPhase : public Algorithm {
 
     bool repartition_mode = false;
     {
+      PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
       const double route_cost = p.t_h() + p.t_d();
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
@@ -58,6 +59,11 @@ class AdaptiveTwoPhase : public Algorithm {
                 ctx.clock().AddCpu(local_cost);
                 ctx.stats().switched = true;
                 ctx.stats().switch_at_tuple = base + i + 1;
+                ctx.obs().RecordSwitch(
+                    "switch.overflow",
+                    {{"at_tuple", base + i + 1},
+                     {"table_size", local.size()},
+                     {"table_limit", limit}});
                 ADAPTAGG_RETURN_IF_ERROR(
                     SendTablePartials(ctx, local, ex_partial, dest));
                 repartition_mode = true;
@@ -82,18 +88,24 @@ class AdaptiveTwoPhase : public Algorithm {
             ctx.SyncDiskIo();
             return recv.Poll();
           }));
-    }
 
-    if (!repartition_mode) {
-      // Never overflowed: behave exactly like Two Phase's handoff.
-      ADAPTAGG_RETURN_IF_ERROR(
-          SendTablePartials(ctx, local, ex_partial, dest));
+      if (!repartition_mode) {
+        // Never overflowed: behave exactly like Two Phase's handoff.
+        ADAPTAGG_RETURN_IF_ERROR(
+            SendTablePartials(ctx, local, ex_partial, dest));
+      }
+      ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+      scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
+      scan_span.AddArg("switched", repartition_mode ? 1 : 0);
     }
-    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    AccumulateHashTableObs(ctx, local.stats());
 
-    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    {
+      PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+      ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    }
     return EmitFinalResults(ctx, global);
   }
 };

@@ -29,6 +29,7 @@ class CentralizedTwoPhase : public Algorithm {
                              ctx.options().spill_fanout,
                              "lc2p_n" + std::to_string(ctx.node_id()));
     {
+      PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
           ctx,
@@ -44,27 +45,30 @@ class CentralizedTwoPhase : public Algorithm {
             ctx.SyncDiskIo();
             return recv.Poll();
           }));
-    }
 
-    // All partials go to the coordinator.
-    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
-                kPhaseData);
-    ADAPTAGG_RETURN_IF_ERROR(SendPartials(
-        ctx, local, ex, [](uint64_t) { return kCoordinator; }));
-    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-    {
+      // All partials go to the coordinator.
+      Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+                  kPhaseData);
+      ADAPTAGG_RETURN_IF_ERROR(SendPartials(
+          ctx, local, ex, [](uint64_t) { return kCoordinator; }));
+      ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
       Message eos;
       eos.type = MessageType::kEndOfStream;
       eos.phase = kPhaseData;
       ADAPTAGG_RETURN_IF_ERROR(ctx.Send(kCoordinator, eos));
+      scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
     }
 
     if (!ctx.is_coordinator()) {
+      PhaseTimer emit_span = ctx.obs().StartPhase("emit");
       return ctx.FinishResults();
     }
 
     // Phase 2 (coordinator only): sequential merge and store.
-    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    {
+      PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+      ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    }
     return EmitFinalResults(ctx, global);
   }
 };

@@ -33,6 +33,7 @@ class GraefeTwoPhase : public Algorithm {
 
     AggHashTable local(&spec, ctx.max_hash_entries());
     {
+      PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
       std::vector<int> overflow;
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
@@ -46,6 +47,11 @@ class GraefeTwoPhase : public Algorithm {
               if (!ctx.stats().switched) {
                 ctx.stats().switched = true;
                 ctx.stats().switch_at_tuple = base + idx + 1;
+                ctx.obs().RecordSwitch(
+                    "switch.overflow_forwarding",
+                    {{"at_tuple", base + idx + 1},
+                     {"table_size", local.size()},
+                     {"table_limit", ctx.max_hash_entries()}});
               }
               // Forward the overflow tuple to its owner's global phase.
               ctx.clock().AddCpu(p.t_d());
@@ -59,15 +65,20 @@ class GraefeTwoPhase : public Algorithm {
             ctx.SyncDiskIo();
             return recv.Poll();
           }));
+
+      ADAPTAGG_RETURN_IF_ERROR(
+          SendTablePartials(ctx, local, ex_partial, dest));
+      ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+      scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
     }
+    AccumulateHashTableObs(ctx, local.stats());
 
-    ADAPTAGG_RETURN_IF_ERROR(
-        SendTablePartials(ctx, local, ex_partial, dest));
-    ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
-
-    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    {
+      PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+      ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    }
     return EmitFinalResults(ctx, global);
   }
 };

@@ -84,6 +84,7 @@ Status DataReceiver::Drain() {
 }
 
 Status EmitFinalResults(NodeContext& ctx, SpillingAggregator& global) {
+  PhaseTimer emit_span = ctx.obs().StartPhase("emit");
   Status status;
   Status finish =
       global.Finish([&](const uint8_t* key, const uint8_t* state) {
@@ -91,7 +92,9 @@ Status EmitFinalResults(NodeContext& ctx, SpillingAggregator& global) {
         status = ctx.EmitFinalRow(key, state);
       });
   ctx.stats().spill.Accumulate(global.stats());
+  AccumulateHashTableObs(ctx, global.ht_stats());
   ctx.SyncDiskIo();
+  emit_span.AddArg("result_rows", ctx.stats().result_rows);
   if (!finish.ok()) return finish;
   if (!status.ok()) return status;
   return ctx.FinishResults();
@@ -112,6 +115,7 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
                            ctx.options().spill_fanout,
                            "l2p_n" + std::to_string(ctx.node_id()));
   {
+    PhaseTimer scan_span = ctx.obs().StartPhase("scan");
     const double agg_cost = p.t_r() + p.t_h() + p.t_a();
     ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
         ctx,
@@ -123,18 +127,22 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
           ctx.SyncDiskIo();
           return recv.Poll();
         }));
+
+    // Ship local partials to their owner nodes.
+    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+                kPhaseData);
+    ADAPTAGG_RETURN_IF_ERROR(SendPartials(
+        ctx, local, ex, [n](uint64_t h) { return DestOfKeyHash(h, n); }));
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
   }
 
-  // Ship local partials to their owner nodes.
-  Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
-              kPhaseData);
-  ADAPTAGG_RETURN_IF_ERROR(SendPartials(
-      ctx, local, ex, [n](uint64_t h) { return DestOfKeyHash(h, n); }));
-  ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
-
   // Phase 2: merge everything routed here and emit final rows.
-  ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+  {
+    PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+  }
   return EmitFinalResults(ctx, global);
 }
 
@@ -151,6 +159,7 @@ Status RunRepartitioningBody(NodeContext& ctx) {
               kPhaseData);
 
   {
+    PhaseTimer scan_span = ctx.obs().StartPhase("scan");
     // Select already charged t_r + t_w; Rep adds hashing and destination
     // computation (§2.3).
     const double route_cost = p.t_h() + p.t_d();
@@ -170,11 +179,15 @@ Status RunRepartitioningBody(NodeContext& ctx) {
           ctx.SyncDiskIo();
           return recv.Poll();
         }));
-  }
 
-  ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
-  ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
+  }
+  {
+    PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+  }
   return EmitFinalResults(ctx, global);
 }
 

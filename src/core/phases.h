@@ -47,9 +47,26 @@ Status RunBatchedScan(NodeContext& ctx, ProcessFn&& process, PollFn&& poll) {
       ADAPTAGG_RETURN_IF_ERROR(poll());
     }
   }
+  ctx.obs().agg_batch_identity_copy_tuples.Add(
+      batch.stats().identity_copy_tuples);
   ADAPTAGG_RETURN_IF_ERROR(scan.status());
   ctx.SyncDiskIo();
   return Status::OK();
+}
+
+/// Folds a hash table's operation counters into the node's metric shard.
+/// Call exactly once per table (the counters are cumulative), after its
+/// last use — on Finish for spilling aggregators, at algorithm end for
+/// bare adaptive tables.
+inline void AccumulateHashTableObs(NodeContext& ctx,
+                                   const HashTableStats& s) {
+  NodeObs& o = ctx.obs();
+  o.agg_ht_probes.Add(s.probes);
+  o.agg_ht_hits.Add(s.hits);
+  o.agg_ht_inserts.Add(s.inserts);
+  o.agg_ht_resizes.Add(s.resizes);
+  o.agg_batch_tuples.Add(s.batch_tuples);
+  o.agg_batch_fused_tuples.Add(s.fused_tuples);
 }
 
 /// Consumes data-phase messages for one node: raw pages and partial pages
@@ -112,6 +129,7 @@ Status SendPartials(NodeContext& ctx, SpillingAggregator& agg, Exchange& ex,
     status = ex.Add(dest_of_key(spec.HashKey(key)), rec.data());
   });
   ctx.stats().spill.Accumulate(agg.stats());
+  AccumulateHashTableObs(ctx, agg.ht_stats());
   ctx.SyncDiskIo();
   if (!finish.ok()) return finish;
   return status;

@@ -164,8 +164,12 @@ class Sampling : public Algorithm {
   std::string name() const override { return "sampling"; }
 
   Status RunNode(NodeContext& ctx) const override {
-    ADAPTAGG_ASSIGN_OR_RETURN(bool use_repartitioning,
-                              DecideBySampling(ctx));
+    bool use_repartitioning = false;
+    {
+      PhaseTimer sample_span = ctx.obs().StartPhase("sample");
+      ADAPTAGG_ASSIGN_OR_RETURN(use_repartitioning, DecideBySampling(ctx));
+      sample_span.AddArg("use_repartitioning", use_repartitioning ? 1 : 0);
+    }
     return use_repartitioning ? RunRepartitioningBody(ctx)
                               : RunTwoPhaseBody(ctx);
   }

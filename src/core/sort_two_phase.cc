@@ -40,6 +40,7 @@ class SortTwoPhase : public Algorithm {
     SortAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
                          "lsort_n" + std::to_string(ctx.node_id()));
     {
+      PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
           ctx,
@@ -52,12 +53,10 @@ class SortTwoPhase : public Algorithm {
             ctx.SyncDiskIo();
             return recv.Poll();
           }));
-    }
 
-    // Ship local partials to their owner nodes.
-    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
-                kPhaseData);
-    {
+      // Ship local partials to their owner nodes.
+      Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
+                  kPhaseData);
       std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
       Status status;
       Status finish =
@@ -75,13 +74,18 @@ class SortTwoPhase : public Algorithm {
       ctx.SyncDiskIo();
       ADAPTAGG_RETURN_IF_ERROR(finish);
       ADAPTAGG_RETURN_IF_ERROR(status);
+      ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+      scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
     }
-    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
 
     // Phase 2: merge everything routed here, emit in key order.
-    ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     {
+      PhaseTimer merge_span = ctx.obs().StartPhase("merge");
+      ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
+    }
+    {
+      PhaseTimer emit_span = ctx.obs().StartPhase("emit");
       Status status;
       Status finish =
           global.Finish([&](const uint8_t* key, const uint8_t* state) {
@@ -90,10 +94,12 @@ class SortTwoPhase : public Algorithm {
           });
       ctx.stats().spill.spill_pages_written += global.run_pages_written();
       ctx.SyncDiskIo();
+      emit_span.AddArg("result_rows", ctx.stats().result_rows);
       ADAPTAGG_RETURN_IF_ERROR(finish);
       ADAPTAGG_RETURN_IF_ERROR(status);
+      ADAPTAGG_RETURN_IF_ERROR(ctx.FinishResults());
     }
-    return ctx.FinishResults();
+    return Status::OK();
   }
 };
 

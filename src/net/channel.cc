@@ -6,6 +6,7 @@ void Channel::Push(Message msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(msg));
+    if (queue_.size() > max_depth_) max_depth_ = queue_.size();
   }
   cv_.notify_one();
 }
@@ -29,6 +30,11 @@ std::optional<Message> Channel::TryPop() {
 size_t Channel::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t Channel::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
 }
 
 }  // namespace adaptagg

@@ -30,10 +30,15 @@ class Channel {
 
   size_t size() const;
 
+  /// Deepest the queue has ever been (a backlog indicator: how far the
+  /// receiver fell behind its senders). Monotonic; updated on Push.
+  size_t max_depth() const;
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  size_t max_depth_ = 0;
 };
 
 }  // namespace adaptagg

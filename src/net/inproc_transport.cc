@@ -40,6 +40,10 @@ class InprocTransport : public Transport {
     return mesh_->inboxes[static_cast<size_t>(node_id_)].TryPop();
   }
 
+  size_t inbox_high_water() const override {
+    return mesh_->inboxes[static_cast<size_t>(node_id_)].max_depth();
+  }
+
  private:
   std::shared_ptr<InprocMesh> mesh_;
   int node_id_;

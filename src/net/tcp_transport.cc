@@ -95,6 +95,8 @@ class TcpTransport : public Transport {
 
   std::optional<Message> TryRecv() override { return inbox_.TryPop(); }
 
+  size_t inbox_high_water() const override { return inbox_.max_depth(); }
+
   void SetOutgoing(int to, int fd) {
     out_fds_[static_cast<size_t>(to)] = fd;
   }

@@ -31,6 +31,10 @@ class Transport {
 
   /// Non-blocking receive.
   virtual std::optional<Message> TryRecv() = 0;
+
+  /// Deepest this node's inbox has ever been (backlog high-water mark).
+  /// Transports without inbox visibility report 0.
+  virtual size_t inbox_high_water() const { return 0; }
 };
 
 /// Creates an in-process mesh of `n` transports sharing channels.

@@ -1,0 +1,40 @@
+#ifndef ADAPTAGG_OBS_HISTOGRAM_H_
+#define ADAPTAGG_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptagg {
+
+/// Fixed bucket layout of a latency/size histogram: `edges` are the
+/// inclusive upper bounds of the finite buckets, strictly increasing.
+/// A value v lands in the first bucket whose edge satisfies v <= edge;
+/// values above the last edge land in the implicit overflow bucket, so a
+/// histogram always has edges.size() + 1 buckets. Buckets are fixed at
+/// registration time — observation never allocates.
+struct HistogramSpec {
+  std::vector<int64_t> edges;
+
+  /// `count` buckets spanning [0, ...) with upper bounds start,
+  /// start*factor, start*factor^2, ... (factor > 1). The classic
+  /// latency/size layout: exponentially wider buckets.
+  static HistogramSpec Exponential(int64_t start, double factor,
+                                   int count);
+
+  /// `count` buckets with upper bounds width, 2*width, ..., count*width.
+  static HistogramSpec Linear(int64_t width, int count);
+
+  /// Index of the bucket `value` falls into (edges.size() = overflow).
+  int BucketOf(int64_t value) const;
+
+  /// Number of buckets including the overflow bucket.
+  int num_buckets() const { return static_cast<int>(edges.size()) + 1; }
+
+  /// Human-readable bound of bucket `i`: "<=edge" or ">last_edge".
+  std::string BucketLabel(int i) const;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_OBS_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+#include "obs/metrics_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adaptagg {
+namespace {
+
+void AppendHistogramJson(std::ostringstream& os,
+                         const MetricsSnapshot::Entry& e) {
+  os << "{\"count\": " << e.value << ", \"edges\": [";
+  for (size_t i = 0; i < e.edges.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << e.edges[i];
+  }
+  os << "], \"buckets\": [";
+  for (size_t i = 0; i < e.bucket_counts.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << e.bucket_counts[i];
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot, int indent) {
+  // indent == 0: one line. indent > 0: members on their own lines at
+  // `indent` columns, closing brace two columns back (so the object can
+  // be embedded as a member of an outer document).
+  const std::string pad(static_cast<size_t>(indent > 0 ? indent : 0), ' ');
+  const std::string close_pad(
+      static_cast<size_t>(indent > 2 ? indent - 2 : 0), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* sp = indent > 0 ? "" : " ";
+  std::ostringstream os;
+  os << "{" << nl;
+  for (size_t i = 0; i < snapshot.entries.size(); ++i) {
+    const MetricsSnapshot::Entry& e = snapshot.entries[i];
+    os << pad << "\"" << JsonEscape(e.name) << "\": ";
+    if (e.kind == MetricKind::kHistogram) {
+      AppendHistogramJson(os, e);
+    } else {
+      os << e.value;
+    }
+    if (i + 1 < snapshot.entries.size()) os << "," << sp;
+    os << nl;
+  }
+  os << close_pad << "}";
+  return os.str();
+}
+
+std::string MetricsToText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const MetricsSnapshot::Entry& e : snapshot.entries) {
+    os << e.name << " " << e.value;
+    if (e.kind == MetricKind::kHistogram) {
+      HistogramSpec spec;
+      spec.edges = e.edges;
+      os << " [";
+      for (size_t b = 0; b < e.bucket_counts.size(); ++b) {
+        if (b > 0) os << " ";
+        os << spec.BucketLabel(static_cast<int>(b)) << ":"
+           << e.bucket_counts[b];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::string body = MetricsToJson(snapshot, 2) + "\n";
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != body.size() || !closed) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace adaptagg

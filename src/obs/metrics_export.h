@@ -1,0 +1,32 @@
+#ifndef ADAPTAGG_OBS_METRICS_EXPORT_H_
+#define ADAPTAGG_OBS_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metric_registry.h"
+
+namespace adaptagg {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Compact JSON object, one member per metric in name order:
+/// counters/gauges as bare numbers, histograms as
+/// {"count": n, "edges": [...], "buckets": [...]}. `indent` spaces
+/// prefix every line when > 0 (for embedding in an outer document);
+/// 0 yields a single line.
+std::string MetricsToJson(const MetricsSnapshot& snapshot, int indent = 0);
+
+/// Human-readable dump, one "name value" line per metric in name order;
+/// histogram buckets are rendered as "label:count" pairs.
+std::string MetricsToText(const MetricsSnapshot& snapshot);
+
+/// Writes MetricsToJson(snapshot, 2) to `path`.
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_OBS_METRICS_EXPORT_H_

@@ -1,0 +1,68 @@
+#include "obs/node_obs.h"
+
+namespace adaptagg {
+namespace {
+
+/// Message sizes span one header byte to multi-page batches: power-of-two
+/// buckets from 64 bytes up to ~2 MB cover that in 16 buckets.
+HistogramSpec MsgBytesSpec() {
+  return HistogramSpec::Exponential(/*start=*/64, /*factor=*/2.0,
+                                    /*count=*/16);
+}
+
+}  // namespace
+
+NodeObs::NodeObs(int node_id, const ObsConfig& config,
+                 const CostClock* clock, double wall_epoch_s)
+    : config_(Effective(config)),
+      clock_(clock),
+      registry_(config_.metrics),
+      trace_(node_id, config_.spans && config_.traces, wall_epoch_s),
+      phase_registry_(config_.spans && config_.metrics ? &registry_
+                                                       : nullptr) {
+  scan_tuples = registry_.counter("scan.tuples");
+
+  net_msgs_sent = registry_.counter("net.msgs_sent");
+  net_bytes_sent = registry_.counter("net.bytes_sent");
+  net_pages_sent = registry_.counter("net.pages_sent");
+  net_raw_records_sent = registry_.counter("net.raw_records_sent");
+  net_partial_records_sent = registry_.counter("net.partial_records_sent");
+  net_raw_records_received =
+      registry_.counter("net.raw_records_received");
+  net_partial_records_received =
+      registry_.counter("net.partial_records_received");
+  net_channel_depth_high_water =
+      registry_.gauge("net.channel_depth_high_water");
+  net_msg_bytes = registry_.histogram("net.msg_bytes", MsgBytesSpec());
+
+  core_switches = registry_.counter("core.switches");
+  core_result_rows = registry_.counter("core.result_rows");
+  core_rows_filtered_by_having =
+      registry_.counter("core.rows_filtered_by_having");
+
+  agg_spill_records = registry_.counter("agg.spill.records");
+  agg_spill_pages_written = registry_.counter("agg.spill.pages_written");
+  agg_spill_pages_read = registry_.counter("agg.spill.pages_read");
+
+  agg_ht_probes = registry_.counter("agg.ht.probes");
+  agg_ht_hits = registry_.counter("agg.ht.hits");
+  agg_ht_inserts = registry_.counter("agg.ht.inserts");
+  agg_ht_resizes = registry_.counter("agg.ht.resizes");
+
+  agg_batch_tuples = registry_.counter("agg.batch.tuples");
+  agg_batch_fused_tuples = registry_.counter("agg.batch.fused_tuples");
+  agg_batch_identity_copy_tuples =
+      registry_.counter("agg.batch.identity_copy_tuples");
+}
+
+void NodeObs::RecordSwitch(
+    const std::string& name,
+    std::vector<std::pair<std::string, int64_t>> args) {
+  core_switches.Increment();
+  if (trace_.enabled()) {
+    trace_.RecordInstant(name, clock_ != nullptr ? clock_->now() : 0,
+                         std::move(args));
+  }
+}
+
+}  // namespace adaptagg

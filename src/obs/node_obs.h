@@ -1,0 +1,115 @@
+#ifndef ADAPTAGG_OBS_NODE_OBS_H_
+#define ADAPTAGG_OBS_NODE_OBS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "obs/obs_config.h"
+#include "obs/trace_recorder.h"
+#include "sim/cost_clock.h"
+
+namespace adaptagg {
+
+/// One node's observability shard: a MetricRegistry, a TraceRecorder,
+/// and pre-bound handles for every engine metric, so hot paths pay a
+/// pointer-null check (or nothing, under ADAPTAGG_OBS_DISABLED) instead
+/// of a name lookup. Owned by NodeContext; the cluster merges the
+/// per-node snapshots and concatenates the per-node event logs after
+/// the node threads join.
+class NodeObs {
+ public:
+  /// `clock` is the node's simulated clock (spans read it at begin/end);
+  /// `wall_epoch_s` is the cluster-wide run start so all nodes share one
+  /// wall timeline.
+  NodeObs(int node_id, const ObsConfig& config, const CostClock* clock,
+          double wall_epoch_s);
+
+  NodeObs(const NodeObs&) = delete;
+  NodeObs& operator=(const NodeObs&) = delete;
+
+  MetricRegistry& registry() { return registry_; }
+  TraceRecorder& trace() { return trace_; }
+  const ObsConfig& config() const { return config_; }
+
+  /// Opens a phase span named `name` ("scan", "merge", "emit", ...).
+  /// Feeds the phase.<name>.{sim_us,wall_us,count} counters when spans
+  /// and metrics are on, and the trace event log when traces are on.
+  PhaseTimer StartPhase(std::string name) {
+    return PhaseTimer(&trace_, phase_registry_, clock_, std::move(name));
+  }
+
+  /// Records an adaptive-switch decision: bumps core.switches and emits
+  /// an instant trace event at the node's current simulated time carrying
+  /// the observed cardinality inputs that drove the decision.
+  void RecordSwitch(const std::string& name,
+                    std::vector<std::pair<std::string, int64_t>> args);
+
+  /// Copies the shard's metrics; safe while the node thread is running.
+  MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
+
+  // Pre-bound handles, grouped by subsystem. All are value-type and
+  // null-safe; sites update them unconditionally.
+
+  // Scan.
+  Counter scan_tuples;
+
+  // Network.
+  Counter net_msgs_sent;
+  Counter net_bytes_sent;
+  Counter net_pages_sent;
+  Counter net_raw_records_sent;
+  Counter net_partial_records_sent;
+  Counter net_raw_records_received;
+  Counter net_partial_records_received;
+  Gauge net_channel_depth_high_water;
+  Histogram net_msg_bytes;
+
+  // Core / algorithm control flow.
+  Counter core_switches;
+  Counter core_result_rows;
+  Counter core_rows_filtered_by_having;
+
+  // Aggregation: spilling.
+  Counter agg_spill_records;
+  Counter agg_spill_pages_written;
+  Counter agg_spill_pages_read;
+
+  // Aggregation: hash table.
+  Counter agg_ht_probes;
+  Counter agg_ht_hits;
+  Counter agg_ht_inserts;
+  Counter agg_ht_resizes;
+
+  // Aggregation: batch kernels.
+  Counter agg_batch_tuples;
+  Counter agg_batch_fused_tuples;
+  Counter agg_batch_identity_copy_tuples;
+
+ private:
+  /// The config a shard actually honors: the caller's, or everything-off
+  /// when the subsystem is compiled out — so a disabled build never
+  /// creates cells or records events, and RunResult stays truly empty.
+  static ObsConfig Effective(const ObsConfig& config) {
+#if defined(ADAPTAGG_OBS_DISABLED)
+    (void)config;
+    return ObsConfig::Disabled();
+#else
+    return config;
+#endif
+  }
+
+  ObsConfig config_;
+  const CostClock* clock_;
+  MetricRegistry registry_;
+  TraceRecorder trace_;
+  /// Registry pointer handed to PhaseTimers: null unless both spans and
+  /// metrics are enabled (spans own the phase.* counters).
+  MetricRegistry* phase_registry_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_OBS_NODE_OBS_H_

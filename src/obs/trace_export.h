@@ -1,0 +1,28 @@
+#ifndef ADAPTAGG_OBS_TRACE_EXPORT_H_
+#define ADAPTAGG_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_recorder.h"
+
+namespace adaptagg {
+
+/// Renders trace events as Chrome trace-event JSON (the "JSON Array
+/// Format" with a traceEvents wrapper), loadable in Perfetto and
+/// chrome://tracing. The simulated clock is the primary timeline
+/// (microsecond `ts`/`dur`); each node is one named track (`tid` =
+/// node id) in a single process; spans become complete ("X") events
+/// carrying their wall-clock duration and structured args; instants
+/// become thread-scoped instant ("i") events.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            int num_nodes);
+
+/// Writes ChromeTraceJson to `path`.
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        int num_nodes, const std::string& path);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_OBS_TRACE_EXPORT_H_

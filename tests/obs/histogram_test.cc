@@ -1,0 +1,48 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+TEST(HistogramSpec, ExponentialLayout) {
+  HistogramSpec spec = HistogramSpec::Exponential(64, 2.0, 4);
+  ASSERT_EQ(spec.edges.size(), 4u);
+  EXPECT_EQ(spec.edges[0], 64);
+  EXPECT_EQ(spec.edges[1], 128);
+  EXPECT_EQ(spec.edges[2], 256);
+  EXPECT_EQ(spec.edges[3], 512);
+  EXPECT_EQ(spec.num_buckets(), 5);
+}
+
+TEST(HistogramSpec, LinearLayout) {
+  HistogramSpec spec = HistogramSpec::Linear(10, 5);
+  ASSERT_EQ(spec.edges.size(), 5u);
+  EXPECT_EQ(spec.edges.front(), 10);
+  EXPECT_EQ(spec.edges.back(), 50);
+  EXPECT_EQ(spec.num_buckets(), 6);
+}
+
+TEST(HistogramSpec, BucketEdgesAreInclusiveUpperBounds) {
+  HistogramSpec spec = HistogramSpec::Linear(10, 3);  // edges 10, 20, 30
+  EXPECT_EQ(spec.BucketOf(-5), 0);
+  EXPECT_EQ(spec.BucketOf(0), 0);
+  EXPECT_EQ(spec.BucketOf(9), 0);
+  EXPECT_EQ(spec.BucketOf(10), 0);  // v <= edge: boundary stays below
+  EXPECT_EQ(spec.BucketOf(11), 1);
+  EXPECT_EQ(spec.BucketOf(20), 1);
+  EXPECT_EQ(spec.BucketOf(21), 2);
+  EXPECT_EQ(spec.BucketOf(30), 2);
+  EXPECT_EQ(spec.BucketOf(31), 3);  // overflow bucket
+  EXPECT_EQ(spec.BucketOf(1'000'000), 3);
+}
+
+TEST(HistogramSpec, BucketLabels) {
+  HistogramSpec spec = HistogramSpec::Linear(10, 2);  // edges 10, 20
+  EXPECT_EQ(spec.BucketLabel(0), "<=10");
+  EXPECT_EQ(spec.BucketLabel(1), "<=20");
+  EXPECT_EQ(spec.BucketLabel(2), ">20");
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "core/algorithm.h"
 #include "model/cost_model.h"
+#include "obs/trace_export.h"
 #include "workload/generator.h"
 #include "workload/skew.h"
 
@@ -42,6 +43,7 @@ struct CliOptions {
   bool csv = false;
   bool verify = false;
   bool verbose = false;
+  std::string trace_file;
 };
 
 void PrintUsage(const char* argv0) {
@@ -62,7 +64,10 @@ void PrintUsage(const char* argv0) {
       "  --sweep              sweep grouping selectivity instead of one G\n"
       "  --verify             check results against the reference oracle\n"
       "  --csv                machine-readable output\n"
-      "  --verbose            per-node clock/counter report per run\n",
+      "  --verbose            per-node clock/counter report per run\n"
+      "  --trace FILE         write a Chrome trace-event JSON of the run\n"
+      "                       (with --algorithm all, FILE gets a\n"
+      "                       _<algo> suffix per run)\n",
       argv0);
 }
 
@@ -146,6 +151,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opt.verify = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--trace") {
+      ADAPTAGG_ASSIGN_OR_RETURN(opt.trace_file, next());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -270,11 +277,35 @@ int RunEngine(const CliOptions& opt,
   for (AlgorithmKind kind : algorithms) {
     AlgorithmOptions run_opts;
     run_opts.gather_results = opt.verify;
+    if (!opt.trace_file.empty()) {
+      run_opts.obs.spans = true;
+      run_opts.obs.traces = true;
+    }
     RunResult run = cluster.Run(*MakeAlgorithm(kind), *spec, *rel, run_opts);
     if (!run.status.ok()) {
       std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
                    run.status.ToString().c_str());
       return 1;
+    }
+    if (!opt.trace_file.empty()) {
+      std::string path = opt.trace_file;
+      if (algorithms.size() > 1) {
+        // One file per algorithm: insert _<algo> before the extension.
+        const std::string suffix = "_" + AlgorithmKindToString(kind);
+        const size_t dot = path.find_last_of('.');
+        if (dot == std::string::npos ||
+            path.find('/', dot) != std::string::npos) {
+          path += suffix;
+        } else {
+          path.insert(dot, suffix);
+        }
+      }
+      Status st = WriteChromeTrace(run.trace_events, run.num_nodes, path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
     }
     bool verified =
         opt.verify && ResultSetsEqual(run.results, expected);

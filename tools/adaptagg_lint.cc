@@ -21,6 +21,9 @@
 //       enforced by the compiler on every call site);
 //   S6  no std::cout / std::cerr in src/ outside common/logging.cc —
 //       diagnostics go through ADAPTAGG_LOG.
+//   S7  src/obs headers document every top-level type and free function
+//       with a Doxygen /// comment (the observability subsystem is the
+//       repo's instrumentation API surface; undocumented knobs rot).
 //
 // Comment and string-literal contents are ignored by the token rules.
 
@@ -368,6 +371,41 @@ void CheckNoStdout(const std::string& rel,
   }
 }
 
+/// S7: in src/obs headers, every top-level declaration — a class /
+/// struct / enum at column 0, or a free-function declaration at column
+/// 0 — must be immediately preceded by a Doxygen /// comment line.
+/// Indented lines (members, parameters of multi-line declarations) are
+/// out of scope; preprocessor lines, namespace braces, and closing
+/// braces never need docs.
+void CheckObsDoxygen(const std::string& rel,
+                     const std::vector<std::string>& lines) {
+  auto is_type_decl = [](const std::string& l) {
+    return l.rfind("class ", 0) == 0 || l.rfind("struct ", 0) == 0 ||
+           l.rfind("enum class ", 0) == 0;
+  };
+  auto is_function_decl = [](const std::string& l) {
+    if (l.empty() || l[0] == ' ' || l[0] == '#' || l[0] == '}') {
+      return false;
+    }
+    if (l.rfind("//", 0) == 0 || l.rfind("namespace", 0) == 0 ||
+        l.rfind("using ", 0) == 0 || l.rfind("typedef ", 0) == 0) {
+      return false;
+    }
+    return l.find('(') != std::string::npos;
+  };
+  std::string prev;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    if (is_type_decl(l) || is_function_decl(l)) {
+      if (prev.rfind("///", 0) != 0) {
+        Report(rel, static_cast<int>(i) + 1, "S7",
+               "src/obs declaration lacks a Doxygen /// comment");
+      }
+    }
+    if (!l.empty()) prev = l;
+  }
+}
+
 bool HasSourceExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp";
@@ -425,6 +463,9 @@ int main(int argc, char** argv) {
       CheckWhitespace(rel, raw, lines);
       CheckNoStdout(rel, stripped);
       if (path.extension() == ".cc") CheckCcPairing(root, rel, lines);
+      if (is_header && rel.rfind("src/obs/", 0) == 0) {
+        CheckObsDoxygen(rel, lines);
+      }
     }
   }
   CheckNodiscard(root);
