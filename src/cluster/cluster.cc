@@ -1,13 +1,53 @@
 #include "cluster/cluster.h"
 
+#include <atomic>
 #include <chrono>
 #include <iterator>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "net/fault.h"
 
 namespace adaptagg {
+namespace {
+
+/// Severity used to pick the run's root cause among node statuses:
+/// injected faults beat ordinary errors, which beat detection timeouts,
+/// which beat cascaded "aborted by peer" echoes.
+int RootCauseRank(const Status& st) {
+  if (st.message().find("aborted by peer") != std::string::npos) return 0;
+  if (st.code() == StatusCode::kDeadlineExceeded) return 1;
+  if (st.message().find("injected") != std::string::npos) return 3;
+  return 2;
+}
+
+/// Routes a FaultyTransport's fire events into the node's obs shard.
+FaultObserver MakeFaultObserver(NodeObs* obs) {
+  return [obs](const FaultEvent& e) {
+    switch (e.kind) {
+      case FaultKind::kDrop:
+        obs->fault_msgs_dropped.Increment();
+        break;
+      case FaultKind::kDuplicate:
+        obs->fault_msgs_duplicated.Increment();
+        break;
+      case FaultKind::kDelay:
+        obs->fault_msgs_delayed.Increment();
+        break;
+      case FaultKind::kCorrupt:
+        obs->fault_msgs_corrupted.Increment();
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kStraggle:
+        break;  // node faults report through NodeContext directly
+    }
+    obs->RecordFault("fault." + std::string(FaultKindToString(e.kind)),
+                     {{"peer", e.peer}});
+  };
+}
+
+}  // namespace
 
 Cluster::Cluster(SystemParams params) : params_(std::move(params)) {
   transport_factory_ =
@@ -51,6 +91,18 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
     result.status = transports.status();
     return result;
   }
+  // Fault injection wraps each endpoint in a decorator only when the
+  // plan is non-empty: fault-free runs keep the raw transports and the
+  // exact message flow of builds without this subsystem.
+  const bool inject_faults = !options.fault_plan.empty();
+  if (inject_faults) {
+    for (int i = 0; i < n; ++i) {
+      (*transports)[static_cast<size_t>(i)] =
+          std::make_unique<FaultyTransport>(
+              std::move((*transports)[static_cast<size_t>(i)]),
+              options.fault_plan);
+    }
+  }
 
   rel.ResetDiskStats();
   NetworkModel net(params_);
@@ -68,9 +120,18 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
         i, params_, spec, options, &rel.partition(i), &rel.disk(i),
         (*transports)[static_cast<size_t>(i)].get(), &net, wall_epoch_s));
     contexts.back()->SetGather(&gather_mu, &gathered);
+    if (inject_faults) {
+      static_cast<FaultyTransport*>(
+          (*transports)[static_cast<size_t>(i)].get())
+          ->set_observer(MakeFaultObserver(&contexts.back()->obs()));
+    }
   }
 
   std::vector<Status> statuses(static_cast<size_t>(n));
+  // Wall time of the run's first node failure, for the abort-latency
+  // histogram (how long the rest of the cluster takes to notice).
+  std::atomic<bool> failure_seen{false};
+  std::atomic<double> first_failure_wall{0.0};
   auto wall_start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
@@ -80,8 +141,20 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
         NodeContext& ctx = *contexts[static_cast<size_t>(i)];
         Status st = algo.RunNode(ctx);
         if (!st.ok()) {
+          const double now = WallSeconds();
+          bool expected = false;
+          if (failure_seen.compare_exchange_strong(expected, true)) {
+            first_failure_wall.store(now, std::memory_order_release);
+          } else {
+            ctx.obs().fault_abort_latency_us.Observe(
+                (now - first_failure_wall.load(
+                           std::memory_order_acquire)) *
+                1e6);
+          }
           // Wake every peer that may be blocked waiting for this node's
           // traffic; they will fail their runs with "aborted by peer".
+          // (A node whose transport is in fail-stop mode reaches nobody
+          // — its peers must detect the silence instead.)
           Message abort;
           abort.type = MessageType::kAbort;
           for (int dest = 0; dest < n; ++dest) {
@@ -97,20 +170,18 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   result.wall_time_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
 
-  // Report the root cause: a node that failed on its own, not one that
-  // merely observed a peer's abort.
-  bool have_root_cause = false;
+  // Report the root cause: prefer a node that failed on its own (an
+  // injected fault most of all) over one that timed out detecting the
+  // failure, over one that merely observed a peer's abort.
+  int best_rank = -1;
   for (int i = 0; i < n; ++i) {
     const Status& st = statuses[static_cast<size_t>(i)];
     if (st.ok()) continue;
-    bool is_cascade =
-        st.message().find("aborted by peer") != std::string::npos;
-    if (!have_root_cause || (!is_cascade && result.status.message().find(
-                                                "aborted by peer") !=
-                                                std::string::npos)) {
+    const int rank = RootCauseRank(st);
+    if (rank > best_rank) {
+      best_rank = rank;
       result.status = Status(
           st.code(), "node " + std::to_string(i) + ": " + st.message());
-      have_root_cause = true;
     }
   }
 

@@ -1,10 +1,33 @@
 #include "cluster/node_context.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
 #include "exec/scan.h"
 #include "exec/select.h"
+#include "model/cost_model.h"
 
 namespace adaptagg {
+namespace {
+
+/// Derives the blocking-receive idle deadline from the cost model: the
+/// worst-case full-run estimate over the highest-traffic algorithm
+/// (Repartitioning at S = 0.5). Simulation runs much faster than the
+/// modeled cluster, so the modeled total is a generous wall-clock bound
+/// on any single phase. Armed runs get a tight bound (faults should be
+/// detected quickly); unarmed runs get a very generous one — there the
+/// deadline only exists to turn a would-be-infinite hang into an error.
+double DeriveIdleTimeoutS(const SystemParams& params, bool armed) {
+  CostModel model(CostModel::Config{params});
+  const double modeled =
+      model.Time(AlgorithmKind::kRepartitioning, /*selectivity=*/0.5);
+  if (armed) return std::clamp(modeled, 5.0, 120.0);
+  return std::clamp(60.0 + modeled, 60.0, 600.0);
+}
+
+}  // namespace
 
 NodeContext::NodeContext(int node_id, const SystemParams& params,
                          const AggregationSpec& spec,
@@ -23,8 +46,31 @@ NodeContext::NodeContext(int node_id, const SystemParams& params,
       obs_(std::make_unique<NodeObs>(
           node_id, options.obs, &clock_,
           obs_wall_epoch_s >= 0 ? obs_wall_epoch_s : WallSeconds())),
+      send_seq_(static_cast<size_t>(params.num_nodes), 0),
+      recv_seq_(static_cast<size_t>(params.num_nodes), 0),
+      last_heard_(static_cast<size_t>(params.num_nodes), WallSeconds()),
       row_buf_(static_cast<size_t>(spec.final_schema().tuple_size())) {
   if (disk_ != nullptr) last_disk_ = disk_->stats();
+
+  armed_ = options.failure.enabled || !options.fault_plan.empty();
+  idle_timeout_s_ = options.failure.recv_idle_timeout_s > 0
+                        ? options.failure.recv_idle_timeout_s
+                        : DeriveIdleTimeoutS(params, armed_);
+  heartbeat_interval_s_ = options.failure.heartbeat_interval_s > 0
+                              ? options.failure.heartbeat_interval_s
+                              : idle_timeout_s_ / 4;
+  phase_budget_s_ = options.failure.phase_budget_s > 0
+                        ? options.failure.phase_budget_s
+                        : 8 * idle_timeout_s_;
+  tick_s_ = std::min(idle_timeout_s_ / 4, 0.25);
+  last_heartbeat_wall_ = WallSeconds();
+
+  const FaultSpec* crash = options.fault_plan.CrashForNode(node_id);
+  if (crash != nullptr) {
+    crash_at_tuple_ = crash->tuple;
+    crash_at_phase_ = crash->phase;
+  }
+  straggle_secs_ = options.fault_plan.StraggleSecsForNode(node_id);
 }
 
 int64_t NodeContext::max_hash_entries() const {
@@ -44,6 +90,9 @@ int64_t NodeContext::few_groups_threshold() const {
 }
 
 Status NodeContext::Send(int to, Message msg) {
+  if (to >= 0 && to < num_nodes()) {
+    msg.seq = ++send_seq_[static_cast<size_t>(to)];
+  }
   net_->OnSend(clock_, msg);
   ++stats_.messages_sent;
   const int64_t bytes = static_cast<int64_t>(msg.payload.size());
@@ -55,26 +104,178 @@ Status NodeContext::Send(int to, Message msg) {
   return transport_->Send(to, std::move(msg));
 }
 
-Result<Message> NodeContext::Recv() {
+Result<bool> NodeContext::AdmitIncoming(const Message& msg) {
+  const int from = msg.from;
+  if (from < 0 || from >= num_nodes()) {
+    return true;  // unattributed traffic (raw transport users in tests)
+  }
+  last_heard_[static_cast<size_t>(from)] = WallSeconds();
+  if (msg.seq == 0) {
+    // Unsequenced: sent around NodeContext (raw transport users).
+    return msg.type != MessageType::kHeartbeat;
+  }
+  uint64_t& last = recv_seq_[static_cast<size_t>(from)];
+  if (msg.type == MessageType::kAbort) {
+    // Aborts terminate the run; a gap in front of one is irrelevant.
+    last = std::max(last, msg.seq);
+    return true;
+  }
+  if (msg.seq <= last) {
+    // Already seen (duplicated in transit): silently discard, so a
+    // duplicate can never double-count aggregation state.
+    obs_->fault_dup_discarded.Increment();
+    return false;
+  }
+  if (msg.seq != last + 1) {
+    obs_->fault_seq_gaps.Increment();
+    obs_->RecordFault("fault.seq_gap", {{"from", from},
+                                        {"expected",
+                                         static_cast<int64_t>(last + 1)},
+                                        {"got",
+                                         static_cast<int64_t>(msg.seq)}});
+    return Status::NetworkError(
+        "message loss detected: node " + std::to_string(from) +
+        " skipped from seq " + std::to_string(last + 1) + " to " +
+        std::to_string(msg.seq) + " (phase '" + current_phase_ +
+        "'; a message was dropped or rejected in transit)");
+  }
+  last = msg.seq;
+  // Heartbeats are runtime-internal: account them, then swallow them.
+  return msg.type != MessageType::kHeartbeat;
+}
+
+Result<Message> NodeContext::RecvWithDeadline(double timeout_s) {
   if (!stash_.empty()) {
     Message msg = std::move(stash_.front());
     stash_.pop_front();
     return msg;  // receive costs were charged when first popped
   }
-  ADAPTAGG_ASSIGN_OR_RETURN(Message msg, transport_->Recv());
-  net_->OnReceive(clock_, msg);
-  return msg;
+  double remaining = timeout_s;
+  while (true) {
+    const double t0 = WallSeconds();
+    ADAPTAGG_ASSIGN_OR_RETURN(Message msg,
+                              transport_->RecvWithDeadline(remaining));
+    ADAPTAGG_ASSIGN_OR_RETURN(bool deliver, AdmitIncoming(msg));
+    if (deliver) {
+      net_->OnReceive(clock_, msg);
+      return msg;
+    }
+    if (remaining >= 0) {
+      remaining = std::max(0.0, remaining - (WallSeconds() - t0));
+    }
+  }
 }
 
-std::optional<Message> NodeContext::TryRecv() {
+Result<std::optional<Message>> NodeContext::TryRecv() {
   if (!stash_.empty()) {
     Message msg = std::move(stash_.front());
     stash_.pop_front();
+    return std::optional<Message>(std::move(msg));
+  }
+  while (std::optional<Message> msg = transport_->TryRecv()) {
+    ADAPTAGG_ASSIGN_OR_RETURN(bool deliver, AdmitIncoming(*msg));
+    if (!deliver) continue;
+    net_->OnReceive(clock_, *msg);
+    return std::optional<Message>(std::move(*msg));
+  }
+  return std::optional<Message>();
+}
+
+Result<Message> NodeContext::AwaitMessage(
+    const std::function<bool(int)>& pending) {
+  if (!armed_) {
+    Result<Message> msg = RecvWithDeadline(idle_timeout_s_);
+    if (!msg.ok() &&
+        msg.status().code() == StatusCode::kDeadlineExceeded) {
+      obs_->fault_deadline_aborts.Increment();
+      return Status::DeadlineExceeded(
+          "no inbound traffic for " + std::to_string(idle_timeout_s_) +
+          "s in phase '" + current_phase_ +
+          "' (cluster stalled: a message was lost or a peer hung)");
+    }
     return msg;
   }
-  std::optional<Message> msg = transport_->TryRecv();
-  if (msg.has_value()) net_->OnReceive(clock_, *msg);
-  return msg;
+  const double start = WallSeconds();
+  while (true) {
+    MaybeHeartbeat();
+    Result<Message> msg = RecvWithDeadline(tick_s_);
+    if (msg.ok() ||
+        msg.status().code() != StatusCode::kDeadlineExceeded) {
+      return msg;
+    }
+    const double now = WallSeconds();
+    for (int p = 0; p < num_nodes(); ++p) {
+      if (p == node_id_ || !pending(p)) continue;
+      const double silent = now - last_heard_[static_cast<size_t>(p)];
+      if (silent > idle_timeout_s_) {
+        obs_->fault_deadline_aborts.Increment();
+        obs_->RecordFault("fault.peer_silent", {{"peer", p}});
+        return Status::DeadlineExceeded(
+            "peer node " + std::to_string(p) + " silent for " +
+            std::to_string(silent) + "s in phase '" + current_phase_ +
+            "' (presumed crashed; deadline " +
+            std::to_string(idle_timeout_s_) + "s)");
+      }
+    }
+    if (now - start > phase_budget_s_) {
+      obs_->fault_deadline_aborts.Increment();
+      return Status::DeadlineExceeded(
+          "phase budget " + std::to_string(phase_budget_s_) +
+          "s exceeded in phase '" + current_phase_ +
+          "' (peers alive but not progressing)");
+    }
+  }
+}
+
+Status NodeContext::EnterPhase(const char* phase) {
+  current_phase_ = phase;
+  if (!crash_at_phase_.empty() && !crashed_ &&
+      crash_at_phase_ == current_phase_) {
+    return InjectCrash("phase boundary '" + current_phase_ + "'");
+  }
+  return Status::OK();
+}
+
+void NodeContext::PollRuntime() {
+  if (straggle_secs_ > 0) {
+    obs_->fault_straggle_sleeps.Increment();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(straggle_secs_));
+  }
+  MaybeHeartbeat();
+}
+
+void NodeContext::MaybeHeartbeat() {
+  if (!armed_) return;
+  const double now = WallSeconds();
+  if (now - last_heartbeat_wall_ < heartbeat_interval_s_) return;
+  last_heartbeat_wall_ = now;
+  for (int p = 0; p < num_nodes(); ++p) {
+    if (p == node_id_) continue;
+    Message hb;
+    hb.type = MessageType::kHeartbeat;
+    hb.seq = ++send_seq_[static_cast<size_t>(p)];
+    // Best-effort: a failed beacon just means the peer's detector fires.
+    (void)transport_->Send(p, std::move(hb));
+    obs_->fault_heartbeats_sent.Increment();
+  }
+}
+
+Status NodeContext::CheckScanFault() {
+  if (crash_at_tuple_ >= 0 && !crashed_ &&
+      stats_.tuples_scanned >= crash_at_tuple_) {
+    return InjectCrash("tuple " + std::to_string(stats_.tuples_scanned) +
+                       " (phase '" + current_phase_ + "')");
+  }
+  return Status::OK();
+}
+
+Status NodeContext::InjectCrash(const std::string& where) {
+  crashed_ = true;
+  transport_->SimulateFailStop();
+  obs_->fault_crashes_injected.Increment();
+  obs_->RecordFault("fault.crash", {{"node", node_id_}});
+  return Status::Internal("injected crash at " + where);
 }
 
 void NodeContext::SyncDiskIo() {
@@ -142,6 +343,8 @@ void NodeContext::FinalizeObs() {
   if (transport_ != nullptr) {
     o.net_channel_depth_high_water.UpdateMax(
         static_cast<int64_t>(transport_->inbox_high_water()));
+    o.fault_frames_rejected.Add(
+        static_cast<int64_t>(transport_->frames_rejected()));
   }
 }
 
@@ -177,6 +380,11 @@ TupleView LocalScanner::Next() {
   if (t.valid()) {
     ctx_->clock().AddCpu(select_cost_);
     ++ctx_->stats().tuples_scanned;
+    Status fault = ctx_->CheckScanFault();
+    if (!fault.ok()) {
+      status_ = fault;
+      return TupleView();
+    }
   } else {
     status_ = op_->Close();
     op_.reset();
@@ -220,6 +428,13 @@ int LocalScanner::FillBatch(TupleBatch& batch) {
     ctx_->clock().AddCpu(static_cast<double>(n) * select_cost_);
     ctx_->stats().tuples_scanned += n;
     batch.ComputeHashes();
+    // Injected crash-at-tuple faults fire at batch granularity: the
+    // first batch boundary at or past the trigger index.
+    Status fault = ctx_->CheckScanFault();
+    if (!fault.ok()) {
+      status_ = fault;
+      return 0;
+    }
   }
   return n;
 }

@@ -2,8 +2,10 @@
 #define ADAPTAGG_CLUSTER_NODE_CONTEXT_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "agg/agg_spec.h"
@@ -11,6 +13,7 @@
 #include "agg/spilling_aggregator.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
+#include "net/fault.h"
 #include "net/network_model.h"
 #include "net/transport.h"
 #include "obs/node_obs.h"
@@ -67,6 +70,14 @@ struct AlgorithmOptions {
   /// Observability switches for the run (metrics / phase spans / trace
   /// event log). Defaults: metrics and spans on, traces off.
   ObsConfig obs;
+
+  /// Injected failure scenario (empty = fault-free; the default leaves
+  /// run behavior bit-identical to builds without fault injection). A
+  /// non-empty plan arms failure detection.
+  FaultPlan fault_plan;
+
+  /// Failure-detection knobs (deadlines, heartbeats). See net/fault.h.
+  FailureDetection failure;
 };
 
 /// Per-node execution counters reported back by a run.
@@ -139,9 +150,30 @@ class NodeContext {
   void FinalizeObs();
 
   // --- messaging (costs charged via the NetworkModel) ---
+  /// Stamps the per-destination sequence number and sends. Receivers use
+  /// the sequence to discard duplicated messages and detect lost ones.
   Status Send(int to, Message msg);
-  Result<Message> Recv();
-  std::optional<Message> TryRecv();
+
+  /// Blocking receive bounded by `timeout_s` (negative: wait forever);
+  /// kDeadlineExceeded on timeout. Heartbeats are swallowed, duplicates
+  /// discarded, and a sequence gap (a message lost or rejected in
+  /// transit) returns a descriptive kNetworkError. There is deliberately
+  /// no unbounded Recv here: algorithm code must not be able to hang on
+  /// a lost message (adaptagg_lint enforces this outside src/net).
+  Result<Message> RecvWithDeadline(double timeout_s);
+
+  /// Non-blocking receive with the same validation as RecvWithDeadline:
+  /// OK(nullopt) when the inbox is empty, an error on detected loss.
+  Result<std::optional<Message>> TryRecv();
+
+  /// Blocking receive honoring the run's failure-detection policy.
+  /// `pending(p)` says whether this wait still needs traffic from node p
+  /// — while armed, those peers' liveness (last time anything arrived
+  /// from them, heartbeats included) is checked every tick and a silent
+  /// peer aborts the wait with a descriptive status naming the node,
+  /// this node's current phase, and the cause. Unarmed runs simply
+  /// bound the wait by the derived idle deadline.
+  Result<Message> AwaitMessage(const std::function<bool(int)>& pending);
 
   /// Re-queues a message this node popped but cannot handle yet (e.g. a
   /// data-phase page arriving while waiting for a control message).
@@ -152,6 +184,36 @@ class NodeContext {
   /// Charges any disk I/O performed since the last sync (sequential and
   /// random page costs) onto the clock.
   void SyncDiskIo();
+
+  // --- failure detection and fault hooks ---
+  /// Marks a phase boundary ("scan", "merge", "emit", "sample"): names
+  /// the phase for failure diagnostics and fires any injected
+  /// crash-at-phase fault. Algorithms call this when opening each phase.
+  Status EnterPhase(const char* phase);
+
+  /// Phase this node is currently executing (for diagnostics).
+  const std::string& current_phase() const { return current_phase_; }
+
+  /// Runtime servicing hook for inbox-poll sites: executes an injected
+  /// straggle (wall-clock sleep) and, while armed, broadcasts a
+  /// heartbeat when one is due. Cheap no-op on fault-free runs.
+  void PollRuntime();
+
+  /// Broadcasts a liveness beacon when armed and one is due. Heartbeats
+  /// bypass the network cost model and all traffic stats: they exist in
+  /// wall time only, so they cannot perturb simulated results.
+  void MaybeHeartbeat();
+
+  /// Fires an injected crash-at-tuple fault once the scan has passed its
+  /// trigger index (checked by LocalScanner at batch granularity).
+  Status CheckScanFault();
+
+  /// True when failure detection is armed (explicitly enabled, or a
+  /// non-empty fault plan is active).
+  bool failure_detection_armed() const { return armed_; }
+
+  /// Resolved idle deadline for blocking receives.
+  double recv_idle_timeout_s() const { return idle_timeout_s_; }
 
   // --- result emission ---
   /// Finalizes (key, state) into a result row: charges t_w, stores to the
@@ -169,6 +231,15 @@ class NodeContext {
   }
 
  private:
+  /// Admission control for one message popped off the transport:
+  /// updates liveness and sequence bookkeeping, swallows heartbeats and
+  /// duplicates (returns false), errors on a detected sequence gap.
+  Result<bool> AdmitIncoming(const Message& msg);
+
+  /// Executes an injected crash: fail-stops the transport (a dead node
+  /// reaches nobody) and returns the descriptive error.
+  Status InjectCrash(const std::string& where);
+
   int node_id_;
   const SystemParams& params_;
   const AggregationSpec& spec_;
@@ -183,6 +254,24 @@ class NodeContext {
   std::unique_ptr<NodeObs> obs_;
   DiskStats last_disk_;
   std::deque<Message> stash_;
+
+  // Failure detection (see DESIGN.md §9).
+  bool armed_ = false;
+  double idle_timeout_s_ = 60;
+  double heartbeat_interval_s_ = 0;
+  double phase_budget_s_ = 480;
+  double tick_s_ = 0.25;
+  std::string current_phase_ = "init";
+  std::vector<uint64_t> send_seq_;
+  std::vector<uint64_t> recv_seq_;
+  std::vector<double> last_heard_;
+  double last_heartbeat_wall_ = 0;
+
+  // Injected node faults (resolved from the plan for this node).
+  int64_t crash_at_tuple_ = -1;
+  std::string crash_at_phase_;
+  double straggle_secs_ = 0;
+  bool crashed_ = false;
 
   std::unique_ptr<HeapFile> result_file_;
   std::vector<uint8_t> row_buf_;

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kNetworkError:
       return "NetworkError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kNotImplemented:

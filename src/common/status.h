@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kNetworkError,
+  kDeadlineExceeded,
   kInternal,
   kNotImplemented,
 };
@@ -68,6 +69,9 @@ class [[nodiscard]] Status {
   }
   static Status NetworkError(std::string msg) {
     return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -75,6 +75,7 @@ class AdaptiveRepartitioning : public Algorithm {
     };
 
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
       PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double route_cost = p.t_h() + p.t_d();
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
@@ -194,6 +195,7 @@ class AdaptiveRepartitioning : public Algorithm {
     AccumulateHashTableObs(ctx, local.stats());
 
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }

@@ -38,6 +38,7 @@ class AdaptiveTwoPhase : public Algorithm {
 
     bool repartition_mode = false;
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
       PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
       const double route_cost = p.t_h() + p.t_d();
@@ -103,6 +104,7 @@ class AdaptiveTwoPhase : public Algorithm {
     AccumulateHashTableObs(ctx, local.stats());
 
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }

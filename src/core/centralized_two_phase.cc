@@ -29,6 +29,7 @@ class CentralizedTwoPhase : public Algorithm {
                              ctx.options().spill_fanout,
                              "lc2p_n" + std::to_string(ctx.node_id()));
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
       PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
@@ -40,8 +41,13 @@ class CentralizedTwoPhase : public Algorithm {
           },
           [&]() {
             // Workers expect no traffic before their send; only the
-            // coordinator services its inbox mid-scan.
-            if (!ctx.is_coordinator()) return Status::OK();
+            // coordinator services its inbox mid-scan. Workers still run
+            // the fault/heartbeat hooks so the coordinator can tell a
+            // slow worker from a dead one.
+            if (!ctx.is_coordinator()) {
+              ctx.PollRuntime();
+              return Status::OK();
+            }
             ctx.SyncDiskIo();
             return recv.Poll();
           }));
@@ -60,12 +66,14 @@ class CentralizedTwoPhase : public Algorithm {
     }
 
     if (!ctx.is_coordinator()) {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("emit"));
       PhaseTimer emit_span = ctx.obs().StartPhase("emit");
       return ctx.FinishResults();
     }
 
     // Phase 2 (coordinator only): sequential merge and store.
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }

@@ -33,6 +33,7 @@ class GraefeTwoPhase : public Algorithm {
 
     AggHashTable local(&spec, ctx.max_hash_entries());
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
       PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double local_cost = p.t_r() + p.t_h() + p.t_a();
       std::vector<int> overflow;
@@ -76,6 +77,7 @@ class GraefeTwoPhase : public Algorithm {
     AccumulateHashTableObs(ctx, local.stats());
 
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }

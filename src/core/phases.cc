@@ -17,7 +17,8 @@ DataReceiver::DataReceiver(NodeContext* ctx, RecordSink on_raw,
     : ctx_(ctx),
       on_raw_(std::move(on_raw)),
       on_partial_(std::move(on_partial)),
-      expected_eos_(expected_eos) {
+      expected_eos_(expected_eos),
+      eos_from_(static_cast<size_t>(ctx->num_nodes()), false) {
   const SystemParams& p = ctx->params();
   // Global-phase merge costs (§2.2): reading the record and computing the
   // cumulative value. Hashing was charged on the sending side.
@@ -54,13 +55,23 @@ Status DataReceiver::Handle(const Message& msg) {
       return status;
     }
     case MessageType::kEndOfStream:
-      if (msg.phase == kPhaseData) ++eos_seen_;
+      if (msg.phase == kPhaseData) {
+        ++eos_seen_;
+        // Liveness bookkeeping only (duplicated messages were already
+        // discarded by sequence number below this layer).
+        if (msg.from >= 0 && msg.from < static_cast<int>(eos_from_.size())) {
+          eos_from_[static_cast<size_t>(msg.from)] = true;
+        }
+      }
       return Status::OK();
     case MessageType::kEndOfPhase:
       end_of_phase_seen_ = true;
       return Status::OK();
     case MessageType::kControl:
       return Status::Internal("unexpected control message in data phase");
+    case MessageType::kHeartbeat:
+      // NodeContext swallows these before delivery; tolerate one anyway.
+      return Status::OK();
     case MessageType::kAbort:
       return Status::Internal("aborted by peer node " +
                               std::to_string(msg.from));
@@ -69,7 +80,10 @@ Status DataReceiver::Handle(const Message& msg) {
 }
 
 Status DataReceiver::Poll() {
-  while (std::optional<Message> msg = ctx_->TryRecv()) {
+  ctx_->PollRuntime();
+  while (true) {
+    ADAPTAGG_ASSIGN_OR_RETURN(std::optional<Message> msg, ctx_->TryRecv());
+    if (!msg.has_value()) break;
     ADAPTAGG_RETURN_IF_ERROR(Handle(*msg));
   }
   return Status::OK();
@@ -77,13 +91,20 @@ Status DataReceiver::Poll() {
 
 Status DataReceiver::Drain() {
   while (!done()) {
-    ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx_->Recv());
+    // Await traffic from every sender that still owes us its data-phase
+    // end-of-stream; if one goes silent the wait aborts with a status
+    // naming it instead of hanging the merge phase forever.
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        Message msg, ctx_->AwaitMessage([this](int p) {
+          return !eos_from_[static_cast<size_t>(p)];
+        }));
     ADAPTAGG_RETURN_IF_ERROR(Handle(msg));
   }
   return Status::OK();
 }
 
 Status EmitFinalResults(NodeContext& ctx, SpillingAggregator& global) {
+  ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("emit"));
   PhaseTimer emit_span = ctx.obs().StartPhase("emit");
   Status status;
   Status finish =
@@ -115,6 +136,7 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
                            ctx.options().spill_fanout,
                            "l2p_n" + std::to_string(ctx.node_id()));
   {
+    ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
     PhaseTimer scan_span = ctx.obs().StartPhase("scan");
     const double agg_cost = p.t_r() + p.t_h() + p.t_a();
     ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
@@ -140,6 +162,7 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
 
   // Phase 2: merge everything routed here and emit final rows.
   {
+    ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
     PhaseTimer merge_span = ctx.obs().StartPhase("merge");
     ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
   }
@@ -159,6 +182,7 @@ Status RunRepartitioningBody(NodeContext& ctx) {
               kPhaseData);
 
   {
+    ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
     PhaseTimer scan_span = ctx.obs().StartPhase("scan");
     // Select already charged t_r + t_w; Rep adds hashing and destination
     // computation (§2.3).
@@ -185,6 +209,7 @@ Status RunRepartitioningBody(NodeContext& ctx) {
     scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
   }
   {
+    ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
     PhaseTimer merge_span = ctx.obs().StartPhase("merge");
     ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
   }

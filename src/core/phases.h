@@ -104,6 +104,10 @@ class DataReceiver {
   RecordSink on_raw_;
   RecordSink on_partial_;
   int expected_eos_;
+  /// Which senders have delivered their data-phase end-of-stream: the
+  /// failure detector's per-peer pending predicate (a peer is "awaited"
+  /// during Drain until its EOS arrives).
+  std::vector<bool> eos_from_;
   int eos_seen_ = 0;
   bool end_of_phase_seen_ = false;
   double partial_cost_;

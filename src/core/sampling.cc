@@ -96,13 +96,23 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
 
   if (ctx.is_coordinator()) {
     // Union the keys and judge the group count against the threshold.
+    // Await every node that has not yet sent its sample end-of-stream;
+    // a node that dies mid-sample is named by the failed wait.
     std::unordered_set<std::string> all_keys;
+    std::vector<bool> eos_from(static_cast<size_t>(n), false);
     int eos_seen = 0;
     while (eos_seen < n) {
-      ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx.Recv());
+      ADAPTAGG_ASSIGN_OR_RETURN(
+          Message msg, ctx.AwaitMessage([&eos_from](int peer) {
+            return !eos_from[static_cast<size_t>(peer)];
+          }));
       if (msg.type == MessageType::kEndOfStream &&
           msg.phase == kPhaseSample) {
-        ++eos_seen;
+        if (msg.from >= 0 && msg.from < n &&
+            !eos_from[static_cast<size_t>(msg.from)]) {
+          eos_from[static_cast<size_t>(msg.from)] = true;
+          ++eos_seen;
+        }
         continue;
       }
       if (msg.type == MessageType::kAbort) {
@@ -137,7 +147,10 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
   // make Recv return the same message forever).
   std::vector<Message> pending;
   while (true) {
-    ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx.Recv());
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        Message msg, ctx.AwaitMessage([kCoordinator](int peer) {
+          return peer == kCoordinator;
+        }));
     if (msg.type == MessageType::kAbort) {
       return Status::Internal("aborted by peer node " +
                               std::to_string(msg.from));
@@ -166,6 +179,7 @@ class Sampling : public Algorithm {
   Status RunNode(NodeContext& ctx) const override {
     bool use_repartitioning = false;
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("sample"));
       PhaseTimer sample_span = ctx.obs().StartPhase("sample");
       ADAPTAGG_ASSIGN_OR_RETURN(use_repartitioning, DecideBySampling(ctx));
       sample_span.AddArg("use_repartitioning", use_repartitioning ? 1 : 0);

@@ -40,6 +40,7 @@ class SortTwoPhase : public Algorithm {
     SortAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
                          "lsort_n" + std::to_string(ctx.node_id()));
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
       PhaseTimer scan_span = ctx.obs().StartPhase("scan");
       const double agg_cost = p.t_r() + p.t_h() + p.t_a();
       ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
@@ -81,10 +82,12 @@ class SortTwoPhase : public Algorithm {
 
     // Phase 2: merge everything routed here, emit in key order.
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }
     {
+      ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("emit"));
       PhaseTimer emit_span = ctx.obs().StartPhase("emit");
       Status status;
       Status finish =

@@ -1,5 +1,7 @@
 #include "net/channel.h"
 
+#include <chrono>
+
 namespace adaptagg {
 
 void Channel::Push(Message msg) {
@@ -14,6 +16,24 @@ void Channel::Push(Message msg) {
 Message Channel::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return !queue_.empty(); });
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Channel::PopFor(double timeout_s) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_s < 0) {
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
+      return std::nullopt;
+    }
+  }
   Message m = std::move(queue_.front());
   queue_.pop_front();
   return m;

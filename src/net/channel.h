@@ -25,6 +25,10 @@ class Channel {
   /// Blocks until a message is available.
   Message Pop();
 
+  /// Blocks for at most `timeout_s` seconds; empty optional on timeout.
+  /// A negative timeout blocks forever (equivalent to Pop).
+  std::optional<Message> PopFor(double timeout_s);
+
   /// Returns immediately; empty optional when the queue is empty.
   std::optional<Message> TryPop();
 

@@ -1,0 +1,20 @@
+#ifndef ADAPTAGG_NET_CRC32C_H_
+#define ADAPTAGG_NET_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adaptagg {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+/// checksum used by iSCSI/ext4 and hardware-accelerated on SSE4.2. This
+/// is a portable table-driven implementation: message frames are at most
+/// a few KB, so software CRC is far below protocol-cost noise.
+///
+/// Extends `crc` with `len` bytes at `data`; pass 0 to start a fresh
+/// checksum. Composable: Crc32c(Crc32c(0, a, n), b, m) checksums a||b.
+uint32_t Crc32c(uint32_t crc, const uint8_t* data, size_t len);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_NET_CRC32C_H_

@@ -36,6 +36,17 @@ class InprocTransport : public Transport {
     return mesh_->inboxes[static_cast<size_t>(node_id_)].Pop();
   }
 
+  Result<Message> RecvWithDeadline(double timeout_s) override {
+    std::optional<Message> msg =
+        mesh_->inboxes[static_cast<size_t>(node_id_)].PopFor(timeout_s);
+    if (!msg.has_value()) {
+      return Status::DeadlineExceeded("recv deadline (" +
+                                      std::to_string(timeout_s) +
+                                      "s) exceeded");
+    }
+    return std::move(*msg);
+  }
+
   std::optional<Message> TryRecv() override {
     return mesh_->inboxes[static_cast<size_t>(node_id_)].TryPop();
   }

@@ -24,26 +24,48 @@ enum class MessageType : uint8_t {
   /// A node hit an unrecoverable error; peers must stop waiting for its
   /// traffic and fail the run. Broadcast by the cluster runtime.
   kAbort = 5,
+  /// Liveness beacon emitted by the failure detector while a run is
+  /// armed. Swallowed inside NodeContext: algorithms never see it, and
+  /// it is free under the network cost model (piggybacked traffic).
+  kHeartbeat = 6,
 };
 
 std::string MessageTypeToString(MessageType type);
 
+/// Upper bound on one serialized frame (length word excluded): far above
+/// any message-page size the engine produces, far below what a corrupt
+/// length prefix could demand. Enforced by Deserialize and by the TCP
+/// reader before it trusts a length prefix.
+inline constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// Fixed bytes of one frame after the length word:
+/// crc32c + type + from + phase + depart + seq.
+inline constexpr size_t kHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8;
+
 /// One network message. `depart_time` carries the sender's simulated
 /// clock so receivers preserve causality (a conservative discrete-event
-/// rule); it plays no role in correctness.
+/// rule); it plays no role in correctness. `seq` is the per-(sender,
+/// receiver) sequence number stamped by NodeContext::Send — receivers use
+/// it to discard duplicates and detect message loss; raw transport users
+/// may leave it 0 (validation only runs inside NodeContext).
 struct Message {
   MessageType type = MessageType::kControl;
   int32_t from = -1;
   uint32_t phase = 0;
   double depart_time = 0.0;
+  uint64_t seq = 0;
   std::vector<uint8_t> payload;
 
   /// Wire encoding for socket transports:
-  /// [u32 total_len][u8 type][i32 from][u32 phase][f64 depart][payload].
+  /// [u32 total_len][u32 crc32c][u8 type][i32 from][u32 phase]
+  /// [f64 depart][u64 seq][payload], where the CRC-32C covers everything
+  /// after the crc word itself. total_len counts from the crc word on.
   std::vector<uint8_t> Serialize() const;
 
   /// Parses a frame produced by Serialize() (without the leading length
-  /// word, which the transport consumes).
+  /// word, which the transport consumes). Rejects truncated, oversized,
+  /// bad-type, and checksum-mismatched frames with a Status — never
+  /// asserts, so arbitrary bytes off the wire are safe to feed here.
   static Result<Message> Deserialize(const uint8_t* data, size_t len);
 };
 

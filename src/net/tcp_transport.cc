@@ -1,10 +1,13 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -93,9 +96,23 @@ class TcpTransport : public Transport {
 
   Result<Message> Recv() override { return inbox_.Pop(); }
 
+  Result<Message> RecvWithDeadline(double timeout_s) override {
+    std::optional<Message> msg = inbox_.PopFor(timeout_s);
+    if (!msg.has_value()) {
+      return Status::DeadlineExceeded("recv deadline (" +
+                                      std::to_string(timeout_s) +
+                                      "s) exceeded");
+    }
+    return std::move(*msg);
+  }
+
   std::optional<Message> TryRecv() override { return inbox_.TryPop(); }
 
   size_t inbox_high_water() const override { return inbox_.max_depth(); }
+
+  uint64_t frames_rejected() const override {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
 
   void SetOutgoing(int to, int fd) {
     out_fds_[static_cast<size_t>(to)] = fd;
@@ -109,11 +126,6 @@ class TcpTransport : public Transport {
 
  private:
   void ReadLoop(int fd) {
-    // Upper bound on one frame: far above any message-page size the
-    // engine produces, far below what a corrupt length prefix could
-    // demand. A violation means the stream is desynchronized, so the
-    // connection is dropped rather than resynchronized.
-    constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
     std::vector<uint8_t> buf;
     while (true) {
       uint8_t len_bytes[4];
@@ -121,16 +133,24 @@ class TcpTransport : public Transport {
       uint32_t len;
       std::memcpy(&len, len_bytes, 4);
       if (len > kMaxFrameBytes) {
+        // A length beyond the cap means the stream is desynchronized,
+        // so the connection is dropped rather than resynchronized.
         ADAPTAGG_LOG(kError) << "tcp frame length " << len
                              << " exceeds cap; closing connection";
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       buf.resize(len);
       if (!ReadFully(fd, buf.data(), len).ok()) return;
       Result<Message> msg = Message::Deserialize(buf.data(), len);
       if (!msg.ok()) {
-        ADAPTAGG_LOG(kError) << "dropping bad frame: "
+        // Checksum or format violation inside a well-delimited frame:
+        // the stream itself is still in sync, so reject just the frame.
+        // The sender-side sequence number now has a gap, which the
+        // receiving NodeContext reports as message loss.
+        ADAPTAGG_LOG(kError) << "rejecting bad frame: "
                              << msg.status().ToString();
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       inbox_.Push(std::move(msg).value());
@@ -143,6 +163,7 @@ class TcpTransport : public Transport {
   std::vector<int> out_fds_;
   std::vector<int> in_fds_;
   std::vector<std::thread> readers_;
+  std::atomic<uint64_t> frames_rejected_{0};
 };
 
 Result<int> Listen(int port) {
@@ -166,7 +187,7 @@ Result<int> Listen(int port) {
   return fd;
 }
 
-Result<int> Connect(int port) {
+Result<int> ConnectOnce(int port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::NetworkError("socket failed");
   sockaddr_in addr{};
@@ -180,6 +201,44 @@ Result<int> Connect(int port) {
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Connects with bounded retries and exponential backoff, shielding mesh
+/// bring-up from transient refusals (a peer's listener still coming up,
+/// a kernel backlog burp on a busy CI host).
+Result<int> Connect(int port) {
+  constexpr int kAttempts = 6;
+  std::chrono::milliseconds backoff{10};
+  Result<int> fd = ConnectOnce(port);
+  for (int attempt = 1; !fd.ok() && attempt < kAttempts; ++attempt) {
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+    fd = ConnectOnce(port);
+  }
+  return fd;
+}
+
+/// Accepts with a timeout so a half-built mesh fails with a Status
+/// instead of blocking forever in ::accept.
+Result<int> AcceptWithTimeout(int listener, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listener;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    return Status::NetworkError(std::string("poll: ") +
+                                std::strerror(errno));
+  }
+  if (ready == 0) {
+    return Status::DeadlineExceeded("accept timed out after " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  int fd = ::accept(listener, nullptr, nullptr);
+  if (fd < 0) {
+    return Status::NetworkError(std::string("accept: ") +
+                                std::strerror(errno));
+  }
   return fd;
 }
 
@@ -218,19 +277,20 @@ Result<std::vector<std::unique_ptr<Transport>>> MakeTcpMesh(int n,
       }
       nodes[static_cast<size_t>(i)]->SetOutgoing(j, *out);
 
-      int in = ::accept(listeners[static_cast<size_t>(j)], nullptr, nullptr);
-      if (in < 0) {
-        failure = Status::NetworkError("accept failed");
+      Result<int> in = AcceptWithTimeout(
+          listeners[static_cast<size_t>(j)], /*timeout_ms=*/5000);
+      if (!in.ok()) {
+        failure = in.status();
         break;
       }
       int32_t peer = -1;
-      st = ReadFully(in, reinterpret_cast<uint8_t*>(&peer), 4);
+      st = ReadFully(*in, reinterpret_cast<uint8_t*>(&peer), 4);
       if (!st.ok() || peer != i) {
-        ::close(in);
+        ::close(*in);
         failure = st.ok() ? Status::NetworkError("bad hello") : st;
         break;
       }
-      nodes[static_cast<size_t>(j)]->AddIncoming(in);
+      nodes[static_cast<size_t>(j)]->AddIncoming(*in);
     }
   }
 

@@ -1,6 +1,7 @@
 #ifndef ADAPTAGG_NET_TRANSPORT_H_
 #define ADAPTAGG_NET_TRANSPORT_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,12 +30,28 @@ class Transport {
   /// Blocks until a message arrives.
   virtual Result<Message> Recv() = 0;
 
+  /// Blocks until a message arrives or `timeout_s` seconds elapse, in
+  /// which case it returns kDeadlineExceeded. A negative timeout blocks
+  /// forever. Engine code above the transport layer must use this (or
+  /// TryRecv) instead of Recv, so a lost message can never hang a run.
+  virtual Result<Message> RecvWithDeadline(double timeout_s) = 0;
+
   /// Non-blocking receive.
   virtual std::optional<Message> TryRecv() = 0;
 
   /// Deepest this node's inbox has ever been (backlog high-water mark).
   /// Transports without inbox visibility report 0.
   virtual size_t inbox_high_water() const { return 0; }
+
+  /// Inbound frames this endpoint rejected as corrupt or malformed
+  /// (checksum mismatch, bad type). Always 0 for in-process transports.
+  virtual uint64_t frames_rejected() const { return 0; }
+
+  /// Puts the endpoint into fail-stop mode: every later Send is silently
+  /// swallowed, as if the node's process died. Used by fault injection to
+  /// model crashes realistically (a dead node notifies nobody); a plain
+  /// transport ignores it.
+  virtual void SimulateFailStop() {}
 };
 
 /// Creates an in-process mesh of `n` transports sharing channels.

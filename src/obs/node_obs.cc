@@ -10,6 +10,13 @@ HistogramSpec MsgBytesSpec() {
                                     /*count=*/16);
 }
 
+/// Abort latencies span sub-millisecond inproc fan-out to multi-second
+/// timeout detection: 100 us .. ~28 min in 12 power-of-4 buckets.
+HistogramSpec AbortLatencySpec() {
+  return HistogramSpec::Exponential(/*start=*/100, /*factor=*/4.0,
+                                    /*count=*/12);
+}
+
 }  // namespace
 
 NodeObs::NodeObs(int node_id, const ObsConfig& config,
@@ -53,12 +60,35 @@ NodeObs::NodeObs(int node_id, const ObsConfig& config,
   agg_batch_fused_tuples = registry_.counter("agg.batch.fused_tuples");
   agg_batch_identity_copy_tuples =
       registry_.counter("agg.batch.identity_copy_tuples");
+
+  fault_msgs_dropped = registry_.counter("fault.msgs_dropped");
+  fault_msgs_duplicated = registry_.counter("fault.msgs_duplicated");
+  fault_msgs_delayed = registry_.counter("fault.msgs_delayed");
+  fault_msgs_corrupted = registry_.counter("fault.msgs_corrupted");
+  fault_crashes_injected = registry_.counter("fault.crashes_injected");
+  fault_straggle_sleeps = registry_.counter("fault.straggle_sleeps");
+  fault_heartbeats_sent = registry_.counter("fault.heartbeats_sent");
+  fault_dup_discarded = registry_.counter("fault.dup_discarded");
+  fault_seq_gaps = registry_.counter("fault.seq_gaps");
+  fault_frames_rejected = registry_.counter("fault.frames_rejected");
+  fault_deadline_aborts = registry_.counter("fault.deadline_aborts");
+  fault_abort_latency_us =
+      registry_.histogram("fault.abort_latency_us", AbortLatencySpec());
 }
 
 void NodeObs::RecordSwitch(
     const std::string& name,
     std::vector<std::pair<std::string, int64_t>> args) {
   core_switches.Increment();
+  if (trace_.enabled()) {
+    trace_.RecordInstant(name, clock_ != nullptr ? clock_->now() : 0,
+                         std::move(args));
+  }
+}
+
+void NodeObs::RecordFault(
+    const std::string& name,
+    std::vector<std::pair<std::string, int64_t>> args) {
   if (trace_.enabled()) {
     trace_.RecordInstant(name, clock_ != nullptr ? clock_->now() : 0,
                          std::move(args));

@@ -47,6 +47,13 @@ class NodeObs {
   void RecordSwitch(const std::string& name,
                     std::vector<std::pair<std::string, int64_t>> args);
 
+  /// Emits an instant trace event for a fault-injection or failure-
+  /// detection event (injection points, detection points, aborts), so a
+  /// trace of a faulty run shows exactly where the cluster degraded.
+  /// Counters are bumped separately via the fault_* handles.
+  void RecordFault(const std::string& name,
+                   std::vector<std::pair<std::string, int64_t>> args);
+
   /// Copies the shard's metrics; safe while the node thread is running.
   MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
 
@@ -87,6 +94,22 @@ class NodeObs {
   Counter agg_batch_tuples;
   Counter agg_batch_fused_tuples;
   Counter agg_batch_identity_copy_tuples;
+
+  // Fault injection and failure detection.
+  Counter fault_msgs_dropped;
+  Counter fault_msgs_duplicated;
+  Counter fault_msgs_delayed;
+  Counter fault_msgs_corrupted;
+  Counter fault_crashes_injected;
+  Counter fault_straggle_sleeps;
+  Counter fault_heartbeats_sent;
+  Counter fault_dup_discarded;
+  Counter fault_seq_gaps;
+  Counter fault_frames_rejected;
+  Counter fault_deadline_aborts;
+  /// Wall time from the run's first node failure to each later node
+  /// noticing and unwinding (abort fan-out + detection latency).
+  Histogram fault_abort_latency_us;
 
  private:
   /// The config a shard actually honors: the caller's, or everything-off

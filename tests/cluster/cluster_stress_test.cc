@@ -97,9 +97,9 @@ TEST(ClusterStress, RepeatedAbortPropagation) {
         return Status::Internal("injected stress failure");
       }
       // Peers wait for traffic that will never fully arrive; the abort
-      // broadcast must wake them out of blocking Recv.
+      // broadcast must wake them out of the blocking receive.
       while (true) {
-        ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx.Recv());
+        ADAPTAGG_ASSIGN_OR_RETURN(Message msg, ctx.RecvWithDeadline(30.0));
         if (msg.type == MessageType::kAbort) {
           return Status::Internal("aborted by peer " +
                                   std::to_string(msg.from));

@@ -31,7 +31,7 @@ class CountingAlgorithm : public Algorithm {
     if (ctx.node_id() == 0) {
       int64_t total = 0;
       for (int i = 0; i < ctx.num_nodes(); ++i) {
-        ADAPTAGG_ASSIGN_OR_RETURN(Message got, ctx.Recv());
+        ADAPTAGG_ASSIGN_OR_RETURN(Message got, ctx.RecvWithDeadline(30.0));
         int64_t v;
         std::memcpy(&v, got.payload.data(), 8);
         total += v;
@@ -108,10 +108,10 @@ TEST(NodeContext, StashReordersAheadOfNetwork) {
   stashed.type = MessageType::kControl;
   ctx.Stash(std::move(stashed));
 
-  auto first = ctx.Recv();
+  auto first = ctx.RecvWithDeadline(5.0);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->type, MessageType::kControl);
-  auto second = ctx.Recv();
+  auto second = ctx.RecvWithDeadline(5.0);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->type, MessageType::kRawPage);
 }

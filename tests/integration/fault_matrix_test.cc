@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/transport.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+/// One cell of the fault matrix: a plan, the transport, the algorithm,
+/// and the contract the run must satisfy — either it completes with the
+/// correct result, or it aborts cleanly within the deadline with a
+/// status that names a node. No outcome is allowed to hang.
+struct FaultCase {
+  const char* label;
+  const char* plan;
+  bool expect_ok;
+  /// Substring the abort status must carry (nullptr: any message).
+  const char* expect_substr;
+};
+
+constexpr FaultCase kCases[] = {
+    // A dropped repartition/merge message is detected as sequence loss
+    // or peer silence — never an indefinite wait.
+    {"drop", "drop:from=1,to=2,nth=0", false, "node"},
+    // Duplicated delivery is discarded by sequence-number dedup; the
+    // aggregate must not double-count.
+    {"duplicate", "dup:from=1,to=2,nth=0", true, nullptr},
+    // A delayed message still arrives; heartbeats keep peers patient.
+    {"delay", "delay:from=1,to=2,nth=0,factor=50", true, nullptr},
+    // A corrupted frame fails its checksum and becomes a detectable
+    // drop.
+    {"corrupt", "corrupt:from=1,to=2,nth=0", false, "node"},
+    // A fail-stop crash mid-scan aborts the whole run with a status
+    // naming the dead node.
+    {"crash", "crash:node=1,tuple=500", false, "node 1"},
+    // A straggler survives: heartbeats prove liveness until it catches
+    // up.
+    {"straggler", "straggle:node=1,factor=20", true, nullptr},
+};
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void RunMatrix(bool tcp, int base_port) {
+    WorkloadSpec wspec;
+    wspec.num_nodes = 3;
+    wspec.num_tuples = 6'000;
+    wspec.num_groups = 200;
+    ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                         GenerateRelation(wspec));
+    ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                         MakeBenchQuery(&rel.schema()));
+    ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                         ReferenceAggregate(spec, rel));
+
+    // One traditional algorithm (Repartitioning: raw-tuple traffic in
+    // the scan phase) and one adaptive (A-2P: partials in the merge
+    // phase), so faults hit both traffic shapes.
+    const AlgorithmKind kinds[] = {AlgorithmKind::kRepartitioning,
+                                   AlgorithmKind::kAdaptiveTwoPhase};
+    SystemParams params = SmallClusterParams(3, wspec.num_tuples, 256);
+
+    int port = base_port;
+    for (AlgorithmKind kind : kinds) {
+      for (const FaultCase& fc : kCases) {
+        SCOPED_TRACE(std::string(AlgorithmKindToString(kind)) + "/" +
+                     fc.label + (tcp ? "/tcp" : "/inproc"));
+        Cluster cluster(params);
+        if (tcp) {
+          const int base = port;
+          port += 10;
+          cluster.set_transport_factory(
+              [base](int n) { return MakeTcpMesh(n, base); });
+        }
+        AlgorithmOptions opts;
+        ASSERT_OK_AND_ASSIGN(opts.fault_plan, FaultPlan::Parse(fc.plan));
+        opts.failure.enabled = true;
+        opts.failure.recv_idle_timeout_s = 2.0;
+
+        RunResult run =
+            cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
+        if (fc.expect_ok) {
+          ASSERT_OK(run.status);
+          EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+        } else {
+          ASSERT_FALSE(run.status.ok());
+          // Clean, descriptive abort: an expected failure code, and a
+          // message naming the node at fault.
+          EXPECT_TRUE(
+              run.status.code() == StatusCode::kNetworkError ||
+              run.status.code() == StatusCode::kDeadlineExceeded ||
+              run.status.code() == StatusCode::kInternal)
+              << run.status.ToString();
+          if (fc.expect_substr != nullptr) {
+            EXPECT_NE(run.status.message().find(fc.expect_substr),
+                      std::string::npos)
+                << run.status.ToString();
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST_F(FaultMatrixTest, InprocMesh) { RunMatrix(/*tcp=*/false, 0); }
+
+TEST_F(FaultMatrixTest, TcpMesh) { RunMatrix(/*tcp=*/true, 47000); }
+
+// The two acceptance scenarios called out by the issue, pinned as their
+// own tests so a regression is named precisely.
+TEST_F(FaultMatrixTest, DropRepartitionMessageAbortsDescriptively) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+
+  AlgorithmOptions opts;
+  ASSERT_OK_AND_ASSIGN(opts.fault_plan,
+                       FaultPlan::Parse("drop:from=1,to=2,nth=0"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kRepartitioning), spec, rel, opts);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_TRUE(run.status.code() == StatusCode::kNetworkError ||
+              run.status.code() == StatusCode::kDeadlineExceeded)
+      << run.status.ToString();
+  EXPECT_NE(run.status.message().find("node"), std::string::npos)
+      << run.status.ToString();
+}
+
+TEST_F(FaultMatrixTest, CrashNodeMidScanAbortsDescriptively) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+
+  AlgorithmOptions opts;
+  ASSERT_OK_AND_ASSIGN(opts.fault_plan,
+                       FaultPlan::Parse("crash:node=1,tuple=500"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel, opts);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_NE(run.status.message().find("injected crash"),
+            std::string::npos)
+      << run.status.ToString();
+  EXPECT_NE(run.status.message().find("node 1"), std::string::npos)
+      << run.status.ToString();
+  EXPECT_EQ(run.metrics.Value("fault.crashes_injected"), 1);
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "core/algorithm.h"
 #include "model/cost_model.h"
+#include "net/fault.h"
 #include "obs/trace_export.h"
 #include "workload/generator.h"
 #include "workload/skew.h"
@@ -44,6 +45,8 @@ struct CliOptions {
   bool verify = false;
   bool verbose = false;
   std::string trace_file;
+  std::string fault;
+  double fault_timeout = -1;
 };
 
 void PrintUsage(const char* argv0) {
@@ -67,7 +70,14 @@ void PrintUsage(const char* argv0) {
       "  --verbose            per-node clock/counter report per run\n"
       "  --trace FILE         write a Chrome trace-event JSON of the run\n"
       "                       (with --algorithm all, FILE gets a\n"
-      "                       _<algo> suffix per run)\n",
+      "                       _<algo> suffix per run)\n"
+      "  --fault PLAN         inject faults, e.g.\n"
+      "                       'drop:from=1,to=2,nth=0;crash:node=2,\n"
+      "                       tuple=5000;straggle:node=3,factor=4'\n"
+      "                       (arms failure detection; aborted runs\n"
+      "                       report node, phase, and cause)\n"
+      "  --fault-timeout S    override the derived recv idle deadline\n"
+      "                       and arm failure detection explicitly\n",
       argv0);
 }
 
@@ -153,6 +163,11 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opt.verbose = true;
     } else if (arg == "--trace") {
       ADAPTAGG_ASSIGN_OR_RETURN(opt.trace_file, next());
+    } else if (arg == "--fault") {
+      ADAPTAGG_ASSIGN_OR_RETURN(opt.fault, next());
+    } else if (arg == "--fault-timeout") {
+      ADAPTAGG_ASSIGN_OR_RETURN(std::string v, next());
+      opt.fault_timeout = std::atof(v.c_str());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -263,6 +278,17 @@ int RunEngine(const CliOptions& opt,
     expected = std::move(ref).value();
   }
 
+  FaultPlan fault_plan;
+  if (!opt.fault.empty()) {
+    Result<FaultPlan> parsed = FaultPlan::Parse(opt.fault);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--fault: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    fault_plan = std::move(parsed).value();
+  }
+
   Cluster cluster(params);
   if (opt.csv) {
     std::printf(
@@ -277,12 +303,25 @@ int RunEngine(const CliOptions& opt,
   for (AlgorithmKind kind : algorithms) {
     AlgorithmOptions run_opts;
     run_opts.gather_results = opt.verify;
+    run_opts.fault_plan = fault_plan;
+    if (opt.fault_timeout > 0) {
+      run_opts.failure.enabled = true;
+      run_opts.failure.recv_idle_timeout_s = opt.fault_timeout;
+    }
     if (!opt.trace_file.empty()) {
       run_opts.obs.spans = true;
       run_opts.obs.traces = true;
     }
     RunResult run = cluster.Run(*MakeAlgorithm(kind), *spec, *rel, run_opts);
     if (!run.status.ok()) {
+      if (!fault_plan.empty()) {
+        // Failing is the expected outcome of many fault plans; report
+        // the (node, phase, cause) diagnosis and keep going.
+        std::printf("%-8s ABORTED: %s\n",
+                    AlgorithmKindToString(kind).c_str(),
+                    run.status.ToString().c_str());
+        continue;
+      }
       std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
                    run.status.ToString().c_str());
       return 1;

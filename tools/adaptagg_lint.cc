@@ -24,6 +24,10 @@
 //   S7  src/obs headers document every top-level type and free function
 //       with a Doxygen /// comment (the observability subsystem is the
 //       repo's instrumentation API surface; undocumented knobs rot).
+//   S8  no bare `Recv(` call in src/ outside src/net/ — algorithm and
+//       cluster code must use the deadline-bounded receives
+//       (RecvWithDeadline / TryRecv / AwaitMessage), so a lost message
+//       can never hang a run forever.
 //
 // Comment and string-literal contents are ignored by the token rules.
 
@@ -406,6 +410,31 @@ void CheckObsDoxygen(const std::string& rel,
   }
 }
 
+/// S8: an unbounded receive outside the transport layer reintroduces the
+/// lost-message hang that failure detection exists to prevent. Matches
+/// the whole token `Recv` directly followed by `(`; RecvWithDeadline and
+/// TryRecv are distinct tokens and stay legal.
+void CheckNoBareRecv(const std::string& rel,
+                     const std::vector<std::string>& stripped) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    size_t pos = 0;
+    while ((pos = l.find("Recv", pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !IsIdentChar(l[pos - 1]);
+      const size_t end = pos + 4;
+      size_t after = end;
+      while (after < l.size() && l[after] == ' ') ++after;
+      if (left_ok && after < l.size() && l[after] == '(' &&
+          (end >= l.size() || !IsIdentChar(l[end]))) {
+        Report(rel, static_cast<int>(i) + 1, "S8",
+               "bare Recv() outside src/net — use RecvWithDeadline / "
+               "TryRecv / AwaitMessage");
+      }
+      pos = end;
+    }
+  }
+}
+
 bool HasSourceExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp";
@@ -462,6 +491,7 @@ int main(int argc, char** argv) {
       CheckSrcTokens(rel, stripped);
       CheckWhitespace(rel, raw, lines);
       CheckNoStdout(rel, stripped);
+      if (rel.rfind("src/net/", 0) != 0) CheckNoBareRecv(rel, stripped);
       if (path.extension() == ".cc") CheckCcPairing(root, rel, lines);
       if (is_header && rel.rfind("src/obs/", 0) == 0) {
         CheckObsDoxygen(rel, lines);
