@@ -1,0 +1,349 @@
+// Wall-clock microbenchmark of the exchange data plane: the pre-batch
+// per-record repartition + merge pipeline against the batched one,
+// across group cardinalities and node counts. Both sides start from the
+// same hashed scan batches (the PR-2 batch layer); what differs is
+// everything from routing to the merge-side upsert:
+//
+//   scalar: per-record cost charge + stats, per-record page append,
+//           full (untrimmed) page payloads allocated per page, and a
+//           per-record Status std::function sink into
+//           SpillingAggregator::AddProjected on the receive side.
+//   batch:  scatter kernel into per-destination builders, trimmed wire
+//           pages from the payload pool, zero-copy page views, batched
+//           cost charge, and the prefetched AddProjectedBatch merge.
+//
+// Numbers go to BENCH_micro_exchange.json.
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agg/spilling_aggregator.h"
+#include "bench_util.h"
+#include "cluster/exchange.h"
+#include "cluster/node_context.h"
+#include "common/random.h"
+#include "net/transport.h"
+#include "storage/disk.h"
+
+namespace adaptagg {
+namespace {
+
+double NowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr uint32_t kPhase = 1;
+
+/// One benchmark cluster: an in-process mesh with node 0 as the sender
+/// and one merge-side spilling aggregator per destination. The same
+/// thread plays both roles (send everything, then drain every inbox), so
+/// the timing covers the full data plane without scheduler noise.
+struct Harness {
+  Harness(int nodes, int64_t tuples)
+      : mesh(MakeInprocMesh(nodes)),
+        params(MakeParams(nodes, tuples)),
+        net(params),
+        schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}) {
+    auto made = MakeCountSumSpec(&schema, 0, 1);
+    if (made.ok()) {
+      spec = std::make_unique<AggregationSpec>(std::move(made).value());
+      ctx = std::make_unique<NodeContext>(0, params, *spec, options,
+                                          nullptr, nullptr, mesh[0].get(),
+                                          &net);
+    }
+  }
+
+  static SystemParams MakeParams(int nodes, int64_t tuples) {
+    SystemParams p;
+    p.num_nodes = nodes;
+    p.num_tuples = tuples;
+    p.network = NetworkKind::kHighBandwidth;
+    return p;
+  }
+
+  std::vector<std::unique_ptr<Transport>> mesh;
+  SystemParams params;
+  NetworkModel net;
+  Schema schema;
+  AlgorithmOptions options;
+  std::unique_ptr<AggregationSpec> spec;
+  std::unique_ptr<NodeContext> ctx;
+};
+
+/// One merge-side aggregator per destination (the receive sink the
+/// DataReceiver feeds). The tables are bounded above the group count, so
+/// neither pipeline spills — this measures the wire + upsert path.
+struct MergeSide {
+  MergeSide(const Harness& h, int64_t groups) {
+    for (int d = 0; d < h.params.num_nodes; ++d) {
+      disks.push_back(std::make_unique<SimDisk>(4096));
+      aggs.push_back(std::make_unique<SpillingAggregator>(
+          h.spec.get(), disks.back().get(), groups + 1));
+    }
+  }
+
+  int64_t TotalGroups() const {
+    int64_t total = 0;
+    for (const auto& agg : aggs) total += agg->table().size();
+    return total;
+  }
+
+  std::vector<std::unique_ptr<SimDisk>> disks;
+  std::vector<std::unique_ptr<SpillingAggregator>> aggs;
+};
+
+/// The pre-batch exchange: per-record append, and every page ships as a
+/// freshly allocated, untrimmed page_size payload (what Finish returns).
+struct ScalarExchange {
+  ScalarExchange(Harness& h, int width) : h(h), width(width) {
+    for (int d = 0; d < h.params.num_nodes; ++d) {
+      builders.emplace_back(h.params.message_page_bytes, width);
+    }
+  }
+
+  Status Add(int dest, const uint8_t* rec) {
+    PageBuilder& b = builders[static_cast<size_t>(dest)];
+    b.Append(rec);
+    if (b.full()) return Send(dest);
+    return Status::OK();
+  }
+
+  Status Send(int dest) {
+    Message msg;
+    msg.type = MessageType::kRawPage;
+    msg.phase = kPhase;
+    msg.payload = builders[static_cast<size_t>(dest)].Finish();
+    return h.ctx->Send(dest, std::move(msg));
+  }
+
+  Status Flush() {
+    for (int d = 0; d < h.params.num_nodes; ++d) {
+      if (!builders[static_cast<size_t>(d)].empty()) {
+        Status st = Send(d);
+        if (!st.ok()) return st;
+      }
+    }
+    return Status::OK();
+  }
+
+  Harness& h;
+  int width;
+  std::vector<PageBuilder> builders;
+};
+
+// Both passes poll their inboxes every kPollEvery scan batches — the
+// engine's poll-while-scanning pattern — so in-flight pages stay few and
+// (on the batched side) payload buffers recycle through the pool.
+constexpr int kPollEvery = 8;
+
+/// The pre-batch pipeline over hashed scan batches: route and append one
+/// record at a time (per-record cost charge + stats), then decode each
+/// received page record-by-record through a Status-returning
+/// std::function sink — exactly the shape of the old RecordSink path.
+double RunScalarPass(Harness& h, const std::vector<uint8_t>& recs,
+                     int64_t tuples, MergeSide& merge) {
+  const AggregationSpec& spec = *h.spec;
+  const int w = spec.projected_width();
+  const int nodes = h.params.num_nodes;
+  const double route_cost = h.params.t_d();
+  const double raw_cost = h.params.t_r() + h.params.t_a();
+  ScalarExchange ex(h, w);
+  TupleBatch batch(h.spec.get());
+
+  bool failed = false;
+  std::vector<std::function<Status(const uint8_t*)>> sinks;
+  for (int d = 0; d < nodes; ++d) {
+    SpillingAggregator* agg = merge.aggs[static_cast<size_t>(d)].get();
+    sinks.emplace_back(
+        [agg](const uint8_t* rec) { return agg->AddProjected(rec); });
+  }
+  auto drain = [&]() {
+    for (int d = 0; d < nodes; ++d) {
+      while (std::optional<Message> msg = h.mesh[d]->TryRecv()) {
+        Status st = ForEachRecordInPage(
+            *msg, w, h.params.message_page_bytes, [&](const uint8_t* rec) {
+              h.ctx->clock().AddCpu(raw_cost);
+              ++h.ctx->stats().raw_records_received;
+              if (!sinks[static_cast<size_t>(d)](rec).ok()) failed = true;
+            });
+        if (!st.ok()) failed = true;
+        // The old path freed every payload; no pooling.
+      }
+    }
+  };
+
+  const double t0 = NowSeconds();
+  int64_t chunk = 0;
+  for (int64_t off = 0; off < tuples; off += kBatchWidth, ++chunk) {
+    const int run =
+        static_cast<int>(std::min<int64_t>(tuples - off, kBatchWidth));
+    batch.BindView(recs.data() + static_cast<size_t>(off) * w, w, run);
+    batch.ComputeHashes();
+    for (int i = 0; i < run; ++i) {
+      h.ctx->clock().AddCpu(route_cost);
+      ++h.ctx->stats().raw_records_sent;
+      Status st =
+          ex.Add(DestOfKeyHash(batch.hash(i), nodes), batch.record(i));
+      if (!st.ok()) return -1;
+    }
+    if (chunk % kPollEvery == 0) drain();
+  }
+  if (!ex.Flush().ok()) return -1;
+  drain();
+  if (failed) return -1;
+  return NowSeconds() - t0;
+}
+
+/// The batched pipeline: scatter kernel on send (batched cost charge),
+/// trimmed pooled pages on the wire, zero-copy page views and the
+/// prefetched batch merge on receive.
+double RunBatchPass(Harness& h, const std::vector<uint8_t>& recs,
+                    int64_t tuples, MergeSide& merge) {
+  const AggregationSpec& spec = *h.spec;
+  const int w = spec.projected_width();
+  const int nodes = h.params.num_nodes;
+  const double route_cost = h.params.t_d();
+  const double raw_cost = h.params.t_r() + h.params.t_a();
+  Exchange ex(h.ctx.get(), MessageType::kRawPage, w, kPhase);
+  TupleBatch batch(h.spec.get());
+  TupleBatch page_batch(h.spec.get());
+
+  bool failed = false;
+  auto drain = [&]() {
+    for (int d = 0; d < nodes; ++d) {
+      SpillingAggregator& agg = *merge.aggs[static_cast<size_t>(d)];
+      while (std::optional<Message> msg = h.mesh[d]->TryRecv()) {
+        auto count =
+            ValidateWirePage(msg->payload.data(), msg->payload.size(),
+                             h.params.message_page_bytes, w);
+        if (!count.ok()) {
+          failed = true;
+          return;
+        }
+        const uint8_t* page_recs = msg->payload.data() + sizeof(uint32_t);
+        for (int off = 0; off < *count; off += kBatchWidth) {
+          const int run = std::min(*count - off, kBatchWidth);
+          page_batch.BindView(page_recs + static_cast<size_t>(off) * w, w,
+                              run);
+          page_batch.ComputeHashes();
+          h.ctx->clock().AddCpu(static_cast<double>(run) * raw_cost);
+          h.ctx->stats().raw_records_received += run;
+          if (!agg.AddProjectedBatch(page_batch).ok()) {
+            failed = true;
+            return;
+          }
+        }
+        h.ctx->ReleasePageBuffer(std::move(msg->payload));
+      }
+    }
+  };
+
+  const double t0 = NowSeconds();
+  int64_t chunk = 0;
+  for (int64_t off = 0; off < tuples; off += kBatchWidth, ++chunk) {
+    const int run =
+        static_cast<int>(std::min<int64_t>(tuples - off, kBatchWidth));
+    batch.BindView(recs.data() + static_cast<size_t>(off) * w, w, run);
+    batch.ComputeHashes();
+    h.ctx->clock().AddCpu(static_cast<double>(run) * route_cost);
+    h.ctx->stats().raw_records_sent += run;
+    if (!ex.AddBatch(batch).ok()) return -1;
+    if (chunk % kPollEvery == 0) {
+      drain();
+      if (failed) return -1;
+    }
+  }
+  if (!ex.FlushAll().ok()) return -1;
+  drain();
+  if (failed) return -1;
+  batch.Clear();
+  page_batch.Clear();
+  return NowSeconds() - t0;
+}
+
+void RunExchangeHarness(bench::BenchJsonWriter& json) {
+  const double scale = bench::BenchScale();
+  const int64_t tuples =
+      std::max<int64_t>(4096, static_cast<int64_t>(2'000'000 * scale));
+
+  std::printf("=== exchange data plane: scalar vs batch ===\n");
+  std::printf(
+      "repartition + merge of %lld 16B records over an in-process mesh, "
+      "best of 3\n\n",
+      static_cast<long long>(tuples));
+  bench::TablePrinter table({"nodes", "groups", "scalar(s)", "batch(s)",
+                             "scalar tup/s", "batch tup/s", "speedup"});
+
+  for (int nodes : {4, 16}) {
+    Harness h(nodes, tuples);
+    if (h.spec == nullptr) return;
+    const int w = h.spec->projected_width();
+
+    for (int64_t groups : {64LL, 4096LL, 65536LL}) {
+      std::vector<uint8_t> recs(static_cast<size_t>(tuples) * w);
+      Prng prng(42 + static_cast<uint64_t>(groups));
+      for (int64_t i = 0; i < tuples; ++i) {
+        int64_t g = static_cast<int64_t>(
+            prng.NextBelow(static_cast<uint64_t>(groups)));
+        int64_t v = static_cast<int64_t>(prng.NextBelow(1000));
+        std::memcpy(recs.data() + i * w, &g, 8);
+        std::memcpy(recs.data() + i * w + 8, &v, 8);
+      }
+
+      double scalar_s = 1e300;
+      double batch_s = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        MergeSide scalar_merge(h, groups);
+        MergeSide batch_merge(h, groups);
+        scalar_s =
+            std::min(scalar_s, RunScalarPass(h, recs, tuples, scalar_merge));
+        batch_s =
+            std::min(batch_s, RunBatchPass(h, recs, tuples, batch_merge));
+        // Cross-check: both pipelines must produce the same groups.
+        if (scalar_merge.TotalGroups() != batch_merge.TotalGroups()) {
+          std::fprintf(
+              stderr, "group count mismatch: %lld vs %lld\n",
+              static_cast<long long>(scalar_merge.TotalGroups()),
+              static_cast<long long>(batch_merge.TotalGroups()));
+          return;
+        }
+      }
+      if (scalar_s < 0 || batch_s < 0) {
+        std::fprintf(stderr, "pipeline error\n");
+        return;
+      }
+
+      const double scalar_tps = static_cast<double>(tuples) / scalar_s;
+      const double batch_tps = static_cast<double>(tuples) / batch_s;
+      table.AddRow({bench::FmtInt(nodes), bench::FmtInt(groups),
+                    bench::FmtSeconds(scalar_s), bench::FmtSeconds(batch_s),
+                    bench::FmtSci(scalar_tps), bench::FmtSci(batch_tps),
+                    bench::FmtSeconds(scalar_s / batch_s)});
+      const std::string suffix = "/groups=" + std::to_string(groups) +
+                                 "/nodes=" + std::to_string(nodes);
+      json.AddPoint("exchange_scalar" + suffix, 0, scalar_s, scalar_tps);
+      json.AddPoint("exchange_batch" + suffix, 0, batch_s, batch_tps);
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace adaptagg
+
+int main(int argc, char** argv) {
+  (void)argc;
+  adaptagg::bench::SetBenchBinaryName(argv[0]);
+  adaptagg::bench::BenchJsonWriter json(
+      "micro_exchange",
+      "repartition+merge, COUNT+SUM GROUP BY int64, 16B records, scale=" +
+          adaptagg::bench::FmtSeconds(adaptagg::bench::BenchScale()));
+  adaptagg::RunExchangeHarness(json);
+  json.Write();
+  return 0;
+}

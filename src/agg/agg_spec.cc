@@ -45,6 +45,28 @@ FusedKernelKind DetectFusedKernel(const AggregationSpec& spec) {
   return FusedKernelKind::kGeneric;
 }
 
+FusedMergeKind DetectFusedMerge(const AggregationSpec& spec) {
+  if (spec.ops().empty()) return FusedMergeKind::kDistinct;
+  bool all_add = true;
+  bool all_minmax = true;
+  for (const AggregateOp& op : spec.ops()) {
+    // COUNT, SUM(int64), and AVG(int64) states are int64 words whose
+    // MergePartial is word-wise addition (AVG adds sum and count).
+    const bool add = op.kind() == AggKind::kCount ||
+                     ((op.kind() == AggKind::kSum ||
+                       op.kind() == AggKind::kAvg) &&
+                      op.input_type() == DataType::kInt64);
+    const bool minmax =
+        (op.kind() == AggKind::kMin || op.kind() == AggKind::kMax) &&
+        op.input_type() == DataType::kInt64;
+    all_add = all_add && add;
+    all_minmax = all_minmax && minmax;
+  }
+  if (all_add) return FusedMergeKind::kAddInt64;
+  if (all_minmax) return FusedMergeKind::kMinMaxInt64;
+  return FusedMergeKind::kGeneric;
+}
+
 }  // namespace
 
 Result<AggregationSpec> AggregationSpec::Make(
@@ -141,6 +163,12 @@ Result<AggregationSpec> AggregationSpec::Make(
     dst += 8;
   }
   spec.fused_kernel_ = DetectFusedKernel(spec);
+  spec.fused_merge_kernel_ = DetectFusedMerge(spec);
+  if (spec.fused_merge_kernel_ == FusedMergeKind::kMinMaxInt64) {
+    for (const AggregateOp& op : spec.ops_) {
+      spec.merge_is_min_.push_back(op.kind() == AggKind::kMin ? 1 : 0);
+    }
+  }
   return spec;
 }
 

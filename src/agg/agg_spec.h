@@ -29,6 +29,19 @@ enum class FusedKernelKind {
   kCountSumInt64,  ///< COUNT(*), SUM(int64) — the canonical bench query
 };
 
+/// Which specialized batch *merge* kernel (partial-record upsert on the
+/// exchange receive path) a spec qualifies for. Independent of
+/// FusedKernelKind because merging partial states is a different
+/// operation from folding raw values: e.g. MIN(int64) has a generic
+/// update but a fusable compare-merge. Detected once in Make().
+enum class FusedMergeKind {
+  kGeneric,      ///< interpreted MergeState loop
+  kDistinct,     ///< zero aggregates: probe/insert only
+  kAddInt64,     ///< all states are int64 words merged by addition
+                 ///< (any mix of COUNT, SUM(int64), AVG(int64))
+  kMinMaxInt64,  ///< all ops are MIN/MAX(int64): [extremum][seen] blocks
+};
+
 /// The compiled form of a `SELECT <group cols>, <aggs> FROM R GROUP BY
 /// <group cols>` query. Precomputes the three record layouts every
 /// algorithm works with:
@@ -113,6 +126,13 @@ class AggregationSpec {
   /// The specialized update kernel this spec qualifies for.
   FusedKernelKind fused_kernel() const { return fused_kernel_; }
 
+  /// The specialized partial-merge kernel this spec qualifies for.
+  FusedMergeKind fused_merge_kernel() const { return fused_merge_kernel_; }
+
+  /// For kMinMaxInt64: per-op flag, 1 = MIN, 0 = MAX (op i's state block
+  /// sits at offset i * 16). Empty for other merge kinds.
+  const std::vector<uint8_t>& merge_is_min() const { return merge_is_min_; }
+
  private:
   const Schema* input_ = nullptr;
   std::vector<int> group_cols_;
@@ -137,6 +157,8 @@ class AggregationSpec {
   // Coalesced (src, dst, width) copies implementing ProjectRaw.
   std::vector<ProjCopyRun> projection_plan_;
   FusedKernelKind fused_kernel_ = FusedKernelKind::kGeneric;
+  FusedMergeKind fused_merge_kernel_ = FusedMergeKind::kGeneric;
+  std::vector<uint8_t> merge_is_min_;
 
   Schema final_schema_;
 };

@@ -12,7 +12,9 @@ TupleBatch::TupleBatch(const AggregationSpec* spec)
       // a zero-width projected record, and record(i) must stay a valid
       // pointer for memcmp/memcpy of zero bytes.
       arena_(std::max<size_t>(1, static_cast<size_t>(kBatchWidth) * stride_)),
-      hashes_(kBatchWidth) {}
+      hashes_(kBatchWidth) {
+  data_ = arena_.data();
+}
 
 int TupleBatch::GatherRun(const uint8_t* recs, int rec_size, int n) {
   n = std::min(n, kBatchWidth - size_);

@@ -54,11 +54,29 @@ class TupleBatch {
   /// `spec` must outlive the batch.
   explicit TupleBatch(const AggregationSpec* spec);
 
-  void Clear() { size_ = 0; }
+  void Clear() {
+    size_ = 0;
+    data_ = arena_.data();
+    stride_ = static_cast<size_t>(spec_->projected_width());
+  }
   int size() const { return size_; }
   bool full() const { return size_ >= kBatchWidth; }
 
-  /// Projects `tuple` into the next slot. Requires !full().
+  /// Points the batch at `n` (<= kBatchWidth) externally owned records,
+  /// `record_width` bytes apart — zero-copy decode of a received page
+  /// run. The records (and their key prefix) must outlive the batch's
+  /// use; the arena and gather stats are untouched. Works for projected
+  /// *and* partial records, whose key is likewise the record prefix, so
+  /// ComputeHashes and the upsert kernels apply unchanged. Clear()
+  /// returns the batch to arena (gather) mode.
+  void BindView(const uint8_t* recs, int record_width, int n) {
+    data_ = recs;
+    stride_ = static_cast<size_t>(record_width);
+    size_ = n;
+  }
+
+  /// Projects `tuple` into the next slot. Requires !full() and arena
+  /// mode (no BindView since the last Clear()).
   void Gather(const TupleView& tuple) {
     spec_->ProjectRaw(tuple,
                       arena_.data() + static_cast<size_t>(size_) * stride_);
@@ -72,19 +90,19 @@ class TupleBatch {
   /// many were gathered (bounded by remaining batch room).
   int GatherRun(const uint8_t* recs, int rec_size, int n);
 
-  /// Hashes every gathered record's key. Call once after gathering.
+  /// Hashes every record's key. Call once after gathering/BindView.
   void ComputeHashes() {
-    spec_->HashKeys(arena_.data(), static_cast<int>(stride_), size_,
+    spec_->HashKeys(data_, static_cast<int>(stride_), size_,
                     hashes_.data());
   }
 
   const uint8_t* record(int i) const {
-    return arena_.data() + static_cast<size_t>(i) * stride_;
+    return data_ + static_cast<size_t>(i) * stride_;
   }
   uint64_t hash(int i) const { return hashes_[i]; }
 
   /// Flat access for the batch kernels.
-  const uint8_t* records() const { return arena_.data(); }
+  const uint8_t* records() const { return data_; }
   int stride() const { return static_cast<int>(stride_); }
   const uint64_t* hashes() const { return hashes_.data(); }
   const AggregationSpec& spec() const { return *spec_; }
@@ -97,6 +115,9 @@ class TupleBatch {
   size_t stride_;
   int size_ = 0;
   std::vector<uint8_t> arena_;
+  /// Where record(i)/records() read from: the arena in gather mode, the
+  /// bound external run after BindView.
+  const uint8_t* data_ = nullptr;
   std::vector<uint64_t> hashes_;
   BatchGatherStats stats_;
 };

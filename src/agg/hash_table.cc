@@ -30,16 +30,25 @@ inline bool KeysEqual(const uint8_t* a, const uint8_t* b, int width,
   return std::memcmp(a, b, static_cast<size_t>(width)) == 0;
 }
 
-/// Folds one projected record into a group state. The fused variants
-/// hoist the per-op dispatch of UpdateFromProjected out of the probe
-/// loop; they must stay behaviorally identical to it (InitState has
-/// already zeroed/initialized the state on insert).
-template <FusedKernelKind K>
-inline void FusedUpdate(const AggregationSpec& spec, uint8_t* state,
-                        const uint8_t* rec, int key_width) {
-  if constexpr (K == FusedKernelKind::kCountSumInt64) {
-    // State layout [count:int64][sum:int64]; the single SUM input is the
-    // 8-byte value slot right after the key.
+// Per-record update functors plugged into UpsertBatchImpl. Each folds
+// one record into its slot's state; the fused ones hoist the per-op
+// dispatch of UpdateFromProjected/MergeState out of the probe loop and
+// must stay behaviorally identical to it (InitState has already
+// zeroed/initialized the state on insert).
+
+/// Interpreted raw-value fallback.
+struct GenericUpdate {
+  const AggregationSpec* spec;
+  void operator()(uint8_t* state, const uint8_t* rec) const {
+    spec->UpdateFromProjected(state, rec);
+  }
+};
+
+/// COUNT(*), SUM(int64): state [count:int64][sum:int64]; the single SUM
+/// input is the 8-byte value slot right after the key.
+struct CountSumInt64Update {
+  int key_width;
+  void operator()(uint8_t* state, const uint8_t* rec) const {
     int64_t count;
     int64_t sum;
     int64_t v;
@@ -50,16 +59,69 @@ inline void FusedUpdate(const AggregationSpec& spec, uint8_t* state,
     sum += v;
     std::memcpy(state, &count, 8);
     std::memcpy(state + 8, &sum, 8);
-  } else if constexpr (K == FusedKernelKind::kDistinct) {
-    // Duplicate elimination: reaching the slot is the whole update.
-    (void)spec;
-    (void)state;
-    (void)rec;
-    (void)key_width;
-  } else {
-    spec.UpdateFromProjected(state, rec);
   }
-}
+};
+
+/// Duplicate elimination: reaching the slot is the whole update.
+struct DistinctUpdate {
+  void operator()(uint8_t*, const uint8_t*) const {}
+};
+
+/// Interpreted partial-merge fallback: `rec` is a partial record, its
+/// state block sits right after the key.
+struct GenericMerge {
+  const AggregationSpec* spec;
+  int key_width;
+  void operator()(uint8_t* state, const uint8_t* rec) const {
+    spec->MergeState(state, rec + key_width);
+  }
+};
+
+/// All states are int64 words merged by addition (COUNT / SUM(int64) /
+/// AVG(int64), in any mix): one flat word loop over the state block.
+struct AddInt64Merge {
+  int key_width;
+  int words;  // state_width / 8
+  void operator()(uint8_t* state, const uint8_t* rec) const {
+    const uint8_t* other = rec + key_width;
+    for (int w = 0; w < words; ++w) {
+      int64_t a;
+      int64_t b;
+      std::memcpy(&a, state + w * 8, 8);
+      std::memcpy(&b, other + w * 8, 8);
+      a += b;
+      std::memcpy(state + w * 8, &a, 8);
+    }
+  }
+};
+
+/// All ops are MIN/MAX(int64): per-op [extremum:int64][seen:int64]
+/// blocks. Mirrors AggregateOp::MergePartial exactly: an unseen other is
+/// skipped, the extremum compare-stores, seen is set to 1.
+struct MinMaxInt64Merge {
+  int key_width;
+  const uint8_t* is_min;  // per-op flag, 1 = MIN
+  int num_ops;
+  void operator()(uint8_t* state, const uint8_t* rec) const {
+    const uint8_t* other = rec + key_width;
+    for (int op = 0; op < num_ops; ++op) {
+      uint8_t* s = state + op * 16;
+      const uint8_t* o = other + op * 16;
+      int64_t other_seen;
+      std::memcpy(&other_seen, o + 8, 8);
+      if (other_seen == 0) continue;  // other side saw no tuples
+      int64_t cur;
+      int64_t v;
+      std::memcpy(&cur, s, 8);
+      std::memcpy(&v, o, 8);
+      if (is_min[op] != 0 ? v < cur : v > cur) {
+        std::memcpy(s, &v, 8);
+      }
+      const int64_t one = 1;
+      std::memcpy(s + 8, &one, 8);
+    }
+  }
+};
 
 }  // namespace
 
@@ -158,9 +220,10 @@ AggHashTable::UpsertResult AggHashTable::UpsertPartial(const uint8_t* partial,
   return r;
 }
 
-template <FusedKernelKind K, bool Key8, bool StopAtFull>
+template <bool Key8, bool StopAtFull, typename UpdateFn>
 int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
-                                  std::vector<int>* overflow) {
+                                  std::vector<int>* overflow, bool fused,
+                                  const UpdateFn& update) {
   const int n = batch.size();
   const uint8_t* recs = batch.records();
   const int stride = batch.stride();
@@ -172,7 +235,6 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
   const int64_t size_before = size_;
   const int64_t ovf_before =
       overflow != nullptr ? static_cast<int64_t>(overflow->size()) : 0;
-  constexpr bool kFused = K != FusedKernelKind::kGeneric;
 
   for (int i = from; i < n; ++i) {
     // Two-stage software pipeline: pull the bucket-array line for probe
@@ -210,12 +272,12 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
     }
 
     if (found) {
-      FusedUpdate<K>(*spec_, hit_state, rec, key_width_);
+      update(hit_state, rec);
       continue;
     }
     if (size_ >= max_entries_) {
       if constexpr (StopAtFull) {
-        NoteBatch(i - from, size_before, 0, kFused);
+        NoteBatch(i - from, size_before, 0, fused);
         return i - from;
       } else {
         overflow->push_back(i);
@@ -227,12 +289,12 @@ int AggHashTable::UpsertBatchImpl(const TupleBatch& batch, int from,
     std::memcpy(slot_ptr, rec, static_cast<size_t>(key_width_));
     spec_->InitState(slot_ptr + key_width_);
     buckets_[static_cast<size_t>(insert_pos)] = slot;
-    FusedUpdate<K>(*spec_, slot_ptr + key_width_, rec, key_width_);
+    update(slot_ptr + key_width_, rec);
   }
   const int64_t overflowed =
       overflow != nullptr ? static_cast<int64_t>(overflow->size()) - ovf_before
                           : 0;
-  NoteBatch(n - from, size_before, overflowed, kFused);
+  NoteBatch(n - from, size_before, overflowed, fused);
   return n - from;
 }
 
@@ -240,24 +302,48 @@ template <bool StopAtFull>
 int AggHashTable::DispatchUpsertBatch(const TupleBatch& batch, int from,
                                       std::vector<int>* overflow) {
   const bool key8 = key_width_ == 8;
+  // Instantiates the impl over the key8 runtime split (the functor and
+  // StopAtFull are compile-time already).
+  auto run = [&](bool fused, const auto& update) {
+    return key8 ? UpsertBatchImpl<true, StopAtFull>(batch, from, overflow,
+                                                    fused, update)
+                : UpsertBatchImpl<false, StopAtFull>(batch, from, overflow,
+                                                     fused, update);
+  };
   switch (spec_->fused_kernel()) {
     case FusedKernelKind::kCountSumInt64:
-      return key8 ? UpsertBatchImpl<FusedKernelKind::kCountSumInt64, true,
-                                    StopAtFull>(batch, from, overflow)
-                  : UpsertBatchImpl<FusedKernelKind::kCountSumInt64, false,
-                                    StopAtFull>(batch, from, overflow);
+      return run(true, CountSumInt64Update{key_width_});
     case FusedKernelKind::kDistinct:
-      return key8 ? UpsertBatchImpl<FusedKernelKind::kDistinct, true,
-                                    StopAtFull>(batch, from, overflow)
-                  : UpsertBatchImpl<FusedKernelKind::kDistinct, false,
-                                    StopAtFull>(batch, from, overflow);
+      return run(true, DistinctUpdate{});
     case FusedKernelKind::kGeneric:
       break;
   }
-  return key8 ? UpsertBatchImpl<FusedKernelKind::kGeneric, true, StopAtFull>(
-                    batch, from, overflow)
-              : UpsertBatchImpl<FusedKernelKind::kGeneric, false, StopAtFull>(
-                    batch, from, overflow);
+  return run(false, GenericUpdate{spec_});
+}
+
+template <bool StopAtFull>
+int AggHashTable::DispatchMergeBatch(const TupleBatch& batch, int from,
+                                     std::vector<int>* overflow) {
+  const bool key8 = key_width_ == 8;
+  auto run = [&](bool fused, const auto& update) {
+    return key8 ? UpsertBatchImpl<true, StopAtFull>(batch, from, overflow,
+                                                    fused, update)
+                : UpsertBatchImpl<false, StopAtFull>(batch, from, overflow,
+                                                     fused, update);
+  };
+  switch (spec_->fused_merge_kernel()) {
+    case FusedMergeKind::kAddInt64:
+      return run(true, AddInt64Merge{key_width_, state_width_ / 8});
+    case FusedMergeKind::kMinMaxInt64:
+      return run(true,
+                 MinMaxInt64Merge{key_width_, spec_->merge_is_min().data(),
+                                  static_cast<int>(spec_->ops().size())});
+    case FusedMergeKind::kDistinct:
+      return run(true, DistinctUpdate{});
+    case FusedMergeKind::kGeneric:
+      break;
+  }
+  return run(false, GenericMerge{spec_, key_width_});
 }
 
 int AggHashTable::UpsertProjectedBatch(const TupleBatch& batch, int from) {
@@ -268,6 +354,16 @@ void AggHashTable::UpsertProjectedBatchOverflow(const TupleBatch& batch,
                                                 int from,
                                                 std::vector<int>& overflow) {
   DispatchUpsertBatch<false>(batch, from, &overflow);
+}
+
+int AggHashTable::UpsertPartialBatch(const TupleBatch& batch, int from) {
+  return DispatchMergeBatch<true>(batch, from, nullptr);
+}
+
+void AggHashTable::UpsertPartialBatchOverflow(const TupleBatch& batch,
+                                              int from,
+                                              std::vector<int>& overflow) {
+  DispatchMergeBatch<false>(batch, from, &overflow);
 }
 
 const uint8_t* AggHashTable::Find(const uint8_t* key, uint64_t hash) const {

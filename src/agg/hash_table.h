@@ -101,6 +101,18 @@ class AggHashTable {
   void UpsertProjectedBatchOverflow(const TupleBatch& batch, int from,
                                     std::vector<int>& overflow);
 
+  /// Partial-record form of UpsertProjectedBatch: the batch views
+  /// *partial* records (key + state, e.g. a received kPartialPage run)
+  /// and hits/inserts *merge* states instead of folding raw values,
+  /// through a fused kernel when the spec's FusedMergeKind allows.
+  /// Behaviorally identical to calling UpsertPartial per record.
+  int UpsertPartialBatch(const TupleBatch& batch, int from);
+
+  /// Overflow form of UpsertPartialBatch (see
+  /// UpsertProjectedBatchOverflow).
+  void UpsertPartialBatchOverflow(const TupleBatch& batch, int from,
+                                  std::vector<int>& overflow);
+
   /// Pure lookup: state block of `key`, or nullptr.
   const uint8_t* Find(const uint8_t* key, uint64_t hash) const;
 
@@ -137,13 +149,25 @@ class AggHashTable {
   /// least `slots` slots, so inserts never resize mid-batch.
   void EnsureSlotCapacity(int64_t slots);
 
-  template <FusedKernelKind K, bool Key8, bool StopAtFull>
+  /// The shared probe/insert skeleton of every batch upsert: two-stage
+  /// prefetch pipeline, linear probing, stop-at-full or overflow
+  /// collection. `update(state, rec)` folds one record into its slot's
+  /// (initialized) state — a fused raw-update, a fused partial-merge, or
+  /// the interpreted fallback; `fused` only feeds the stats. Works for
+  /// projected and partial records alike because both carry the group
+  /// key as their prefix.
+  template <bool Key8, bool StopAtFull, typename UpdateFn>
   int UpsertBatchImpl(const TupleBatch& batch, int from,
-                      std::vector<int>* overflow);
+                      std::vector<int>* overflow, bool fused,
+                      const UpdateFn& update);
 
   template <bool StopAtFull>
   int DispatchUpsertBatch(const TupleBatch& batch, int from,
                           std::vector<int>* overflow);
+
+  template <bool StopAtFull>
+  int DispatchMergeBatch(const TupleBatch& batch, int from,
+                         std::vector<int>* overflow);
 
   const AggregationSpec* spec_;
   int64_t max_entries_;

@@ -50,6 +50,13 @@ Status SortAggregator::AddProjectedBatch(const TupleBatch& batch) {
   return Status::OK();
 }
 
+Status SortAggregator::AddPartialBatch(const TupleBatch& batch) {
+  for (int i = 0; i < batch.size(); ++i) {
+    ADAPTAGG_RETURN_IF_ERROR(AddPartial(batch.record(i)));
+  }
+  return Status::OK();
+}
+
 Status SortAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;

@@ -30,10 +30,11 @@ class SortAggregator {
   Status AddProjected(const uint8_t* proj);
   Status AddPartial(const uint8_t* partial);
 
-  /// Batch form of AddProjected (sorting has no probe loop to fuse, so
-  /// this is a plain per-record loop kept for interface symmetry with
-  /// SpillingAggregator).
+  /// Batch forms of AddProjected/AddPartial (sorting has no probe loop
+  /// to fuse, so these are plain per-record loops kept for interface
+  /// symmetry with SpillingAggregator).
   Status AddProjectedBatch(const TupleBatch& batch);
+  Status AddPartialBatch(const TupleBatch& batch);
 
   /// Emits every group exactly once, in ascending key order.
   Status Finish(const EmitFn& emit);

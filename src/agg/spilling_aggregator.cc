@@ -99,6 +99,19 @@ Status SpillingAggregator::AddProjectedBatch(const TupleBatch& batch) {
   return Status::OK();
 }
 
+Status SpillingAggregator::AddPartialBatch(const TupleBatch& batch) {
+  overflow_scratch_.clear();
+  table_.UpsertPartialBatchOverflow(batch, 0, overflow_scratch_);
+  for (int idx : overflow_scratch_) {
+    ADAPTAGG_RETURN_IF_ERROR(EnsureBuckets());
+    ++stats_.overflow_records;
+    ADAPTAGG_RETURN_IF_ERROR(
+        buckets_[static_cast<size_t>(BucketOf(batch.hash(idx)))]->Append(
+            SpillTag::kPartial, batch.record(idx)));
+  }
+  return Status::OK();
+}
+
 Status SpillingAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;

@@ -52,6 +52,12 @@ class SpillingAggregator {
   /// every record in order.
   Status AddProjectedBatch(const TupleBatch& batch);
 
+  /// Batch form of AddPartial: the batch views partial records (e.g. a
+  /// received kPartialPage run) and the table pass merges states through
+  /// the spec's fused merge kernel. Behaviorally identical to calling
+  /// AddPartial on every record in order.
+  Status AddPartialBatch(const TupleBatch& batch);
+
   /// Emits all groups (table first, then recursive buckets) and releases
   /// the spill files.
   Status Finish(const EmitFn& emit);

@@ -104,6 +104,20 @@ Status NodeContext::Send(int to, Message msg) {
   return transport_->Send(to, std::move(msg));
 }
 
+std::vector<uint8_t> NodeContext::AcquirePageBuffer() {
+  std::vector<uint8_t> buf = page_pool_.Acquire();
+  if (buf.capacity() > 0) {
+    obs_->net_page_pool_hits.Increment();
+  } else {
+    obs_->net_page_pool_allocs.Increment();
+  }
+  return buf;
+}
+
+void NodeContext::ReleasePageBuffer(std::vector<uint8_t> buf) {
+  page_pool_.Release(std::move(buf));
+}
+
 Result<bool> NodeContext::AdmitIncoming(const Message& msg) {
   const int from = msg.from;
   if (from < 0 || from >= num_nodes()) {

@@ -20,6 +20,7 @@
 #include "sim/cost_clock.h"
 #include "sim/params.h"
 #include "storage/heap_file.h"
+#include "storage/page.h"
 
 namespace adaptagg {
 
@@ -185,6 +186,16 @@ class NodeContext {
   /// random page costs) onto the clock.
   void SyncDiskIo();
 
+  // --- payload buffer pool ---
+  /// Pops a recycled page-payload buffer (or an empty vector when the
+  /// pool is dry) for an outgoing page; counts the hit or the fresh
+  /// allocation into the node's metrics.
+  std::vector<uint8_t> AcquirePageBuffer();
+
+  /// Returns a finished payload buffer (a sent page's replaced builder
+  /// buffer, or a fully decoded received page) to the pool.
+  void ReleasePageBuffer(std::vector<uint8_t> buf);
+
   // --- failure detection and fault hooks ---
   /// Marks a phase boundary ("scan", "merge", "emit", "sample"): names
   /// the phase for failure diagnostics and fires any injected
@@ -252,6 +263,7 @@ class NodeContext {
   CostClock clock_;
   NodeRunStats stats_;
   std::unique_ptr<NodeObs> obs_;
+  PagePool page_pool_;
   DiskStats last_disk_;
   std::deque<Message> stash_;
 

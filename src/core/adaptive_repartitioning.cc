@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/algorithm.h"
@@ -85,11 +86,7 @@ class AdaptiveRepartitioning : public Algorithm {
                            int sz) -> Status {
         ctx.clock().AddCpu(static_cast<double>(sz - i) * route_cost);
         ctx.stats().raw_records_sent += sz - i;
-        for (; i < sz; ++i) {
-          ADAPTAGG_RETURN_IF_ERROR(
-              ex_raw.Add(DestOfKeyHash(batch.hash(i), n), batch.record(i)));
-        }
-        return Status::OK();
+        return ex_raw.AddBatch(batch, i, sz);
       };
 
       auto process = [&](const TupleBatch& batch, int64_t base) -> Status {
@@ -105,29 +102,32 @@ class AdaptiveRepartitioning : public Algorithm {
                 i = sz;
                 break;
               }
-              // Until the init_seg judgment, route tuple by tuple so the
-              // distinct-group census and the decision fire at the exact
-              // same global tuple index as the per-tuple loop.
-              while (i < sz) {
-                ctx.clock().AddCpu(route_cost);
-                ++ctx.stats().raw_records_sent;
-                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
-                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
-                const uint64_t h = batch.hash(i);
-                const int64_t global = base + i + 1;
-                ++i;
+              // Until the init_seg judgment: census the hashes tuple by
+              // tuple up to the judgment index, batch-route that prefix,
+              // then decide — the census contents and the decision tuple
+              // are exactly the per-tuple loop's (routing and the census
+              // are independent, so their relative order is free).
+              // The per-tuple loop judged after processing the first
+              // tuple whose 1-based global index reached init_seg; the
+              // prefix it processed this batch is [0, stop).
+              const int64_t until_judgment = init_seg - base;
+              const int stop = static_cast<int>(
+                  std::clamp<int64_t>(until_judgment, 1, sz));
+              const bool judge_now = until_judgment <= sz;
+              for (int j = i; j < stop; ++j) {
                 if (static_cast<int64_t>(seen_groups.size()) <=
                     few_groups) {
-                  seen_groups.insert(h);
+                  seen_groups.insert(batch.hash(j));
                 }
-                if (global >= init_seg) {
-                  judged = true;
-                  if (static_cast<int64_t>(seen_groups.size()) <
-                      few_groups) {
-                    ADAPTAGG_RETURN_IF_ERROR(switch_to_local(
-                        /*own_decision=*/true, global));
-                  }
-                  break;
+              }
+              ADAPTAGG_RETURN_IF_ERROR(route_run(batch, i, stop));
+              i = stop;
+              if (judge_now) {
+                judged = true;
+                if (static_cast<int64_t>(seen_groups.size()) <
+                    few_groups) {
+                  ADAPTAGG_RETURN_IF_ERROR(switch_to_local(
+                      /*own_decision=*/true, base + stop));
                 }
               }
               break;
@@ -152,8 +152,7 @@ class AdaptiveRepartitioning : public Algorithm {
                 mode = Mode::kRepartitionAgain;
                 ctx.clock().AddCpu(p.t_d());
                 ++ctx.stats().raw_records_sent;
-                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
-                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.AddBatch(batch, i, i + 1));
                 ++i;
               }
               break;

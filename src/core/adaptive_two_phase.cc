@@ -70,18 +70,14 @@ class AdaptiveTwoPhase : public Algorithm {
                 repartition_mode = true;
                 ctx.clock().AddCpu(p.t_d());
                 ++ctx.stats().raw_records_sent;
-                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
-                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
+                ADAPTAGG_RETURN_IF_ERROR(ex_raw.AddBatch(batch, i, i + 1));
                 ++i;
               }
             }
             if (i < sz) {
               ctx.clock().AddCpu(static_cast<double>(sz - i) * route_cost);
               ctx.stats().raw_records_sent += sz - i;
-              for (; i < sz; ++i) {
-                ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
-                    DestOfKeyHash(batch.hash(i), n), batch.record(i)));
-              }
+              ADAPTAGG_RETURN_IF_ERROR(ex_raw.AddBatch(batch, i));
             }
             return Status::OK();
           },

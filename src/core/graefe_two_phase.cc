@@ -44,21 +44,25 @@ class GraefeTwoPhase : public Algorithm {
                                local_cost);
             overflow.clear();
             local.UpsertProjectedBatchOverflow(batch, 0, overflow);
-            for (int idx : overflow) {
+            if (!overflow.empty()) {
               if (!ctx.stats().switched) {
                 ctx.stats().switched = true;
-                ctx.stats().switch_at_tuple = base + idx + 1;
+                ctx.stats().switch_at_tuple = base + overflow.front() + 1;
                 ctx.obs().RecordSwitch(
                     "switch.overflow_forwarding",
-                    {{"at_tuple", base + idx + 1},
+                    {{"at_tuple", base + overflow.front() + 1},
                      {"table_size", local.size()},
                      {"table_limit", ctx.max_hash_entries()}});
               }
-              // Forward the overflow tuple to its owner's global phase.
-              ctx.clock().AddCpu(p.t_d());
-              ++ctx.stats().raw_records_sent;
-              ADAPTAGG_RETURN_IF_ERROR(ex_raw.Add(
-                  DestOfKeyHash(batch.hash(idx), n), batch.record(idx)));
+              // Forward the overflow tuples to their owners' global
+              // phases in one scatter.
+              ctx.clock().AddCpu(static_cast<double>(overflow.size()) *
+                                 p.t_d());
+              ctx.stats().raw_records_sent +=
+                  static_cast<int64_t>(overflow.size());
+              ADAPTAGG_RETURN_IF_ERROR(ex_raw.AddIndices(
+                  batch, overflow.data(),
+                  static_cast<int>(overflow.size())));
             }
             return Status::OK();
           },

@@ -1,5 +1,7 @@
 #include "core/phases.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace adaptagg {
@@ -8,15 +10,16 @@ DataReceiver::DataReceiver(NodeContext* ctx, SpillingAggregator* agg,
                            int expected_eos)
     : DataReceiver(
           ctx,
-          [agg](const uint8_t* rec) { return agg->AddProjected(rec); },
-          [agg](const uint8_t* rec) { return agg->AddPartial(rec); },
+          [agg](const TupleBatch& b) { return agg->AddProjectedBatch(b); },
+          [agg](const TupleBatch& b) { return agg->AddPartialBatch(b); },
           expected_eos) {}
 
-DataReceiver::DataReceiver(NodeContext* ctx, RecordSink on_raw,
-                           RecordSink on_partial, int expected_eos)
+DataReceiver::DataReceiver(NodeContext* ctx, BatchSink on_raw,
+                           BatchSink on_partial, int expected_eos)
     : ctx_(ctx),
       on_raw_(std::move(on_raw)),
       on_partial_(std::move(on_partial)),
+      view_batch_(&ctx->spec()),
       expected_eos_(expected_eos),
       eos_from_(static_cast<size_t>(ctx->num_nodes()), false) {
   const SystemParams& p = ctx->params();
@@ -26,34 +29,47 @@ DataReceiver::DataReceiver(NodeContext* ctx, RecordSink on_raw,
   raw_cost_ = p.t_r() + p.t_a();
 }
 
-Status DataReceiver::Handle(const Message& msg) {
+Status DataReceiver::HandlePage(Message& msg, bool is_partial) {
+  const int width = is_partial ? ctx_->spec().partial_width()
+                               : ctx_->spec().projected_width();
+  ADAPTAGG_ASSIGN_OR_RETURN(
+      const int count,
+      ValidateWirePage(msg.payload.data(), msg.payload.size(),
+                       ctx_->params().message_page_bytes, width));
+  const uint8_t* recs = msg.payload.data() + sizeof(uint32_t);
+  const double record_cost = is_partial ? partial_cost_ : raw_cost_;
+  const BatchSink& sink = is_partial ? on_partial_ : on_raw_;
+  int64_t& received = is_partial ? ctx_->stats().partial_records_received
+                                 : ctx_->stats().raw_records_received;
+  Status status;
+  // Narrow records pack more than kBatchWidth per page; decode in
+  // batch-sized windows so the sinks see the same shape as scan batches.
+  for (int off = 0; off < count && status.ok(); off += kBatchWidth) {
+    const int run = std::min(count - off, kBatchWidth);
+    view_batch_.BindView(
+        recs + static_cast<size_t>(off) * static_cast<size_t>(width), width,
+        run);
+    view_batch_.ComputeHashes();
+    ctx_->clock().AddCpu(static_cast<double>(run) * record_cost);
+    received += run;
+    status = sink(view_batch_);
+  }
+  view_batch_.Clear();
+  ctx_->SyncDiskIo();
+  if (status.ok()) {
+    // The payload is fully folded into the aggregator; recycle it as a
+    // future outgoing page buffer.
+    ctx_->ReleasePageBuffer(std::move(msg.payload));
+  }
+  return status;
+}
+
+Status DataReceiver::Handle(Message& msg) {
   switch (msg.type) {
-    case MessageType::kPartialPage: {
-      Status status;
-      ForEachRecordInPage(
-          msg, ctx_->spec().partial_width(),
-          ctx_->params().message_page_bytes, [&](const uint8_t* rec) {
-            if (!status.ok()) return;
-            ctx_->clock().AddCpu(partial_cost_);
-            ++ctx_->stats().partial_records_received;
-            status = on_partial_(rec);
-          });
-      ctx_->SyncDiskIo();
-      return status;
-    }
-    case MessageType::kRawPage: {
-      Status status;
-      ForEachRecordInPage(
-          msg, ctx_->spec().projected_width(),
-          ctx_->params().message_page_bytes, [&](const uint8_t* rec) {
-            if (!status.ok()) return;
-            ctx_->clock().AddCpu(raw_cost_);
-            ++ctx_->stats().raw_records_received;
-            status = on_raw_(rec);
-          });
-      ctx_->SyncDiskIo();
-      return status;
-    }
+    case MessageType::kPartialPage:
+      return HandlePage(msg, /*is_partial=*/true);
+    case MessageType::kRawPage:
+      return HandlePage(msg, /*is_partial=*/false);
     case MessageType::kEndOfStream:
       if (msg.phase == kPhaseData) {
         ++eos_seen_;
@@ -193,11 +209,7 @@ Status RunRepartitioningBody(NodeContext& ctx) {
           const int sz = batch.size();
           ctx.clock().AddCpu(static_cast<double>(sz) * route_cost);
           ctx.stats().raw_records_sent += sz;
-          for (int i = 0; i < sz; ++i) {
-            ADAPTAGG_RETURN_IF_ERROR(
-                ex.Add(DestOfKeyHash(batch.hash(i), n), batch.record(i)));
-          }
-          return Status::OK();
+          return ex.AddBatch(batch);
         },
         [&]() {
           ctx.SyncDiskIo();

@@ -70,22 +70,27 @@ inline void AccumulateHashTableObs(NodeContext& ctx,
 }
 
 /// Consumes data-phase messages for one node: raw pages and partial pages
-/// are folded into the node's global-phase aggregator with the paper's
-/// per-record merge costs; end-of-stream markers are counted;
-/// end-of-phase signals (A-Rep) are latched for the caller to observe.
+/// are validated, decoded into zero-copy batch views, and folded into the
+/// node's global-phase aggregator with the paper's per-record merge
+/// costs; end-of-stream markers are counted; end-of-phase signals (A-Rep)
+/// are latched for the caller to observe. A forged or truncated page
+/// header fails the receive with a descriptive kNetworkError before any
+/// record byte is read.
 class DataReceiver {
  public:
-  using RecordSink = std::function<Status(const uint8_t* record)>;
+  /// Consumes one decoded run of received records (<= kBatchWidth,
+  /// hashes computed). The view only stays valid for the call.
+  using BatchSink = std::function<Status(const TupleBatch& batch)>;
 
   /// `expected_eos` is the number of kEndOfStream(kPhaseData) messages
   /// that conclude this node's global phase (N for partitioned exchanges,
   /// 0 for nodes that receive nothing, as in C-2P workers).
   DataReceiver(NodeContext* ctx, SpillingAggregator* agg, int expected_eos);
 
-  /// Generic form: routes raw/partial records into arbitrary sinks (used
-  /// by the sort-based algorithm, whose aggregator is not a
+  /// Generic form: routes raw/partial record batches into arbitrary
+  /// sinks (used by the sort-based algorithm, whose aggregator is not a
   /// SpillingAggregator).
-  DataReceiver(NodeContext* ctx, RecordSink on_raw, RecordSink on_partial,
+  DataReceiver(NodeContext* ctx, BatchSink on_raw, BatchSink on_partial,
                int expected_eos);
 
   /// Processes everything currently queued; never blocks.
@@ -98,11 +103,16 @@ class DataReceiver {
   bool end_of_phase_seen() const { return end_of_phase_seen_; }
 
  private:
-  Status Handle(const Message& msg);
+  Status Handle(Message& msg);
+  /// Validates and decodes one page payload, feeding the sink one
+  /// <= kBatchWidth view at a time; recycles the payload buffer.
+  Status HandlePage(Message& msg, bool is_partial);
 
   NodeContext* ctx_;
-  RecordSink on_raw_;
-  RecordSink on_partial_;
+  BatchSink on_raw_;
+  BatchSink on_partial_;
+  /// Zero-copy window over the payload being decoded.
+  TupleBatch view_batch_;
   int expected_eos_;
   /// Which senders have delivered their data-phase end-of-stream: the
   /// failure detector's per-peer pending predicate (a peer is "awaited"
@@ -130,7 +140,7 @@ Status SendPartials(NodeContext& ctx, SpillingAggregator& agg, Exchange& ex,
     std::memcpy(rec.data() + spec.key_width(), state,
                 static_cast<size_t>(spec.state_width()));
     ++ctx.stats().partial_records_sent;
-    status = ex.Add(dest_of_key(spec.HashKey(key)), rec.data());
+    status = ex.AddRecord(dest_of_key(spec.HashKey(key)), rec.data());
   });
   ctx.stats().spill.Accumulate(agg.stats());
   AccumulateHashTableObs(ctx, agg.ht_stats());
@@ -154,7 +164,7 @@ Status SendTablePartials(NodeContext& ctx, AggHashTable& table, Exchange& ex,
     std::memcpy(rec.data() + spec.key_width(), state,
                 static_cast<size_t>(spec.state_width()));
     ++ctx.stats().partial_records_sent;
-    status = ex.Add(dest_of_key(spec.HashKey(key)), rec.data());
+    status = ex.AddRecord(dest_of_key(spec.HashKey(key)), rec.data());
   });
   table.Clear();
   return status;

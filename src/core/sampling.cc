@@ -83,7 +83,7 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
               kPhaseSample);
   for (const std::string& key : local_keys) {
     ctx.clock().AddCpu(p.t_w());
-    ADAPTAGG_RETURN_IF_ERROR(ex.Add(
+    ADAPTAGG_RETURN_IF_ERROR(ex.AddRecord(
         kCoordinator, reinterpret_cast<const uint8_t*>(key.data())));
   }
   ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
@@ -124,13 +124,13 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
         return Status::Internal("unexpected message during sampling: " +
                                 MessageTypeToString(msg.type));
       }
-      ForEachRecordInPage(msg, spec.key_width(), p.message_page_bytes,
-                          [&](const uint8_t* rec) {
-                            ctx.clock().AddCpu(p.t_r());
-                            all_keys.emplace(
-                                reinterpret_cast<const char*>(rec),
-                                static_cast<size_t>(spec.key_width()));
-                          });
+      ADAPTAGG_RETURN_IF_ERROR(ForEachRecordInPage(
+          msg, spec.key_width(), p.message_page_bytes,
+          [&](const uint8_t* rec) {
+            ctx.clock().AddCpu(p.t_r());
+            all_keys.emplace(reinterpret_cast<const char*>(rec),
+                             static_cast<size_t>(spec.key_width()));
+          }));
     }
     bool use_repartitioning =
         static_cast<int64_t>(all_keys.size()) >= threshold;

@@ -29,8 +29,10 @@ class SortTwoPhase : public Algorithm {
                           "gsort_n" + std::to_string(ctx.node_id()));
     DataReceiver recv(
         &ctx,
-        [&global](const uint8_t* rec) { return global.AddProjected(rec); },
-        [&global](const uint8_t* rec) { return global.AddPartial(rec); },
+        [&global](const TupleBatch& b) {
+          return global.AddProjectedBatch(b);
+        },
+        [&global](const TupleBatch& b) { return global.AddPartialBatch(b); },
         n);
 
     // Phase 1: sort-aggregate the local partition. Each record costs
@@ -69,7 +71,8 @@ class SortTwoPhase : public Algorithm {
             std::memcpy(rec.data() + spec.key_width(), state,
                         static_cast<size_t>(spec.state_width()));
             ++ctx.stats().partial_records_sent;
-            status = ex.Add(DestOfKeyHash(spec.HashKey(key), n), rec.data());
+            status =
+                ex.AddRecord(DestOfKeyHash(spec.HashKey(key), n), rec.data());
           });
       ctx.stats().spill.spill_pages_written += local.run_pages_written();
       ctx.SyncDiskIo();

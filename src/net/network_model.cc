@@ -3,7 +3,7 @@
 namespace adaptagg {
 
 void NetworkModel::OnSend(CostClock& clock, Message& msg) {
-  double pages = PagesOf(msg.payload.size());
+  double pages = PagesOf(ChargeBasis(msg));
   if (pages > 0) {
     // Protocol processing on the sender.
     clock.AddNet(pages * params_.m_p());
@@ -33,7 +33,7 @@ void NetworkModel::OnReceive(CostClock& clock, const Message& msg) {
   // node's own accumulated cost (plus the serialized wire total on a
   // limited-bandwidth network). A wall-clock causality advance here
   // would couple the simulated clocks to the host thread scheduler.
-  double pages = PagesOf(msg.payload.size());
+  double pages = PagesOf(ChargeBasis(msg));
   if (pages > 0) {
     clock.AddNet(pages * params_.m_p());
   }

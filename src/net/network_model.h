@@ -54,6 +54,14 @@ class NetworkModel {
     return static_cast<double>(bytes) / params_.page_bytes;
   }
 
+  /// Bytes to charge for a message: the modeled size the sender stamped
+  /// (the exchange ships wire-trimmed pages but charges the full page,
+  /// keeping modeled time independent of the trim), or the real payload
+  /// when unstamped.
+  static size_t ChargeBasis(const Message& msg) {
+    return msg.charged_bytes > 0 ? msg.charged_bytes : msg.payload.size();
+  }
+
   SystemParams params_;
   std::atomic<double> serialized_wire_s_{0.0};
 };

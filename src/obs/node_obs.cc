@@ -17,6 +17,13 @@ HistogramSpec AbortLatencySpec() {
                                     /*count=*/12);
 }
 
+/// Per-destination exchange page counts range from one page to
+/// millions on skewed long runs: power-of-two buckets from 1.
+HistogramSpec PagesPerDestSpec() {
+  return HistogramSpec::Exponential(/*start=*/1, /*factor=*/2.0,
+                                    /*count=*/20);
+}
+
 }  // namespace
 
 NodeObs::NodeObs(int node_id, const ObsConfig& config,
@@ -40,7 +47,11 @@ NodeObs::NodeObs(int node_id, const ObsConfig& config,
       registry_.counter("net.partial_records_received");
   net_channel_depth_high_water =
       registry_.gauge("net.channel_depth_high_water");
+  net_page_pool_hits = registry_.counter("net.page_pool_hits");
+  net_page_pool_allocs = registry_.counter("net.page_pool_allocs");
   net_msg_bytes = registry_.histogram("net.msg_bytes", MsgBytesSpec());
+  net_exchange_pages_per_dest = registry_.histogram(
+      "net.exchange_pages_per_dest", PagesPerDestSpec());
 
   core_switches = registry_.counter("core.switches");
   core_result_rows = registry_.counter("core.result_rows");

@@ -72,7 +72,15 @@ class NodeObs {
   Counter net_raw_records_received;
   Counter net_partial_records_received;
   Gauge net_channel_depth_high_water;
+  /// Outgoing page payloads served from the node's buffer pool.
+  Counter net_page_pool_hits;
+  /// Outgoing page payloads that needed a fresh allocation (pool dry).
+  Counter net_page_pool_allocs;
   Histogram net_msg_bytes;
+  /// Pages sent to each exchange destination, observed once per
+  /// destination at exchange flush: the spread of this histogram is the
+  /// routing skew of the run.
+  Histogram net_exchange_pages_per_dest;
 
   // Core / algorithm control flow.
   Counter core_switches;

@@ -1,5 +1,8 @@
 #include "storage/page.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.h"
 
 namespace adaptagg {
@@ -27,6 +30,18 @@ void PageBuilder::Append(const uint8_t* data) {
   ++count_;
 }
 
+int PageBuilder::AppendBatch(const uint8_t* recs, int n) {
+  n = std::min(n, remaining());
+  if (n <= 0) return 0;
+  uint8_t* dst = bytes_.data() + sizeof(uint32_t) +
+                 static_cast<size_t>(count_) *
+                     static_cast<size_t>(record_size_);
+  std::memcpy(dst, recs,
+              static_cast<size_t>(n) * static_cast<size_t>(record_size_));
+  count_ += n;
+  return n;
+}
+
 std::vector<uint8_t> PageBuilder::Finish() {
   uint32_t n = static_cast<uint32_t>(count_);
   std::memcpy(bytes_.data(), &n, sizeof(n));
@@ -34,6 +49,63 @@ std::vector<uint8_t> PageBuilder::Finish() {
   bytes_.assign(static_cast<size_t>(page_size_), 0);
   count_ = 0;
   return out;
+}
+
+std::vector<uint8_t> PageBuilder::FinishWire(
+    std::vector<uint8_t> replacement) {
+  uint32_t n = static_cast<uint32_t>(count_);
+  std::memcpy(bytes_.data(), &n, sizeof(n));
+  bytes_.resize(sizeof(uint32_t) + static_cast<size_t>(count_) *
+                                       static_cast<size_t>(record_size_));
+  std::vector<uint8_t> out = std::move(bytes_);
+  bytes_ = std::move(replacement);
+  bytes_.resize(static_cast<size_t>(page_size_));
+  count_ = 0;
+  return out;
+}
+
+Result<int> ValidateWirePage(const uint8_t* payload, size_t payload_size,
+                             int page_size, int record_size) {
+  if (payload_size < sizeof(uint32_t)) {
+    return Status::NetworkError("page payload too short for its header: " +
+                                std::to_string(payload_size) + " bytes");
+  }
+  uint32_t n;
+  std::memcpy(&n, payload, sizeof(n));
+  const int capacity = PageBuilder::Capacity(page_size, record_size);
+  if (n > static_cast<uint32_t>(capacity)) {
+    return Status::NetworkError(
+        "forged page header: claims " + std::to_string(n) + " records but a " +
+        std::to_string(page_size) + "-byte page of " +
+        std::to_string(record_size) + "-byte records holds at most " +
+        std::to_string(capacity));
+  }
+  const size_t need =
+      sizeof(uint32_t) +
+      static_cast<size_t>(n) * static_cast<size_t>(record_size);
+  if (need > payload_size) {
+    return Status::NetworkError(
+        "truncated page: header claims " + std::to_string(n) + " records (" +
+        std::to_string(need) + " bytes) but the payload has only " +
+        std::to_string(payload_size) + " bytes");
+  }
+  return static_cast<int>(n);
+}
+
+std::vector<uint8_t> PagePool::Acquire() {
+  if (!free_.empty()) {
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    ++hits_;
+    return buf;
+  }
+  ++allocs_;
+  return {};
+}
+
+void PagePool::Release(std::vector<uint8_t> buf) {
+  if (free_.size() >= max_buffers_ || buf.capacity() == 0) return;
+  free_.push_back(std::move(buf));
 }
 
 PageReader::PageReader(const uint8_t* page, int page_size, int record_size)

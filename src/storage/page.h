@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/result.h"
+
 namespace adaptagg {
 
 /// Default relation page size (Table 1: P = 4 KB).
@@ -25,15 +27,30 @@ class PageBuilder {
   bool full() const { return count_ >= capacity_; }
   int count() const { return count_; }
   bool empty() const { return count_ == 0; }
+  /// Records that still fit before the page is full.
+  int remaining() const { return capacity_ - count_; }
 
   /// Appends one record (must not be full). `data` must be record_size
   /// bytes.
   void Append(const uint8_t* data);
 
+  /// Appends up to `n` densely packed records (`record_size` bytes each,
+  /// starting at `recs`) with a single memcpy and a single fullness
+  /// check. Returns how many were appended (bounded by remaining()).
+  int AppendBatch(const uint8_t* recs, int n);
+
   /// Finishes the page: writes the header and returns the bytes (the
   /// builder is reset for reuse). The returned vector always has
   /// `page_size` bytes.
   std::vector<uint8_t> Finish();
+
+  /// Wire form of Finish(): returns the page trimmed to the bytes that
+  /// carry data — header + count * record_size — so trailing padding of
+  /// partially filled pages never crosses the network. `replacement`
+  /// (typically a recycled payload buffer from a PagePool) becomes the
+  /// builder's next page buffer; its previous contents are irrelevant
+  /// because the trimmed output only ever covers freshly written bytes.
+  std::vector<uint8_t> FinishWire(std::vector<uint8_t> replacement);
 
  private:
   int page_size_;
@@ -59,6 +76,44 @@ class PageReader {
   const uint8_t* page_;
   int record_size_;
   int count_;
+};
+
+/// Validates a page header received off the wire *before* any record is
+/// read. A PageReader trusts its input (disk pages we wrote ourselves,
+/// CHECK-fatal on corruption); wire payloads are attacker-controlled
+/// bytes, so a forged `count` must turn into a descriptive kNetworkError,
+/// never an out-of-bounds read. On success returns the record count;
+/// `payload` may be shorter than a full page (trimmed wire pages).
+Result<int> ValidateWirePage(const uint8_t* payload, size_t payload_size,
+                             int page_size, int record_size);
+
+/// Free list of page byte buffers, so steady-state exchange traffic
+/// recycles payload vectors (PageBuilder page -> Message::payload ->
+/// decode -> back here) instead of allocating per page. Single-threaded,
+/// like the NodeContext that owns it.
+class PagePool {
+ public:
+  /// `max_buffers` caps how many idle buffers the pool retains; releases
+  /// beyond the cap free the buffer instead.
+  explicit PagePool(size_t max_buffers = 256) : max_buffers_(max_buffers) {}
+
+  /// Pops a recycled buffer, or a fresh empty vector when the pool is
+  /// dry. Callers resize to their needs; contents are unspecified.
+  std::vector<uint8_t> Acquire();
+
+  /// Returns a buffer for reuse (dropped when the pool is at capacity).
+  void Release(std::vector<uint8_t> buf);
+
+  /// Acquires that were served from the free list.
+  int64_t hits() const { return hits_; }
+  /// Acquires that had to hand out a fresh (empty) vector.
+  int64_t allocs() const { return allocs_; }
+
+ private:
+  size_t max_buffers_;
+  std::vector<std::vector<uint8_t>> free_;
+  int64_t hits_ = 0;
+  int64_t allocs_ = 0;
 };
 
 }  // namespace adaptagg

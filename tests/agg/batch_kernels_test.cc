@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@ struct SpecCase {
   std::vector<int> group_cols;
   std::vector<AggDescriptor> aggs;
   FusedKernelKind want_kernel = FusedKernelKind::kGeneric;
+  FusedMergeKind want_merge = FusedMergeKind::kGeneric;
 };
 
 std::vector<SpecCase> AllSpecCases() {
@@ -41,7 +43,7 @@ std::vector<SpecCase> AllSpecCases() {
        Schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}),
        {0},
        {{AggKind::kCount, -1, "c"}, {AggKind::kSum, 1, "s"}},
-       FusedKernelKind::kCountSumInt64});
+       FusedKernelKind::kCountSumInt64, FusedMergeKind::kAddInt64});
   // Two-int64 key (16B word fast path), double inputs, SUM + AVG.
   cases.push_back(
       {"sum_avg_double_2key",
@@ -75,13 +77,27 @@ std::vector<SpecCase> AllSpecCases() {
        Schema({{"g", DataType::kInt64, 8}, {"d", DataType::kDouble, 8}}),
        {0, 1},
        {},
-       FusedKernelKind::kDistinct});
+       FusedKernelKind::kDistinct, FusedMergeKind::kDistinct});
   // MIN(double) alone on a double key: remaining kind/type combination.
   cases.push_back({"min_double_double_key",
                    Schema({{"k", DataType::kDouble, 8},
                            {"d", DataType::kDouble, 8}}),
                    {0},
                    {{AggKind::kMin, 1, "lo"}}});
+  // MIN+MAX over int64: generic raw update, fused compare-merge.
+  cases.push_back(
+      {"min_max_int64",
+       Schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}),
+       {0},
+       {{AggKind::kMin, 1, "lo"}, {AggKind::kMax, 1, "hi"}},
+       FusedKernelKind::kGeneric, FusedMergeKind::kMinMaxInt64});
+  // COUNT + AVG(int64): every state word merges by addition.
+  cases.push_back(
+      {"count_avg_int64",
+       Schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}}),
+       {0},
+       {{AggKind::kCount, -1, "c"}, {AggKind::kAvg, 1, "a"}},
+       FusedKernelKind::kGeneric, FusedMergeKind::kAddInt64});
   return cases;
 }
 
@@ -349,6 +365,156 @@ TEST(BatchKernels, OverflowCollectMatchesScalar) {
   batch.ComputeHashes();
   std::vector<int> batch_overflow;
   batched.UpsertProjectedBatchOverflow(batch, 0, batch_overflow);
+  EXPECT_EQ(batch_overflow, scalar_overflow);
+  ExpectTablesEqual(spec, scalar, batched);
+}
+
+/// Builds one single-tuple partial record per raw tuple: [key][state],
+/// with the state initialized and updated from the projected tuple.
+/// Every 7th record keeps a bare initialized state (no update) so
+/// MIN/MAX "seen" flags stay 0 — the empty-state merge path the fused
+/// compare-merge kernel must skip exactly like MergeState does.
+std::vector<uint8_t> MakePartials(const AggregationSpec& spec,
+                                  const Schema& schema,
+                                  const std::vector<uint8_t>& raw, int n) {
+  const size_t pw = static_cast<size_t>(spec.partial_width());
+  std::vector<uint8_t> proj(
+      static_cast<size_t>(std::max(1, spec.projected_width())));
+  std::vector<uint8_t> partials(static_cast<size_t>(n) * pw);
+  for (int i = 0; i < n; ++i) {
+    TupleView t(raw.data() + static_cast<size_t>(i) * schema.tuple_size(),
+                &schema);
+    spec.ProjectRaw(t, proj.data());
+    uint8_t* rec = partials.data() + static_cast<size_t>(i) * pw;
+    std::memcpy(rec, spec.KeyOfProjected(proj.data()),
+                static_cast<size_t>(spec.key_width()));
+    spec.InitState(rec + spec.key_width());
+    if (i % 7 != 6) {
+      spec.UpdateFromProjected(rec + spec.key_width(), proj.data());
+    }
+  }
+  return partials;
+}
+
+// The merge-side differential: upserting partial records through
+// UpsertPartialBatch (BindView'd wire runs, fused merge kernels) must
+// leave a table bit-identical to the per-record UpsertPartial loop, for
+// every merge-kernel kind in the matrix.
+TEST(BatchKernels, PartialMergeBatchMatchesScalarAcrossSpecMatrix) {
+  for (const SpecCase& c : AllSpecCases()) {
+    SCOPED_TRACE(c.name);
+    ASSERT_OK_AND_ASSIGN(
+        AggregationSpec spec,
+        AggregationSpec::Make(&c.schema, c.group_cols, c.aggs));
+    EXPECT_EQ(spec.fused_merge_kernel(), c.want_merge);
+    for (uint64_t seed : {2u, 9u, 4321u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      const int n = 4096;
+      std::vector<uint8_t> raw = MakeTuples(c.schema, n, seed, 29);
+      std::vector<uint8_t> partials = MakePartials(spec, c.schema, raw, n);
+      const int pw = spec.partial_width();
+
+      AggHashTable scalar(&spec, /*max_entries=*/1 << 20);
+      for (int i = 0; i < n; ++i) {
+        const uint8_t* rec =
+            partials.data() + static_cast<size_t>(i) * pw;
+        ASSERT_NE(scalar.UpsertPartial(rec, spec.HashKey(rec)),
+                  AggHashTable::UpsertResult::kFull);
+      }
+
+      AggHashTable batched(&spec, /*max_entries=*/1 << 20);
+      TupleBatch batch(&spec);
+      for (int off = 0; off < n; off += kBatchWidth) {
+        const int run = std::min(n - off, kBatchWidth);
+        batch.BindView(partials.data() + static_cast<size_t>(off) * pw, pw,
+                       run);
+        batch.ComputeHashes();
+        ASSERT_EQ(batched.UpsertPartialBatch(batch, 0), run);
+      }
+      batch.Clear();
+      ExpectTablesEqual(spec, scalar, batched);
+    }
+  }
+}
+
+// Partial-record twin of StopAtFullMatchesScalarStopPoint: the batched
+// merge must stop at exactly the partial record where the per-record
+// loop saw kFull.
+TEST(BatchKernels, PartialMergeStopAtFullMatchesScalarStopPoint) {
+  Schema schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeCountSumSpec(&schema, 0, 1));
+  const int n = 2 * kBatchWidth;
+  const int pw = spec.partial_width();
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::vector<uint8_t> raw = MakeTuples(schema, n, seed, 400);
+    std::vector<uint8_t> partials = MakePartials(spec, schema, raw, n);
+    const int64_t m = 40;  // overflows mid-batch
+
+    AggHashTable scalar(&spec, m);
+    int scalar_stop = -1;
+    for (int i = 0; i < n; ++i) {
+      const uint8_t* rec = partials.data() + static_cast<size_t>(i) * pw;
+      if (scalar.UpsertPartial(rec, spec.HashKey(rec)) ==
+          AggHashTable::UpsertResult::kFull) {
+        scalar_stop = i;
+        break;
+      }
+    }
+    ASSERT_GE(scalar_stop, 0) << "test wants a mid-stream overflow";
+
+    AggHashTable batched(&spec, m);
+    TupleBatch batch(&spec);
+    int consumed_total = 0;
+    bool stopped = false;
+    for (int off = 0; off < n && !stopped; off += kBatchWidth) {
+      const int run = std::min(n - off, kBatchWidth);
+      batch.BindView(partials.data() + static_cast<size_t>(off) * pw, pw,
+                     run);
+      batch.ComputeHashes();
+      const int consumed = batched.UpsertPartialBatch(batch, 0);
+      consumed_total += consumed;
+      stopped = consumed < run;
+    }
+    batch.Clear();
+    EXPECT_TRUE(stopped);
+    EXPECT_EQ(consumed_total, scalar_stop);
+    ExpectTablesEqual(spec, scalar, batched);
+    EXPECT_EQ(batched.size(), m) << "table must be exactly at capacity";
+  }
+}
+
+// Partial-record twin of OverflowCollectMatchesScalar: the spill path's
+// merge must report exactly the records the per-record loop overflowed.
+TEST(BatchKernels, PartialMergeOverflowCollectMatchesScalar) {
+  Schema schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeCountSumSpec(&schema, 0, 1));
+  const int n = kBatchWidth;
+  const int pw = spec.partial_width();
+  std::vector<uint8_t> raw = MakeTuples(schema, n, 21, 300);
+  std::vector<uint8_t> partials = MakePartials(spec, schema, raw, n);
+  const int64_t m = 30;
+
+  AggHashTable scalar(&spec, m);
+  std::vector<int> scalar_overflow;
+  for (int i = 0; i < n; ++i) {
+    const uint8_t* rec = partials.data() + static_cast<size_t>(i) * pw;
+    if (scalar.UpsertPartial(rec, spec.HashKey(rec)) ==
+        AggHashTable::UpsertResult::kFull) {
+      scalar_overflow.push_back(i);
+    }
+  }
+  ASSERT_FALSE(scalar_overflow.empty());
+
+  AggHashTable batched(&spec, m);
+  TupleBatch batch(&spec);
+  batch.BindView(partials.data(), pw, n);
+  batch.ComputeHashes();
+  std::vector<int> batch_overflow;
+  batched.UpsertPartialBatchOverflow(batch, 0, batch_overflow);
+  batch.Clear();
   EXPECT_EQ(batch_overflow, scalar_overflow);
   ExpectTablesEqual(spec, scalar, batched);
 }

@@ -116,16 +116,16 @@ TEST_F(ReceiverTest, ControlMessageInDataPhaseIsAProtocolError) {
   EXPECT_FALSE(recv.Poll().ok());
 }
 
-TEST_F(ReceiverTest, GenericSinksReceiveRecords) {
+TEST_F(ReceiverTest, GenericSinksReceiveRecordBatches) {
   int raw = 0, partial = 0;
   DataReceiver recv(
       ctx_.get(),
-      [&](const uint8_t*) {
-        ++raw;
+      [&](const TupleBatch& b) {
+        raw += b.size();
         return Status::OK();
       },
-      [&](const uint8_t*) {
-        ++partial;
+      [&](const TupleBatch& b) {
+        partial += b.size();
         return Status::OK();
       },
       1);
@@ -141,15 +141,86 @@ TEST_F(ReceiverTest, GenericSinksReceiveRecords) {
   EXPECT_EQ(partial, 1);
 }
 
+TEST_F(ReceiverTest, WidePageIsChunkedIntoBatchSizedViews) {
+  // A 2 KB page of 8-byte records (the bench key width is the record) can
+  // exceed kBatchWidth; the receiver must window the decode.
+  std::vector<int64_t> keys;
+  const int capacity =
+      PageBuilder::Capacity(params_.message_page_bytes,
+                            spec_->projected_width());
+  for (int i = 0; i < capacity; ++i) keys.push_back(i % 17);
+  ASSERT_GT(capacity, 0);
+  std::vector<int> batch_sizes;
+  int total = 0;
+  DataReceiver recv(
+      ctx_.get(),
+      [&](const TupleBatch& b) {
+        EXPECT_LE(b.size(), kBatchWidth);
+        batch_sizes.push_back(b.size());
+        total += b.size();
+        return Status::OK();
+      },
+      [&](const TupleBatch&) { return Status::OK(); }, 1);
+  Push(MessageType::kRawPage, kPhaseData, RawPage(keys));
+  Push(MessageType::kEndOfStream, kPhaseData);
+  ASSERT_OK(recv.Drain());
+  EXPECT_EQ(total, capacity);
+  if (capacity > kBatchWidth) {
+    EXPECT_GE(batch_sizes.size(), 2u);
+  }
+  EXPECT_EQ(ctx_->stats().raw_records_received, capacity);
+}
+
 TEST_F(ReceiverTest, SinkErrorPropagates) {
   DataReceiver recv(
       ctx_.get(),
-      [&](const uint8_t*) { return Status::Internal("sink exploded"); },
-      [&](const uint8_t*) { return Status::OK(); }, 1);
+      [&](const TupleBatch&) { return Status::Internal("sink exploded"); },
+      [&](const TupleBatch&) { return Status::OK(); }, 1);
   Push(MessageType::kRawPage, kPhaseData, RawPage({1}));
   Status st = recv.Poll();
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.message().find("sink exploded"), std::string::npos);
+}
+
+TEST_F(ReceiverTest, ForgedHeaderCountIsRejected) {
+  // A page whose header claims more records than a page can hold must be
+  // rejected with a descriptive network error, not read out of bounds.
+  std::vector<uint8_t> payload = RawPage({1, 2, 3});
+  const uint32_t forged = 1u << 20;
+  std::memcpy(payload.data(), &forged, sizeof(forged));
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kRawPage, kPhaseData, std::move(payload));
+  Status st = recv.Poll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNetworkError);
+  EXPECT_NE(st.message().find("forged page header"), std::string::npos);
+  EXPECT_EQ(ctx_->stats().raw_records_received, 0);
+}
+
+TEST_F(ReceiverTest, TruncatedPagePayloadIsRejected) {
+  // Header claims records the (trimmed) payload does not carry.
+  std::vector<uint8_t> payload = RawPage({1, 2, 3, 4});
+  payload.resize(4 + static_cast<size_t>(spec_->projected_width()) * 2);
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kRawPage, kPhaseData, std::move(payload));
+  Status st = recv.Poll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNetworkError);
+  EXPECT_NE(st.message().find("truncated page"), std::string::npos);
+}
+
+TEST_F(ReceiverTest, UndersizedPayloadIsRejected) {
+  SimDisk disk(4096);
+  SpillingAggregator agg(spec_.get(), &disk, 64);
+  DataReceiver recv(ctx_.get(), &agg, 1);
+  Push(MessageType::kPartialPage, kPhaseData, {0x01, 0x02});
+  Status st = recv.Poll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNetworkError);
 }
 
 }  // namespace

@@ -64,6 +64,28 @@ TEST(Message, TypeNames) {
   EXPECT_EQ(MessageTypeToString(MessageType::kHeartbeat), "heartbeat");
 }
 
+TEST(Message, ChargedBytesRoundtrips) {
+  // A trimmed exchange page carries fewer wire bytes than the cost model
+  // charges; the charged size must survive serialization.
+  Message m;
+  m.type = MessageType::kRawPage;
+  m.payload = {1, 2, 3, 4};
+  m.charged_bytes = 2048;
+  std::vector<uint8_t> wire = m.Serialize();
+  auto back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->charged_bytes, 2048u);
+  EXPECT_EQ(back->payload, m.payload);
+
+  // Default: 0 = "charge the real payload size".
+  Message plain;
+  plain.type = MessageType::kControl;
+  wire = plain.Serialize();
+  back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->charged_bytes, 0u);
+}
+
 TEST(Message, SequenceNumberRoundtrips) {
   Message m;
   m.type = MessageType::kRawPage;

@@ -28,6 +28,11 @@
 //       cluster code must use the deadline-bounded receives
 //       (RecvWithDeadline / TryRecv / AwaitMessage), so a lost message
 //       can never hang a run forever.
+//   S9  no scalar data-plane call — `AddRecord(` / `AddProjected(` /
+//       `AddPartial(` — in src/ outside the batch layer itself and the
+//       allowlisted record-at-a-time producers; hot paths route whole
+//       batches (AddBatch / AddIndices / Add*Batch) so the per-record
+//       scatter loop cannot silently creep back in.
 //
 // Comment and string-literal contents are ignored by the token rules.
 
@@ -435,6 +440,44 @@ void CheckNoBareRecv(const std::string& rel,
   }
 }
 
+/// S9: scalar data-plane calls outside the batch layer. The tokens are
+/// exact — AddBatch / AddIndices / AddProjectedBatch / AddPartialBatch
+/// are distinct identifiers and stay legal everywhere. The allowlist is
+/// the batch layer itself plus the record-at-a-time producers whose
+/// sources are not batches (Finish-callback drains, sampling key sets,
+/// spill replay).
+bool ScalarDataPlaneAllowed(const std::string& rel) {
+  return rel.rfind("src/agg/", 0) == 0 ||
+         rel.rfind("src/cluster/exchange", 0) == 0 ||
+         rel == "src/core/phases.h" || rel == "src/core/sampling.cc" ||
+         rel == "src/core/sort_two_phase.cc";
+}
+
+void CheckNoScalarDataPlane(const std::string& rel,
+                            const std::vector<std::string>& stripped) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    for (const char* word : {"AddRecord", "AddProjected", "AddPartial"}) {
+      const size_t len = std::string(word).size();
+      size_t pos = 0;
+      while ((pos = l.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsIdentChar(l[pos - 1]);
+        const size_t end = pos + len;
+        size_t after = end;
+        while (after < l.size() && l[after] == ' ') ++after;
+        if (left_ok && after < l.size() && l[after] == '(' &&
+            (end >= l.size() || !IsIdentChar(l[end]))) {
+          Report(rel, static_cast<int>(i) + 1, "S9",
+                 std::string("scalar ") + word +
+                     "() outside the batch layer — route batches "
+                     "(AddBatch / AddIndices / Add*Batch)");
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
 bool HasSourceExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp";
@@ -492,6 +535,9 @@ int main(int argc, char** argv) {
       CheckWhitespace(rel, raw, lines);
       CheckNoStdout(rel, stripped);
       if (rel.rfind("src/net/", 0) != 0) CheckNoBareRecv(rel, stripped);
+      if (!ScalarDataPlaneAllowed(rel)) {
+        CheckNoScalarDataPlane(rel, stripped);
+      }
       if (path.extension() == ".cc") CheckCcPairing(root, rel, lines);
       if (is_header && rel.rfind("src/obs/", 0) == 0) {
         CheckObsDoxygen(rel, lines);
