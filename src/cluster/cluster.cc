@@ -3,9 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <iterator>
-#include <mutex>
 #include <thread>
 
+#include "cluster/gather_sink.h"
 #include "common/logging.h"
 #include "net/fault.h"
 
@@ -107,8 +107,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   rel.ResetDiskStats();
   NetworkModel net(params_);
 
-  std::mutex gather_mu;
-  std::vector<std::vector<uint8_t>> gathered;
+  GatherSink gathered;
 
   // One wall epoch for the whole run so all nodes' trace wall timelines
   // share an origin.
@@ -119,7 +118,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
     contexts.push_back(std::make_unique<NodeContext>(
         i, params_, spec, options, &rel.partition(i), &rel.disk(i),
         (*transports)[static_cast<size_t>(i)].get(), &net, wall_epoch_s));
-    contexts.back()->SetGather(&gather_mu, &gathered);
+    contexts.back()->SetGather(&gathered);
     if (inject_faults) {
       static_cast<FaultyTransport*>(
           (*transports)[static_cast<size_t>(i)].get())
@@ -209,7 +208,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   result.sim_time_s += result.wire_time_s;
 
   result.results.schema = spec.final_schema();
-  result.results.rows = std::move(gathered);
+  result.results.rows = gathered.TakeRows();
   return result;
 }
 

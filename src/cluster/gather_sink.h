@@ -1,0 +1,49 @@
+#ifndef ADAPTAGG_CLUSTER_GATHER_SINK_H_
+#define ADAPTAGG_CLUSTER_GATHER_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace adaptagg {
+
+/// Central collection point for final result rows: every node appends
+/// its emitted rows here so callers and tests can inspect the full
+/// result set. Owns its lock and exposes only annotated operations —
+/// replacing the old (mutex pointer, vector pointer) pair that leaked
+/// unguarded references to node threads.
+class GatherSink {
+ public:
+  GatherSink() = default;
+  GatherSink(const GatherSink&) = delete;
+  GatherSink& operator=(const GatherSink&) = delete;
+
+  /// Copies one encoded result row in. Called concurrently by node
+  /// threads during the emit phase.
+  void Append(const uint8_t* row, size_t len) ADAPTAGG_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    rows_.emplace_back(row, row + len);
+  }
+
+  /// Moves the collected rows out (the sink is empty afterwards).
+  /// Called once, after every node thread has joined.
+  std::vector<std::vector<uint8_t>> TakeRows() ADAPTAGG_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return std::move(rows_);
+  }
+
+  size_t size() const ADAPTAGG_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return rows_.size();
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> rows_ ADAPTAGG_GUARDED_BY(mu_);
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CLUSTER_GATHER_SINK_H_

@@ -327,9 +327,8 @@ Status NodeContext::EmitFinalRow(const uint8_t* key, const uint8_t* state) {
     }
     ADAPTAGG_RETURN_IF_ERROR(result_file_->AppendRaw(row_buf_.data()));
   }
-  if (options_.gather_results && gather_rows_ != nullptr) {
-    std::lock_guard<std::mutex> lock(*gather_mu_);
-    gather_rows_->emplace_back(row_buf_.begin(), row_buf_.end());
+  if (options_.gather_results && gather_ != nullptr) {
+    gather_->Append(row_buf_.data(), row_buf_.size());
   }
   return Status::OK();
 }

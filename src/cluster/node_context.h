@@ -4,13 +4,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "agg/agg_spec.h"
 #include "agg/batch_kernels.h"
 #include "agg/spilling_aggregator.h"
+#include "cluster/gather_sink.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
 #include "net/fault.h"
@@ -235,11 +235,9 @@ class NodeContext {
   /// Flushes the result file and syncs I/O. Call once per node at the end.
   Status FinishResults();
 
-  /// Wires up central gathering (done by Cluster).
-  void SetGather(std::mutex* mu, std::vector<std::vector<uint8_t>>* rows) {
-    gather_mu_ = mu;
-    gather_rows_ = rows;
-  }
+  /// Wires up central gathering (done by Cluster). The sink owns its
+  /// lock, so the node only ever sees annotated operations.
+  void SetGather(GatherSink* sink) { gather_ = sink; }
 
  private:
   /// Admission control for one message popped off the transport:
@@ -287,8 +285,7 @@ class NodeContext {
 
   std::unique_ptr<HeapFile> result_file_;
   std::vector<uint8_t> row_buf_;
-  std::mutex* gather_mu_ = nullptr;
-  std::vector<std::vector<uint8_t>>* gather_rows_ = nullptr;
+  GatherSink* gather_ = nullptr;
 };
 
 /// This node's local input pipeline (§2's operator architecture): a

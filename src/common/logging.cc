@@ -4,12 +4,18 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/mutex.h"
+
 namespace adaptagg {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::once_flag g_env_once;
-std::mutex g_emit_mutex;
+// Serializes writes to stderr so concurrent node threads cannot
+// interleave log lines. The guarded resource is the C stream itself,
+// not a member, so there is nothing to ADAPTAGG_GUARDED_BY — lint rule
+// S10 carries an allowlist entry for this mutex.
+Mutex g_emit_mutex;
 
 void InitFromEnv() {
   const char* env = std::getenv("ADAPTAGG_LOG_LEVEL");
@@ -59,7 +65,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    MutexLock lock(&g_emit_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

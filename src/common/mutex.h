@@ -1,0 +1,89 @@
+#ifndef ADAPTAGG_COMMON_MUTEX_H_
+#define ADAPTAGG_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace adaptagg {
+
+/// std::mutex wrapped as a clang Thread Safety Analysis capability.
+/// Raw std::mutex carries no capability attributes, so the analysis
+/// cannot see through it; all lock-protected state in src/ locks
+/// through this type (adaptagg_lint rule S10 keeps it that way).
+/// Zero-overhead off clang: every method is an inline forwarder.
+class ADAPTAGG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ADAPTAGG_ACQUIRE() { mu_.lock(); }
+  void Unlock() ADAPTAGG_RELEASE() { mu_.unlock(); }
+  bool TryLock() ADAPTAGG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings, so CondVar's condition_variable_any can
+  /// release/reacquire this mutex around a wait. Engine code locks via
+  /// MutexLock; these carry the same annotations, so direct use is
+  /// still analyzed.
+  void lock() ADAPTAGG_ACQUIRE() { mu_.lock(); }
+  void unlock() ADAPTAGG_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex: acquires in the constructor, releases in the
+/// destructor. The scoped-capability annotation lets the analysis
+/// track the critical section's extent.
+class ADAPTAGG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ADAPTAGG_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() ADAPTAGG_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with Mutex. Waits require the mutex to be
+/// held, which the analysis checks at every call site. Waits return on
+/// spurious wakeups by design — always wait in a predicate loop
+/// (`while (!pred()) cv.Wait(mu);`): an annotated free function, unlike
+/// a predicate lambda, keeps the guarded reads inside a context the
+/// analysis can verify.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Releases `mu`, blocks until notified (or spuriously), reacquires.
+  void Wait(Mutex& mu) ADAPTAGG_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait: false when `deadline` passed without a notification.
+  /// The deadline is wall time by design — it bounds real blocking, so
+  /// it must never be derived from modeled time.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      ADAPTAGG_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_COMMON_MUTEX_H_

@@ -1,0 +1,93 @@
+#ifndef ADAPTAGG_COMMON_THREAD_ANNOTATIONS_H_
+#define ADAPTAGG_COMMON_THREAD_ANNOTATIONS_H_
+
+// Capability annotations for clang Thread Safety Analysis.
+//
+// These macros attach compile-time lock-discipline facts to types,
+// members, and functions: which mutex guards which data, which
+// functions acquire/release/require which capability. On clang the
+// whole tree builds with -Werror=thread-safety (see the root
+// CMakeLists.txt), so an unlocked read of a guarded member, a
+// double-acquire, or a forgotten unlock is a build error, not a TSan
+// coin flip. On every other compiler the macros expand to nothing.
+//
+// Conventions (DESIGN.md "Correctness tooling"):
+//  * every mutex member has at least one ADAPTAGG_GUARDED_BY sibling —
+//    adaptagg_lint rule S10 enforces this mechanically, so annotation
+//    coverage cannot rot as files are added;
+//  * lock-protected state is reached only through annotated accessors;
+//    references to guarded data must not escape the critical section;
+//  * ADAPTAGG_NO_THREAD_SAFETY_ANALYSIS is a last resort and requires
+//    a written justification at the use site.
+//
+// The analysis only understands annotated mutex types, so the project
+// locks through adaptagg::Mutex / adaptagg::MutexLock / adaptagg::CondVar
+// (common/mutex.h), not raw std::mutex.
+
+#if defined(__clang__)
+#define ADAPTAGG_TSA_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define ADAPTAGG_TSA_ATTRIBUTE_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability ("mutex") the analysis can track.
+#define ADAPTAGG_CAPABILITY(x) ADAPTAGG_TSA_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define ADAPTAGG_SCOPED_CAPABILITY ADAPTAGG_TSA_ATTRIBUTE_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define ADAPTAGG_GUARDED_BY(x) ADAPTAGG_TSA_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define ADAPTAGG_PT_GUARDED_BY(x) ADAPTAGG_TSA_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function callable only with the listed capabilities held.
+#define ADAPTAGG_REQUIRES(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function callable only with the listed capabilities held shared.
+#define ADAPTAGG_REQUIRES_SHARED(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (and does not release
+/// them before returning).
+#define ADAPTAGG_ACQUIRE(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Shared-acquire variant of ADAPTAGG_ACQUIRE.
+#define ADAPTAGG_ACQUIRE_SHARED(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define ADAPTAGG_RELEASE(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Shared-release variant of ADAPTAGG_RELEASE.
+#define ADAPTAGG_RELEASE_SHARED(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `b`.
+#define ADAPTAGG_TRY_ACQUIRE(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking entry points).
+#define ADAPTAGG_EXCLUDES(...) \
+  ADAPTAGG_TSA_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define ADAPTAGG_ASSERT_CAPABILITY(x) \
+  ADAPTAGG_TSA_ATTRIBUTE_(assert_capability(x))
+
+/// Function returning a reference to the capability guarding its class.
+#define ADAPTAGG_RETURN_CAPABILITY(x) \
+  ADAPTAGG_TSA_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with
+/// a written justification at the use site (DESIGN.md).
+#define ADAPTAGG_NO_THREAD_SAFETY_ANALYSIS \
+  ADAPTAGG_TSA_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // ADAPTAGG_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "common/random.h"
 #include "core/algorithm.h"
@@ -78,10 +80,18 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
     }
   }
 
-  // Ship the locally observed distinct keys to the coordinator.
+  // Ship the locally observed distinct keys to the coordinator in
+  // sorted order: iterating the unordered set directly would make the
+  // wire bytes depend on the standard library's hash layout (lint D3).
+  // The coordinator only counts distinct keys, so the decision itself
+  // never depended on the order — this pins the transcript, not the
+  // outcome.
+  std::vector<std::string> sorted_keys(local_keys.begin(),
+                                       local_keys.end());
+  std::sort(sorted_keys.begin(), sorted_keys.end());
   Exchange ex(&ctx, MessageType::kPartialPage, spec.key_width(),
               kPhaseSample);
-  for (const std::string& key : local_keys) {
+  for (const std::string& key : sorted_keys) {
     ctx.clock().AddCpu(p.t_w());
     ADAPTAGG_RETURN_IF_ERROR(ex.AddRecord(
         kCoordinator, reinterpret_cast<const uint8_t*>(key.data())));

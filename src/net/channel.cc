@@ -6,32 +6,38 @@ namespace adaptagg {
 
 void Channel::Push(Message msg) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(msg));
     if (queue_.size() > max_depth_) max_depth_ = queue_.size();
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 Message Channel::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !queue_.empty(); });
+  MutexLock lock(&mu_);
+  while (queue_.empty()) cv_.Wait(mu_);
   Message m = std::move(queue_.front());
   queue_.pop_front();
   return m;
 }
 
 std::optional<Message> Channel::PopFor(double timeout_s) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (timeout_s < 0) {
-    cv_.wait(lock, [&] { return !queue_.empty(); });
+    while (queue_.empty()) cv_.Wait(mu_);
   } else {
+    // The receive deadline is wall time by design (lint D1 allowlist):
+    // it bounds real blocking so a lost message cannot hang the run; it
+    // must never be derived from modeled time, which only advances when
+    // the algorithm charges costs.
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(timeout_s));
-    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty(); })) {
-      return std::nullopt;
+    while (queue_.empty()) {
+      if (!cv_.WaitUntil(mu_, deadline) && queue_.empty()) {
+        return std::nullopt;
+      }
     }
   }
   Message m = std::move(queue_.front());
@@ -40,7 +46,7 @@ std::optional<Message> Channel::PopFor(double timeout_s) {
 }
 
 std::optional<Message> Channel::TryPop() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (queue_.empty()) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
@@ -48,12 +54,12 @@ std::optional<Message> Channel::TryPop() {
 }
 
 size_t Channel::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 size_t Channel::max_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_depth_;
 }
 

@@ -1,11 +1,10 @@
 #ifndef ADAPTAGG_NET_CHANNEL_H_
 #define ADAPTAGG_NET_CHANNEL_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/mutex.h"
 #include "net/message.h"
 
 namespace adaptagg {
@@ -14,35 +13,39 @@ namespace adaptagg {
 /// one node. Unbounded so that senders never block (the algorithms'
 /// end-of-stream protocol then guarantees deadlock freedom); the engine's
 /// poll-while-scanning pattern keeps queues short in practice.
+///
+/// All shared state is guarded by `mu_` and annotated for clang Thread
+/// Safety Analysis; the lock is internal and never exposed, so no caller
+/// can hold a reference into the queue outside a critical section.
 class Channel {
  public:
   Channel() = default;
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  void Push(Message msg);
+  void Push(Message msg) ADAPTAGG_EXCLUDES(mu_);
 
   /// Blocks until a message is available.
-  Message Pop();
+  Message Pop() ADAPTAGG_EXCLUDES(mu_);
 
   /// Blocks for at most `timeout_s` seconds; empty optional on timeout.
   /// A negative timeout blocks forever (equivalent to Pop).
-  std::optional<Message> PopFor(double timeout_s);
+  std::optional<Message> PopFor(double timeout_s) ADAPTAGG_EXCLUDES(mu_);
 
   /// Returns immediately; empty optional when the queue is empty.
-  std::optional<Message> TryPop();
+  std::optional<Message> TryPop() ADAPTAGG_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const ADAPTAGG_EXCLUDES(mu_);
 
   /// Deepest the queue has ever been (a backlog indicator: how far the
   /// receiver fell behind its senders). Monotonic; updated on Push.
-  size_t max_depth() const;
+  size_t max_depth() const ADAPTAGG_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  size_t max_depth_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Message> queue_ ADAPTAGG_GUARDED_BY(mu_);
+  size_t max_depth_ ADAPTAGG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adaptagg

@@ -157,6 +157,12 @@ class TcpTransport : public Transport {
     }
   }
 
+  // Thread roles (this class needs no mutex of its own): all
+  // cross-thread traffic funnels through `inbox_` (internally locked and
+  // annotated) or `frames_rejected_` (atomic). `out_fds_` is written
+  // only during single-threaded mesh setup and read by Send afterwards;
+  // `in_fds_` and `readers_` are touched only by setup and the
+  // destructor, which joins every reader before closing.
   int node_id_;
   int num_nodes_;
   Channel inbox_;
@@ -190,6 +196,13 @@ Result<int> Listen(int port) {
 Result<int> ConnectOnce(int port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::NetworkError("socket failed");
+  // SO_REUSEADDR on the *connect* side too: Linux only lets a later
+  // SO_REUSEADDR bind ride over this socket's TIME-WAIT remnant if the
+  // remnant also had the option set. Without it, an outbound connection
+  // whose ephemeral source port lands on another mesh's fixed listen
+  // port poisons that port for a full TIME-WAIT interval.
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -199,7 +212,6 @@ Result<int> ConnectOnce(int port) {
     return Status::NetworkError("connect " + std::to_string(port) + ": " +
                                 std::strerror(errno));
   }
-  int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }

@@ -19,7 +19,7 @@ std::string MetricKindToString(MetricKind kind) {
 internal_obs::MetricCell* MetricRegistry::FindOrCreate(
     const std::string& name, MetricKind kind, const HistogramSpec* spec) {
   if (!enabled_) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (internal_obs::MetricCell& cell : cells_) {
     if (cell.name == name) {
       if (cell.kind != kind) {
@@ -66,7 +66,7 @@ Histogram MetricRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snap.entries.reserve(cells_.size());
     for (const internal_obs::MetricCell& cell : cells_) {
       MetricsSnapshot::Entry e;
@@ -90,7 +90,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 std::vector<std::string> MetricRegistry::registration_errors() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return errors_;
 }
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/histogram.h"
 
 namespace adaptagg {
@@ -164,30 +164,36 @@ class MetricRegistry {
 
   bool enabled() const { return enabled_; }
 
-  Counter counter(const std::string& name);
-  Gauge gauge(const std::string& name);
-  Histogram histogram(const std::string& name, const HistogramSpec& spec);
+  Counter counter(const std::string& name) ADAPTAGG_EXCLUDES(mu_);
+  Gauge gauge(const std::string& name) ADAPTAGG_EXCLUDES(mu_);
+  Histogram histogram(const std::string& name, const HistogramSpec& spec)
+      ADAPTAGG_EXCLUDES(mu_);
 
   /// Reads every metric (relaxed) into a name-sorted snapshot. Safe to
   /// call from any thread while updates are in flight.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const ADAPTAGG_EXCLUDES(mu_);
 
   /// Kind-mismatch registrations observed so far (test hook).
-  std::vector<std::string> registration_errors() const;
+  std::vector<std::string> registration_errors() const
+      ADAPTAGG_EXCLUDES(mu_);
 
  private:
   /// Looks the cell up (or creates it) under mu_. `spec` is non-null
   /// only for histograms; bucket storage is initialized while the lock
   /// is still held so concurrent registration and Snapshot() never see
-  /// the bucket deque mid-growth.
+  /// the bucket deque mid-growth. The returned cell pointer escapes the
+  /// critical section deliberately: cells have stable deque addresses
+  /// and are only ever updated through their atomics (never guarded
+  /// fields), so handle updates stay lock-free.
   internal_obs::MetricCell* FindOrCreate(const std::string& name,
                                          MetricKind kind,
-                                         const HistogramSpec* spec);
+                                         const HistogramSpec* spec)
+      ADAPTAGG_EXCLUDES(mu_);
 
   bool enabled_;
-  mutable std::mutex mu_;
-  std::deque<internal_obs::MetricCell> cells_;
-  std::vector<std::string> errors_;
+  mutable Mutex mu_;
+  std::deque<internal_obs::MetricCell> cells_ ADAPTAGG_GUARDED_BY(mu_);
+  std::vector<std::string> errors_ ADAPTAGG_GUARDED_BY(mu_);
 };
 
 }  // namespace adaptagg

@@ -40,12 +40,17 @@ struct TraceEvent {
 };
 
 /// Seconds on the host's monotonic clock (the trace wall timeline).
+/// This is the engine's one sanctioned wall-time source for
+/// observability: lint rule D1 allowlists this header and its
+/// implementation; algorithm code must charge the CostClock instead.
 double WallSeconds();
 
-/// Collects one node's trace events. Written only by the owning node's
-/// thread during a run; the cluster concatenates all recorders after the
-/// node threads join. Disabled recorders drop events at the door, so
-/// instrumentation sites never check configuration themselves.
+/// Collects one node's trace events. Single-writer by construction —
+/// only the owning node's thread records during a run, and the cluster
+/// concatenates recorders strictly after the node threads join — so the
+/// class carries no lock and no ADAPTAGG_GUARDED_BY members; the join
+/// is the synchronization point. Disabled recorders drop events at the
+/// door, so instrumentation sites never check configuration themselves.
 class TraceRecorder {
  public:
   /// `wall_epoch_s` is the cluster-wide run start (WallSeconds() at run

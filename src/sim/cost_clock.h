@@ -12,6 +12,11 @@ namespace adaptagg {
 /// cost onto the node's clock, mirroring the paper's "no overlap between
 /// CPU, I/O and message passing" assumption. Message causality is kept by
 /// advancing the receiver to at least the sender's departure time.
+///
+/// Single-owner by construction: only the owning node's thread charges
+/// or reads it during a run, and Cluster::Run reads the totals after
+/// joining every node thread, so there is no lock and nothing to
+/// ADAPTAGG_GUARDED_BY — the join is the synchronization point.
 class CostClock {
  public:
   double now() const { return now_; }
@@ -56,7 +61,9 @@ class CostClock {
 /// The shared Ethernet medium of the limited-bandwidth network model: a
 /// single sequential resource. A sender reserves `duration` seconds on the
 /// medium no earlier than `earliest`; the reservation start is returned.
-/// Thread-safe (nodes run on concurrent threads).
+/// Thread-safe (nodes run on concurrent threads) without a mutex: the
+/// only shared state is one atomic advanced by CAS, so there is no
+/// capability to annotate.
 class SharedEther {
  public:
   /// Reserves [start, start+duration) with start >= max(earliest,

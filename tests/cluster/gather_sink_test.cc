@@ -1,0 +1,65 @@
+#include "cluster/gather_sink.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace adaptagg {
+namespace {
+
+TEST(GatherSinkTest, AppendCopiesRowBytes) {
+  GatherSink sink;
+  std::vector<uint8_t> row = {1, 2, 3, 4};
+  sink.Append(row.data(), row.size());
+  row.assign(row.size(), 0);  // the sink must have taken a copy
+  std::vector<std::vector<uint8_t>> rows = sink.TakeRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(GatherSinkTest, TakeRowsDrainsTheSink) {
+  GatherSink sink;
+  const uint8_t row[] = {7};
+  sink.Append(row, 1);
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.TakeRows().size(), 1u);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.TakeRows().empty());
+}
+
+TEST(GatherSinkTest, ConcurrentAppendsAllArrive) {
+  GatherSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint8_t row[2] = {static_cast<uint8_t>(t),
+                                static_cast<uint8_t>(i % 251)};
+        sink.Append(row, 2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::vector<uint8_t>> rows = sink.TakeRows();
+  ASSERT_EQ(rows.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  // Every thread's rows all arrived intact.
+  std::vector<int> per_thread(kThreads, 0);
+  for (const auto& r : rows) {
+    ASSERT_EQ(r.size(), 2u);
+    ASSERT_LT(r[0], kThreads);
+    ++per_thread[r[0]];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,104 @@
+#include "common/mutex.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace adaptagg {
+namespace {
+
+TEST(MutexTest, MutexLockSerializesConcurrentIncrements) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  bool acquired = true;
+  std::thread other([&] { acquired = mu.TryLock(); });
+  other.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  std::thread again([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  again.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      MutexLock lock(&mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitUntilTimesOutWithoutNotification) {
+  Mutex mu;
+  CondVar cv;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(20);
+  MutexLock lock(&mu);
+  while (cv.WaitUntil(mu, deadline)) {
+    // Spurious wakeups report "no timeout"; wait them out.
+  }
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVarTest, WaitUntilSeesNotificationBeforeDeadline) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      MutexLock lock(&mu);
+      ready = true;
+    }
+    cv.NotifyAll();
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool saw = false;
+  {
+    MutexLock lock(&mu);
+    while (!ready) {
+      if (!cv.WaitUntil(mu, deadline)) break;
+    }
+    saw = ready;
+  }
+  producer.join();
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace adaptagg

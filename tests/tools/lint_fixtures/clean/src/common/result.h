@@ -1,0 +1,10 @@
+#ifndef ADAPTAGG_COMMON_RESULT_H_
+#define ADAPTAGG_COMMON_RESULT_H_
+
+namespace fixture {
+/// Minimal stand-in so rule S5 sees the [[nodiscard]] contract.
+template <typename T>
+class [[nodiscard]] Result {};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_COMMON_RESULT_H_

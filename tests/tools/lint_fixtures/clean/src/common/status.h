@@ -1,0 +1,9 @@
+#ifndef ADAPTAGG_COMMON_STATUS_H_
+#define ADAPTAGG_COMMON_STATUS_H_
+
+namespace fixture {
+/// Minimal stand-in so rule S5 sees the [[nodiscard]] contract.
+class [[nodiscard]] Status {};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_COMMON_STATUS_H_

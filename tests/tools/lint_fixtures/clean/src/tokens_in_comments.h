@@ -1,0 +1,14 @@
+#ifndef ADAPTAGG_TOKENS_IN_COMMENTS_H_
+#define ADAPTAGG_TOKENS_IN_COMMENTS_H_
+
+// Banned tokens inside comments must stay exempt: throw, catch,
+// Recv(0), steady_clock, rand(), AddRecord(), std::cout, std::mutex,
+// random_device, and a range-for over an unordered_map.
+namespace fixture {
+/// Banned tokens inside string literals must stay exempt too.
+inline const char* Doc() {
+  return "using namespace std; mt19937 steady_clock throw Recv( ";
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_TOKENS_IN_COMMENTS_H_

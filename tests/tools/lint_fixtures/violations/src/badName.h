@@ -1,0 +1,8 @@
+#ifndef ADAPTAGG_BADNAME_H_
+#define ADAPTAGG_BADNAME_H_
+
+namespace fixture {
+inline int Two() { return 2; }
+}  // namespace fixture
+
+#endif  // ADAPTAGG_BADNAME_H_

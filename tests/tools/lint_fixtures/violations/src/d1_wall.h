@@ -1,0 +1,13 @@
+#ifndef ADAPTAGG_D1_WALL_H_
+#define ADAPTAGG_D1_WALL_H_
+
+#include <chrono>
+
+namespace fixture {
+inline double Now() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_D1_WALL_H_

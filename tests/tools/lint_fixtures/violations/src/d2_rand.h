@@ -1,0 +1,13 @@
+#ifndef ADAPTAGG_D2_RAND_H_
+#define ADAPTAGG_D2_RAND_H_
+
+#include <random>
+
+namespace fixture {
+inline int Roll() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_D2_RAND_H_

@@ -1,0 +1,17 @@
+#ifndef ADAPTAGG_D3_UNORDERED_H_
+#define ADAPTAGG_D3_UNORDERED_H_
+
+#include <unordered_map>
+
+namespace fixture {
+struct Histogram {
+  std::unordered_map<int, int> counts_;
+  int Sum() const {
+    int total = 0;
+    for (const auto& kv : counts_) total += kv.second;
+    return total;
+  }
+};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_D3_UNORDERED_H_

@@ -1,0 +1,8 @@
+#ifndef ADAPTAGG_WRONG_GUARD_H_
+#define ADAPTAGG_WRONG_GUARD_H_
+
+namespace fixture {
+inline int One() { return 1; }
+}  // namespace fixture
+
+#endif  // ADAPTAGG_WRONG_GUARD_H_

@@ -1,0 +1,10 @@
+#ifndef ADAPTAGG_OBS_S7_UNDOC_H_
+#define ADAPTAGG_OBS_S7_UNDOC_H_
+
+namespace fixture {
+struct Undocumented {
+  int value = 0;
+};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_OBS_S7_UNDOC_H_

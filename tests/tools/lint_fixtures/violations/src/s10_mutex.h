@@ -1,0 +1,16 @@
+#ifndef ADAPTAGG_S10_MUTEX_H_
+#define ADAPTAGG_S10_MUTEX_H_
+
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace fixture {
+struct Counter {
+  std::mutex raw_mu_;
+  Mutex unguarded_;
+  int value_ = 0;
+};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S10_MUTEX_H_

@@ -1,0 +1,11 @@
+#ifndef ADAPTAGG_S1_THROW_H_
+#define ADAPTAGG_S1_THROW_H_
+
+namespace fixture {
+inline int Parse(int v) {
+  if (v < 0) throw v;
+  return v;
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S1_THROW_H_

@@ -1,0 +1,12 @@
+#ifndef ADAPTAGG_S2_USING_H_
+#define ADAPTAGG_S2_USING_H_
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+inline string Name() { return "x"; }
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S2_USING_H_

@@ -1,0 +1,10 @@
+#ifndef ADAPTAGG_S3_LONG_LINE_H_
+#define ADAPTAGG_S3_LONG_LINE_H_
+
+// This comment line is deliberately written to run far past the eighty column limit.
+
+namespace fixture {
+inline int Three() { return 3; }
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S3_LONG_LINE_H_

@@ -1,0 +1,9 @@
+#include <vector>
+
+namespace fixture {
+int Sum(const std::vector<int>& v) {
+  int s = 0;
+  for (int x : v) s += x;
+  return s;
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#ifndef ADAPTAGG_S6_STDOUT_H_
+#define ADAPTAGG_S6_STDOUT_H_
+
+#include <iostream>
+
+namespace fixture {
+inline void Print() { std::cout << "hi"; }
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S6_STDOUT_H_

@@ -1,0 +1,11 @@
+#ifndef ADAPTAGG_S8_BARE_RECV_H_
+#define ADAPTAGG_S8_BARE_RECV_H_
+
+namespace fixture {
+struct Endpoint {
+  int Poll() { return Recv(0); }
+  int Recv(int from);
+};
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S8_BARE_RECV_H_

@@ -1,0 +1,11 @@
+#ifndef ADAPTAGG_S9_SCALAR_H_
+#define ADAPTAGG_S9_SCALAR_H_
+
+namespace fixture {
+template <typename Sink>
+int Drain(Sink& sink) {
+  return sink.AddRecord(0, nullptr);
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S9_SCALAR_H_

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy at the repo root) over src/ using
-# the compile database of an existing build tree.
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# compiled tree — src/, tests/, tools/, bench/, examples/ — using the
+# compile database of an existing build tree. Lint self-test fixtures
+# (deliberate violations, never compiled) are excluded.
 #
 #   tools/run_clang_tidy.sh [build_dir]     (default: build)
 #
 # Exits 0 with a notice when clang-tidy is not installed, so the check is
 # advisory on machines without LLVM but enforcing in CI images that have
-# it. src/ is kept at zero warnings (see DESIGN.md "Correctness tooling").
+# it. All trees are kept at zero warnings (see DESIGN.md "Correctness
+# tooling").
 set -u
 cd "$(dirname "$0")/.."
 
@@ -24,7 +27,8 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
-FILES=$(find src -name '*.cc' | sort)
+FILES=$(find src tests tools bench examples -name '*.cc' \
+          -not -path '*/lint_fixtures/*' | sort)
 STATUS=0
 for f in $FILES; do
   "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
