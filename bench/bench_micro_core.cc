@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -14,6 +15,7 @@
 #include "agg/spilling_aggregator.h"
 #include "bench_util.h"
 #include "common/random.h"
+#include "model/locality_model.h"
 #include "storage/page.h"
 #include "workload/distributions.h"
 
@@ -165,12 +167,16 @@ double RunScalarPass(const AggregationSpec& spec, const Schema& schema,
 }
 
 /// One pass of the batched pipeline inner loop: gather a page worth of
-/// tuples, hash all keys, run the fused batch upsert.
+/// tuples, hash all keys, run the fused batch upsert. When the table is
+/// in radix mode the pass stages through the overflow entry point and
+/// the final drain is timed too — staging deferred is not work saved.
 double RunBatchPass(const AggregationSpec& spec, const Schema& schema,
                     const std::vector<uint8_t>& raw, int64_t tuples,
                     AggHashTable& table) {
   TupleBatch batch(&spec);
+  std::vector<int> overflow;
   const int rec_size = schema.tuple_size();
+  const bool radix = table.radix_partitioning();
   const double t0 = NowSeconds();
   int64_t i = 0;
   while (i < tuples) {
@@ -183,8 +189,13 @@ double RunBatchPass(const AggregationSpec& spec, const Schema& schema,
                                tuples - i, kBatchWidth - batch.size())));
     }
     batch.ComputeHashes();
-    benchmark::DoNotOptimize(table.UpsertProjectedBatch(batch, 0));
+    if (radix) {
+      table.UpsertProjectedBatchOverflow(batch, 0, overflow);
+    } else {
+      benchmark::DoNotOptimize(table.UpsertProjectedBatch(batch, 0));
+    }
   }
+  if (radix) table.FlushRadixStaging();
   return NowSeconds() - t0;
 }
 
@@ -200,12 +211,14 @@ void RunLocalAggHarness(bench::BenchJsonWriter& json) {
   std::printf("COUNT(*), SUM(v) GROUP BY g over %lld tuples, best of 3\n\n",
               static_cast<long long>(tuples));
   bench::TablePrinter table(
-      {"groups", "scalar(s)", "batch(s)", "scalar tup/s", "batch tup/s",
-       "speedup"});
+      {"groups", "radix", "scalar(s)", "batch(s)", "scalar tup/s",
+       "batch tup/s", "speedup"});
 
   // Low grouping selectivity is the canonical case (the hash table stays
   // in memory); 262144 adds a cache-unfriendly point where the
-  // prefetched probes matter most.
+  // prefetched probes matter most — and where the locality model engages
+  // radix pre-partitioning for the batch pass, exactly as the engine's
+  // kAuto policy would.
   for (int64_t groups : {64LL, 4096LL, 262144LL}) {
     std::vector<uint8_t> raw(static_cast<size_t>(tuples) *
                              schema.tuple_size());
@@ -218,6 +231,21 @@ void RunLocalAggHarness(bench::BenchJsonWriter& json) {
       std::memcpy(raw.data() + i * 16 + 8, &v, 8);
     }
 
+    // The same locality decision the engine's kAuto mode makes: the
+    // group count is exact here, so the decision is too.
+    // ADAPTAGG_BENCH_RADIX=off|on overrides it for A/B sweeps.
+    const char* radix_env = std::getenv("ADAPTAGG_BENCH_RADIX");
+    RadixMode mode = RadixMode::kAuto;
+    if (radix_env != nullptr && std::strcmp(radix_env, "off") == 0) {
+      mode = RadixMode::kOff;
+    } else if (radix_env != nullptr && std::strcmp(radix_env, "on") == 0) {
+      mode = RadixMode::kOn;
+    }
+    const RadixDecision radix = DecideRadixPartitioning(
+        mode, groups, /*max_entries=*/groups,
+        spec->key_width() + spec->state_width(), kDefaultL2Bytes,
+        kDefaultLlcBytes);
+
     double scalar_s = 1e300;
     double batch_s = 1e300;
     for (int rep = 0; rep < 3; ++rep) {
@@ -225,14 +253,17 @@ void RunLocalAggHarness(bench::BenchJsonWriter& json) {
       scalar_s =
           std::min(scalar_s, RunScalarPass(*spec, schema, raw, tuples, ts));
       AggHashTable tb(&*spec, groups);
+      if (radix.engage) tb.EnableRadixPartitioning(radix.partitions);
       batch_s =
           std::min(batch_s, RunBatchPass(*spec, schema, raw, tuples, tb));
     }
     const double scalar_tps = static_cast<double>(tuples) / scalar_s;
     const double batch_tps = static_cast<double>(tuples) / batch_s;
-    table.AddRow({bench::FmtInt(groups), bench::FmtSeconds(scalar_s),
-                  bench::FmtSeconds(batch_s), bench::FmtSci(scalar_tps),
-                  bench::FmtSci(batch_tps),
+    table.AddRow({bench::FmtInt(groups),
+                  radix.engage ? "P=" + bench::FmtInt(radix.partitions)
+                               : std::string("off"),
+                  bench::FmtSeconds(scalar_s), bench::FmtSeconds(batch_s),
+                  bench::FmtSci(scalar_tps), bench::FmtSci(batch_tps),
                   bench::FmtSeconds(scalar_s / batch_s)});
     const std::string suffix = "/groups=" + std::to_string(groups);
     json.AddPoint("local_agg_scalar" + suffix, 0, scalar_s, scalar_tps);

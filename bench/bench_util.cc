@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/simd.h"
+
 namespace adaptagg {
 namespace bench {
 namespace {
@@ -204,9 +206,10 @@ bool BenchJsonWriter::Write(const std::string& dir) const {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n"
-               "  \"bench_binary\": \"%s\",\n  \"config\": \"%s\",\n",
+               "  \"bench_binary\": \"%s\",\n  \"cpu_dispatch\": \"%s\",\n"
+               "  \"config\": \"%s\",\n",
                JsonEscape(bench_id_).c_str(), kBenchJsonSchemaVersion,
-               JsonEscape(BenchBinaryName()).c_str(),
+               JsonEscape(BenchBinaryName()).c_str(), simd::DispatchName(),
                JsonEscape(config_).c_str());
   std::fprintf(f, "  \"points\": [\n");
   for (size_t i = 0; i < points_.size(); ++i) {

@@ -88,15 +88,17 @@ void PrintHeader(const std::string& figure, const std::string& description,
 
 /// Schema version stamped into every BENCH_*.json. Bump when the layout
 /// changes incompatibly. v2 added schema_version, bench_binary, and the
-/// embedded metrics object.
-inline constexpr int kBenchJsonSchemaVersion = 2;
+/// embedded metrics object; v3 added cpu_dispatch (the resolved SIMD
+/// code path — "scalar" / "avx2" / "neon" — so wall-clock numbers are
+/// never compared across different kernels by accident).
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Collects benchmark points and writes them as `BENCH_<bench_id>.json`
 /// so numbers can be checked into the repo and diffed across commits.
-/// Layout (schema v2):
+/// Layout (schema v3):
 ///
-///   {"bench": "...", "schema_version": 2, "bench_binary": "...",
-///    "config": "...",
+///   {"bench": "...", "schema_version": 3, "bench_binary": "...",
+///    "cpu_dispatch": "...", "config": "...",
 ///    "points": [{"name": "...", "sim_time_s": ...,
 ///                "wall_time_s": ..., "tuples_per_sec": ...}, ...],
 ///    "metrics": {...}}

@@ -20,6 +20,15 @@ void Store(uint8_t* p, T v) {
   std::memcpy(p, &v, sizeof(T));
 }
 
+/// Two's-complement wrapping add: SUM/COUNT/AVG accumulators must wrap
+/// on int64 overflow (sentinel extremes are legal inputs) with the same
+/// bit pattern the SIMD fused kernels produce, and a raw signed add
+/// would be undefined behavior instead.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
 }  // namespace
 
 std::string AggKindToString(AggKind kind) {
@@ -90,24 +99,24 @@ void AggregateOp::InitState(uint8_t* state) const {
 void AggregateOp::UpdateRaw(uint8_t* state, const uint8_t* value_bytes) const {
   switch (kind_) {
     case AggKind::kCount:
-      Store<int64_t>(state, Load<int64_t>(state) + 1);
+      Store<int64_t>(state, WrapAdd(Load<int64_t>(state), 1));
       return;
     case AggKind::kSum:
       if (input_type_ == DataType::kInt64) {
-        Store<int64_t>(state,
-                       Load<int64_t>(state) + Load<int64_t>(value_bytes));
+        Store<int64_t>(
+            state, WrapAdd(Load<int64_t>(state), Load<int64_t>(value_bytes)));
       } else {
         Store<double>(state, Load<double>(state) + Load<double>(value_bytes));
       }
       return;
     case AggKind::kAvg:
       if (input_type_ == DataType::kInt64) {
-        Store<int64_t>(state,
-                       Load<int64_t>(state) + Load<int64_t>(value_bytes));
+        Store<int64_t>(
+            state, WrapAdd(Load<int64_t>(state), Load<int64_t>(value_bytes)));
       } else {
         Store<double>(state, Load<double>(state) + Load<double>(value_bytes));
       }
-      Store<int64_t>(state + 8, Load<int64_t>(state + 8) + 1);
+      Store<int64_t>(state + 8, WrapAdd(Load<int64_t>(state + 8), 1));
       return;
     case AggKind::kMin:
       if (input_type_ == DataType::kInt64) {
@@ -135,23 +144,26 @@ void AggregateOp::UpdateRaw(uint8_t* state, const uint8_t* value_bytes) const {
 void AggregateOp::MergePartial(uint8_t* state, const uint8_t* other) const {
   switch (kind_) {
     case AggKind::kCount:
-      Store<int64_t>(state, Load<int64_t>(state) + Load<int64_t>(other));
+      Store<int64_t>(state,
+                     WrapAdd(Load<int64_t>(state), Load<int64_t>(other)));
       return;
     case AggKind::kSum:
       if (input_type_ == DataType::kInt64) {
-        Store<int64_t>(state, Load<int64_t>(state) + Load<int64_t>(other));
+        Store<int64_t>(
+            state, WrapAdd(Load<int64_t>(state), Load<int64_t>(other)));
       } else {
         Store<double>(state, Load<double>(state) + Load<double>(other));
       }
       return;
     case AggKind::kAvg:
       if (input_type_ == DataType::kInt64) {
-        Store<int64_t>(state, Load<int64_t>(state) + Load<int64_t>(other));
+        Store<int64_t>(
+            state, WrapAdd(Load<int64_t>(state), Load<int64_t>(other)));
       } else {
         Store<double>(state, Load<double>(state) + Load<double>(other));
       }
-      Store<int64_t>(state + 8,
-                     Load<int64_t>(state + 8) + Load<int64_t>(other + 8));
+      Store<int64_t>(state + 8, WrapAdd(Load<int64_t>(state + 8),
+                                        Load<int64_t>(other + 8)));
       return;
     case AggKind::kMin:
       if (Load<int64_t>(other + 8) == 0) return;  // other saw no tuples

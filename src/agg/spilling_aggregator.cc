@@ -96,6 +96,7 @@ Status SpillingAggregator::AddProjectedBatch(const TupleBatch& batch) {
         buckets_[static_cast<size_t>(BucketOf(batch.hash(idx)))]->Append(
             SpillTag::kRaw, batch.record(idx)));
   }
+  if (table_.radix_partitioning()) return DrainTableOverflow();
   return Status::OK();
 }
 
@@ -109,13 +110,33 @@ Status SpillingAggregator::AddPartialBatch(const TupleBatch& batch) {
         buckets_[static_cast<size_t>(BucketOf(batch.hash(idx)))]->Append(
             SpillTag::kPartial, batch.record(idx)));
   }
+  if (table_.radix_partitioning()) return DrainTableOverflow();
   return Status::OK();
+}
+
+void SpillingAggregator::EnableRadixPartitioning(int partitions) {
+  ADAPTAGG_CHECK(!finished_) << "EnableRadixPartitioning after Finish()";
+  table_.EnableRadixPartitioning(partitions);
+}
+
+Status SpillingAggregator::DrainTableOverflow() {
+  return table_.DrainRadixOverflow(
+      [&](bool partial, uint64_t hash, const uint8_t* rec) -> Status {
+        ADAPTAGG_RETURN_IF_ERROR(EnsureBuckets());
+        ++stats_.overflow_records;
+        return buckets_[static_cast<size_t>(BucketOf(hash))]->Append(
+            partial ? SpillTag::kPartial : SpillTag::kRaw, rec);
+      });
 }
 
 Status SpillingAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;
 
+  if (table_.radix_partitioning()) {
+    table_.FlushRadixStaging();
+    ADAPTAGG_RETURN_IF_ERROR(DrainTableOverflow());
+  }
   table_.ForEach(
       [&](const uint8_t* key, const uint8_t* state) { emit(key, state); });
   table_.Clear();

@@ -58,6 +58,15 @@ class SpillingAggregator {
   /// AddPartial on every record in order.
   Status AddPartialBatch(const TupleBatch& batch);
 
+  /// Switches the resident table to cache-sized radix pre-partitioning
+  /// with `partitions` partition regions (see
+  /// AggHashTable::EnableRadixPartitioning). Must run before any
+  /// records; batch adds then stage + drain L2-resident, Finish flushes,
+  /// and table overflow reaches the spill buckets through the staged
+  /// path — results stay byte-identical. Recursive children never
+  /// inherit the mode (their inputs are already one bucket's worth).
+  void EnableRadixPartitioning(int partitions);
+
   /// Emits all groups (table first, then recursive buckets) and releases
   /// the spill files.
   Status Finish(const EmitFn& emit);
@@ -88,6 +97,11 @@ class SpillingAggregator {
   Status Add(SpillTag tag, const uint8_t* record, uint64_t hash);
   Status EnsureBuckets();
   int BucketOf(uint64_t hash) const;
+
+  /// Routes records the radix table refused (drained from its pending
+  /// buffer) to the spill buckets, exactly like the non-radix overflow
+  /// loop.
+  Status DrainTableOverflow();
 
   const AggregationSpec* spec_;
   Disk* disk_;

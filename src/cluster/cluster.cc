@@ -7,6 +7,7 @@
 
 #include "cluster/gather_sink.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "net/fault.h"
 
 namespace adaptagg {
@@ -125,6 +126,14 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
           ->set_observer(MakeFaultObserver(&contexts.back()->obs()));
     }
   }
+
+  // Resolve the SIMD dispatch before any node thread touches a batch
+  // kernel and pin the outcome into the coordinator's trace: one instant
+  // per run, so a trace always says which code path produced it.
+  contexts.front()->obs().RecordDecision(
+      "simd.dispatch",
+      {{"kind", static_cast<int64_t>(simd::ActiveDispatch())},
+       {"forced_scalar", simd::ForcedScalar() ? 1 : 0}});
 
   std::vector<Status> statuses(static_cast<size_t>(n));
   // Wall time of the run's first node failure, for the abort-latency

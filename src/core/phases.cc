@@ -5,6 +5,30 @@
 #include "common/logging.h"
 
 namespace adaptagg {
+namespace {
+
+/// Applies the locality model's radix decision to one aggregator before
+/// it sees any records. `role` names the aggregation for the trace
+/// ("local": the scan-phase table; "global": the merge-phase table) and
+/// `est_groups` is the expected group count for it — 0 (no sampling
+/// estimate) leaves kAuto disengaged. Wall-clock-only: the choice never
+/// touches the cost clock, so simulated results are unchanged either
+/// way.
+void MaybeEnableRadix(NodeContext& ctx, SpillingAggregator& agg,
+                      const char* role, int64_t est_groups) {
+  const RadixDecision d = DecideRadixPartitioning(
+      ctx.options().radix_mode, est_groups, ctx.max_hash_entries(),
+      ctx.spec().key_width() + ctx.spec().state_width(),
+      ctx.options().radix_l2_bytes, ctx.options().radix_llc_bytes);
+  if (!d.engage) return;
+  agg.EnableRadixPartitioning(d.partitions);
+  ctx.obs().RecordDecision(std::string("radix.engage.") + role,
+                           {{"partitions", d.partitions},
+                            {"est_groups", est_groups},
+                            {"working_set_bytes", d.working_set_bytes}});
+}
+
+}  // namespace
 
 DataReceiver::DataReceiver(NodeContext* ctx, SpillingAggregator* agg,
                            int expected_eos)
@@ -146,11 +170,15 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
                             ctx.options().spill_fanout,
                             "g2p_n" + std::to_string(ctx.node_id()));
   DataReceiver recv(&ctx, &global, n);
+  // Each node's merge table owns ~1/n of the groups routed by key hash.
+  MaybeEnableRadix(ctx, global, "global",
+                   ctx.estimated_local_groups() / std::max(n, 1));
 
   // Phase 1: aggregate the local partition.
   SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
                            ctx.options().spill_fanout,
                            "l2p_n" + std::to_string(ctx.node_id()));
+  MaybeEnableRadix(ctx, local, "local", ctx.estimated_local_groups());
   {
     ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
     PhaseTimer scan_span = ctx.obs().StartPhase("scan");
@@ -194,6 +222,10 @@ Status RunRepartitioningBody(NodeContext& ctx) {
                             ctx.options().spill_fanout,
                             "grep_n" + std::to_string(ctx.node_id()));
   DataReceiver recv(&ctx, &global, n);
+  // Repartitioning routes raw tuples by key hash, so this node's table
+  // holds ~1/n of the groups.
+  MaybeEnableRadix(ctx, global, "global",
+                   ctx.estimated_local_groups() / std::max(n, 1));
   Exchange ex(&ctx, MessageType::kRawPage, spec.projected_width(),
               kPhaseData);
 

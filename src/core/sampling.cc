@@ -5,6 +5,7 @@
 #include "common/random.h"
 #include "core/algorithm.h"
 #include "core/phases.h"
+#include "model/locality_model.h"
 #include "model/sampling_model.h"
 
 namespace adaptagg {
@@ -45,12 +46,12 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
   }
 
   std::unordered_set<std::string> local_keys;
+  int64_t sampled = 0;
   {
     std::vector<uint8_t> page_bytes;
     std::vector<uint8_t> proj(static_cast<size_t>(spec.projected_width()));
     const double select_cost = p.t_r() + p.t_w();
     const double agg_cost = p.t_r() + p.t_h() + p.t_a();
-    int64_t sampled = 0;
     for (uint64_t page_id : page_ids) {
       ADAPTAGG_RETURN_IF_ERROR(ctx.disk()->ReadPage(
           part->file_id(), static_cast<int64_t>(page_id), page_bytes));
@@ -79,6 +80,13 @@ Result<bool> DecideBySampling(NodeContext& ctx) {
       }
     }
   }
+
+  // Invert the sample into a per-node group estimate for the locality
+  // model: radix pre-partitioning engages when the estimated working
+  // set exceeds L2. Free — the sample was already paid for above.
+  ctx.set_estimated_local_groups(EstimateGroupsFromSample(
+      sampled, static_cast<int64_t>(local_keys.size()),
+      part->num_tuples()));
 
   // Ship the locally observed distinct keys to the coordinator in
   // sorted order: iterating the unordered set directly would make the

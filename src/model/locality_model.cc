@@ -1,0 +1,86 @@
+#include "model/locality_model.h"
+
+#include <algorithm>
+
+#include "model/cost_model.h"
+
+namespace adaptagg {
+namespace {
+
+/// Bucket-index bytes attributed to each group: 8-byte slot indices at
+/// the table's ~1.5x bucket-to-entry ratio.
+constexpr int64_t kBucketBytesPerGroup = 12;
+
+/// Ceiling on the partition count — beyond this the per-partition
+/// staging buffers themselves start to thrash.
+constexpr int kMaxPartitions = 256;
+
+int NextPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RadixDecision DecideRadixPartitioning(RadixMode mode, int64_t est_groups,
+                                      int64_t max_entries,
+                                      int64_t slot_bytes, int64_t l2_bytes,
+                                      int64_t llc_bytes) {
+  RadixDecision d;
+  if (l2_bytes <= 0) l2_bytes = kDefaultL2Bytes;
+  if (llc_bytes <= 0) llc_bytes = kDefaultLlcBytes;
+  d.working_set_bytes =
+      est_groups > 0 ? est_groups * (slot_bytes + kBucketBytesPerGroup) : 0;
+  switch (mode) {
+    case RadixMode::kOff:
+      return d;
+    case RadixMode::kAuto:
+      // LLC, not L2, gates engagement: while the table stays LLC-
+      // resident the streaming loop's prefetches already hide probe
+      // latency and staging's extra memory round-trip is a pure tax.
+      if (est_groups <= 0 || d.working_set_bytes <= llc_bytes ||
+          est_groups > max_entries) {
+        return d;
+      }
+      break;
+    case RadixMode::kOn:
+      break;
+  }
+  d.engage = true;
+  // Target half of L2 per partition region, so a partition's bucket
+  // range and its slots fit together with room for the probe stream.
+  const int64_t target = std::max<int64_t>(1, l2_bytes / 2);
+  const int64_t wanted = (d.working_set_bytes + target - 1) / target;
+  d.partitions = NextPow2(static_cast<int>(
+      std::clamp<int64_t>(wanted, 2, kMaxPartitions)));
+  return d;
+}
+
+int64_t EstimateGroupsFromSample(int64_t sampled, int64_t distinct,
+                                 int64_t population) {
+  if (sampled <= 0 || distinct <= 0) return 0;
+  distinct = std::min(distinct, sampled);
+  if (population < distinct) population = distinct;
+  // All-distinct samples carry no collision signal: ExpectedDistinct
+  // approaches `sampled` only as groups -> infinity, so saturate.
+  if (distinct >= sampled) return population;
+  // ExpectedDistinct is monotonically increasing in the group count, so
+  // binary-search the smallest count whose expected yield reaches the
+  // observed distinct total.
+  int64_t lo = distinct;
+  int64_t hi = population;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (ExpectedDistinct(static_cast<double>(sampled),
+                         static_cast<double>(mid)) <
+        static_cast<double>(distinct)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace adaptagg

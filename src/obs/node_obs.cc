@@ -106,4 +106,13 @@ void NodeObs::RecordFault(
   }
 }
 
+void NodeObs::RecordDecision(
+    const std::string& name,
+    std::vector<std::pair<std::string, int64_t>> args) {
+  if (trace_.enabled()) {
+    trace_.RecordInstant(name, clock_ != nullptr ? clock_->now() : 0,
+                         std::move(args));
+  }
+}
+
 }  // namespace adaptagg

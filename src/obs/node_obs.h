@@ -54,6 +54,14 @@ class NodeObs {
   void RecordFault(const std::string& name,
                    std::vector<std::pair<std::string, int64_t>> args);
 
+  /// Emits an instant trace event for a runtime tuning decision that is
+  /// not an algorithm switch (SIMD dispatch resolution, radix
+  /// pre-partitioning engagement): instant-only, no counter — these
+  /// change wall-clock behavior, never the simulated plan, and must not
+  /// perturb core.switches.
+  void RecordDecision(const std::string& name,
+                      std::vector<std::pair<std::string, int64_t>> args);
+
   /// Copies the shard's metrics; safe while the node thread is running.
   MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
 

@@ -1,0 +1,144 @@
+#include "model/locality_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+
+namespace adaptagg {
+namespace {
+
+constexpr int64_t kSlot = 40;  // 8-byte key + 32-byte state
+
+TEST(DecideRadixPartitioning, OffNeverEngages) {
+  const RadixDecision d = DecideRadixPartitioning(
+      RadixMode::kOff, /*est_groups=*/1'000'000, /*max_entries=*/10'000'000,
+      kSlot, kDefaultL2Bytes, kDefaultLlcBytes);
+  EXPECT_FALSE(d.engage);
+}
+
+TEST(DecideRadixPartitioning, AutoEngagesOnlyBeyondLlc) {
+  // Small working set: hash-direct.
+  EXPECT_FALSE(DecideRadixPartitioning(RadixMode::kAuto, 1'000, 10'000'000,
+                                       kSlot, kDefaultL2Bytes,
+                                       kDefaultLlcBytes)
+                   .engage);
+  // Working set past the LLC budget: engage.
+  const RadixDecision big = DecideRadixPartitioning(
+      RadixMode::kAuto, 1'000'000, 10'000'000, kSlot, kDefaultL2Bytes,
+      kDefaultLlcBytes);
+  EXPECT_TRUE(big.engage);
+  EXPECT_GE(big.partitions, 2);
+  EXPECT_GT(big.working_set_bytes, kDefaultLlcBytes);
+}
+
+TEST(DecideRadixPartitioning, AutoStaysOffWhileLlcResident) {
+  // A working set past L2 but inside the LLC budget stays hash-direct:
+  // the streaming loop's prefetches already hide LLC-resident probe
+  // latency, so staging would be a pure tax (measured: 30-40% slower).
+  const int64_t groups = 262'144;  // ~9.4 MB working set at kSlot+12
+  const RadixDecision d = DecideRadixPartitioning(
+      RadixMode::kAuto, groups, 10'000'000, /*slot_bytes=*/24,
+      kDefaultL2Bytes, kDefaultLlcBytes);
+  EXPECT_GT(d.working_set_bytes, kDefaultL2Bytes);
+  EXPECT_FALSE(d.engage);
+  // Shrinking the LLC budget below the working set flips it on.
+  EXPECT_TRUE(DecideRadixPartitioning(RadixMode::kAuto, groups, 10'000'000,
+                                      /*slot_bytes=*/24, kDefaultL2Bytes,
+                                      /*llc_bytes=*/int64_t{4} << 20)
+                  .engage);
+}
+
+TEST(DecideRadixPartitioning, AutoRespectsTableBound) {
+  // Groups beyond max_entries will spill; staging must not engage (it
+  // would reorder which keys win the limited slots).
+  EXPECT_FALSE(DecideRadixPartitioning(RadixMode::kAuto, 1'000'000,
+                                       /*max_entries=*/10'000, kSlot,
+                                       kDefaultL2Bytes, kDefaultLlcBytes)
+                   .engage);
+}
+
+TEST(DecideRadixPartitioning, AutoWithoutEstimateStaysOff) {
+  EXPECT_FALSE(DecideRadixPartitioning(RadixMode::kAuto, 0, 10'000'000,
+                                       kSlot, kDefaultL2Bytes, kDefaultLlcBytes)
+                   .engage);
+  EXPECT_FALSE(DecideRadixPartitioning(RadixMode::kAuto, -5, 10'000'000,
+                                       kSlot, kDefaultL2Bytes, kDefaultLlcBytes)
+                   .engage);
+}
+
+TEST(DecideRadixPartitioning, OnAlwaysEngages) {
+  const RadixDecision d = DecideRadixPartitioning(
+      RadixMode::kOn, /*est_groups=*/0, 10'000'000, kSlot, kDefaultL2Bytes, kDefaultLlcBytes);
+  EXPECT_TRUE(d.engage);
+  EXPECT_GE(d.partitions, 2);
+}
+
+TEST(DecideRadixPartitioning, PartitionCountTargetsHalfL2) {
+  const int64_t l2 = kDefaultL2Bytes;
+  const RadixDecision d = DecideRadixPartitioning(
+      RadixMode::kAuto, 1'000'000, 10'000'000, kSlot, l2, kDefaultLlcBytes);
+  ASSERT_TRUE(d.engage);
+  // Power of two.
+  EXPECT_EQ(d.partitions & (d.partitions - 1), 0);
+  // Each partition's share of the working set fits half of L2 (the next
+  // power of two can at most halve the share again, hence >= l2 / 4 on
+  // the low side).
+  const int64_t share = d.working_set_bytes / d.partitions;
+  EXPECT_LE(share, l2 / 2);
+  EXPECT_GE(share, l2 / 8);
+}
+
+TEST(DecideRadixPartitioning, PartitionCountIsClamped) {
+  // Astronomically large working set: capped at 256 partitions.
+  const RadixDecision d = DecideRadixPartitioning(
+      RadixMode::kOn, 500'000'000, 1'000'000'000, kSlot, kDefaultL2Bytes, kDefaultLlcBytes);
+  ASSERT_TRUE(d.engage);
+  EXPECT_LE(d.partitions, 256);
+  // Tiny L2 budget still yields at least 2.
+  const RadixDecision tiny = DecideRadixPartitioning(
+      RadixMode::kOn, 10, 1'000'000, kSlot, /*l2_bytes=*/1'000'000'000, kDefaultLlcBytes);
+  ASSERT_TRUE(tiny.engage);
+  EXPECT_GE(tiny.partitions, 2);
+}
+
+TEST(EstimateGroupsFromSample, EmptySampleIsZero) {
+  EXPECT_EQ(EstimateGroupsFromSample(0, 0, 1'000'000), 0);
+}
+
+TEST(EstimateGroupsFromSample, AllDistinctSaturatesToPopulation) {
+  EXPECT_EQ(EstimateGroupsFromSample(1'000, 1'000, 50'000), 50'000);
+  // distinct > sampled is impossible input; it must still saturate
+  // rather than search.
+  EXPECT_EQ(EstimateGroupsFromSample(1'000, 2'000, 50'000), 50'000);
+}
+
+TEST(EstimateGroupsFromSample, InvertsExpectedDistinct) {
+  // For a known G, drawing `sampled` tuples yields ExpectedDistinct
+  // distinct keys on average; feeding that back must recover ~G.
+  for (const int64_t g : {int64_t{100}, int64_t{5'000}, int64_t{100'000}}) {
+    const int64_t sampled = 20'000;
+    const int64_t population = 1'000'000;
+    const int64_t distinct = static_cast<int64_t>(
+        ExpectedDistinct(static_cast<double>(sampled),
+                         static_cast<double>(g)));
+    const int64_t est =
+        EstimateGroupsFromSample(sampled, distinct, population);
+    EXPECT_GE(est, g - g / 5) << g;
+    EXPECT_LE(est, g + g / 5 + 2) << g;
+  }
+}
+
+TEST(EstimateGroupsFromSample, MonotoneInDistinct) {
+  const int64_t sampled = 10'000;
+  const int64_t population = 500'000;
+  int64_t prev = 0;
+  for (int64_t distinct = 100; distinct < sampled; distinct += 1'000) {
+    const int64_t est =
+        EstimateGroupsFromSample(sampled, distinct, population);
+    EXPECT_GE(est, prev) << distinct;
+    prev = est;
+  }
+}
+
+}  // namespace
+}  // namespace adaptagg

@@ -1,0 +1,14 @@
+#ifndef ADAPTAGG_COMMON_SIMD_H_
+#define ADAPTAGG_COMMON_SIMD_H_
+
+// The one file allowed to include raw intrinsics headers and name
+// _mm_* identifiers: rule S11 exempts src/common/simd.h by path.
+#include <immintrin.h>
+
+namespace fixture {
+inline long long Lane0(long long a) {
+  return _mm_extract_epi64(_mm_set1_epi64x(a), 0);
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_COMMON_SIMD_H_

@@ -1,0 +1,15 @@
+#ifndef ADAPTAGG_S11_INTRINSICS_H_
+#define ADAPTAGG_S11_INTRINSICS_H_
+
+#include <immintrin.h>
+
+namespace fixture {
+inline long long AddLanes(long long a, long long b) {
+  __m128i va = _mm_set1_epi64x(a);
+  __m128i vb = _mm_set1_epi64x(b);
+  __m128i sum = _mm_add_epi64(va, vb);
+  return _mm_extract_epi64(sum, 0);
+}
+}  // namespace fixture
+
+#endif  // ADAPTAGG_S11_INTRINSICS_H_

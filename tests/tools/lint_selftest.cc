@@ -77,6 +77,7 @@ TEST(LintSelfTest, EveryRuleFiresOnItsViolationFixture) {
       {"D1", "src/d1_wall.h"},
       {"D2", "src/d2_rand.h"},
       {"D3", "src/d3_unordered.h"},
+    {"S11", "src/s11_intrinsics.h"},
   };
   for (const auto& e : kExpected) {
     EXPECT_TRUE(HasFinding(run.output, e.rule, e.file))

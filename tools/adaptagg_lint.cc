@@ -48,6 +48,12 @@
 //       see them — and every Mutex declaration has at least one sibling
 //       annotated ADAPTAGG_GUARDED_BY(that mutex). A mutex guarding a
 //       non-member resource (e.g. a C stream) takes an allowlist entry.
+//   S11 no raw SIMD intrinsics in src/ outside src/common/simd.h — no
+//       <immintrin.h> / <x86intrin.h> / <emmintrin.h> / <arm_neon.h>
+//       includes and no _mm_ / _mm256_ / _mm512_ / vld1q / vst1q
+//       identifiers. Vector code goes through the portable dispatch
+//       layer so the scalar fallback and forced-scalar override stay
+//       exhaustive.
 //   D1  no wall-clock reads in src/ (steady_clock / system_clock /
 //       WallSeconds / ...): simulated results must depend only on the
 //       CostClock. Wall time is allowlisted exactly where it belongs —
@@ -580,6 +586,42 @@ void CheckNoScalarDataPlane(const std::string& rel,
   }
 }
 
+/// S11: raw SIMD intrinsics outside the portable layer. Everything
+/// vectorized routes through src/common/simd.h, which owns the runtime
+/// dispatch and the scalar fallback; an intrinsic used anywhere else is
+/// a code path the forced-scalar override cannot reach.
+void CheckNoRawIntrinsics(const std::string& rel,
+                          const std::vector<std::string>& stripped) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    for (const char* header :
+         {"<immintrin.h>", "<x86intrin.h>", "<emmintrin.h>",
+          "<arm_neon.h>"}) {
+      if (l.find("#include") != std::string::npos &&
+          l.find(header) != std::string::npos) {
+        Report(rel, static_cast<int>(i) + 1, "S11",
+               std::string("raw intrinsics header ") + header +
+                   " outside src/common/simd.h — use the portable "
+                   "simd:: layer");
+      }
+    }
+    for (const char* prefix :
+         {"_mm_", "_mm256_", "_mm512_", "vld1q", "vst1q"}) {
+      size_t pos = l.find(prefix);
+      while (pos != std::string::npos) {
+        if (pos == 0 || !IsIdentChar(l[pos - 1])) {
+          Report(rel, static_cast<int>(i) + 1, "S11",
+                 std::string("raw intrinsic ") + prefix +
+                     "... outside src/common/simd.h — use the portable "
+                     "simd:: layer");
+          break;  // one finding per line is enough
+        }
+        pos = l.find(prefix, pos + 1);
+      }
+    }
+  }
+}
+
 /// S10: every lock in src/ must be visible to clang thread-safety
 /// analysis. Raw std::mutex / std::shared_mutex carry no capability
 /// attributes, so declaring (or even naming) one outside the annotated
@@ -901,6 +943,9 @@ int main(int argc, char** argv) {
       }
       if (!ScalarDataPlaneAllowed(f.rel)) {
         CheckNoScalarDataPlane(f.rel, f.stripped_lines);
+      }
+      if (f.rel != "src/common/simd.h") {
+        CheckNoRawIntrinsics(f.rel, f.stripped_lines);
       }
       if (f.path.extension() == ".cc") {
         CheckCcPairing(root, f.rel, f.lines);
