@@ -8,7 +8,7 @@
 
 #include "agg/reference.h"
 #include "cluster/cluster.h"
-#include "core/algorithm.h"
+#include "core/query.h"
 #include "workload/generator.h"
 
 using namespace adaptagg;
@@ -45,8 +45,10 @@ int main() {
               static_cast<long long>(workload.num_groups));
   std::printf("%-6s  %10s  %10s  %8s  %s\n", "algo", "modeled(s)",
               "distinct", "spilled", "switched");
+  Query q;
+  q.spec = *distinct;
   for (AlgorithmKind kind : AllAlgorithms()) {
-    RunResult run = cluster.Run(*MakeAlgorithm(kind), *distinct, *rel);
+    RunResult run = q.Execute(cluster, *rel, kind);
     if (!run.status.ok()) {
       std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
                    run.status.ToString().c_str());

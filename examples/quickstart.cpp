@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "agg/reference.h"
-#include "cluster/cluster.h"
-#include "core/algorithm.h"
+#include "serve/cluster_service.h"
 #include "workload/generator.h"
 
 using namespace adaptagg;
@@ -40,12 +39,28 @@ int main() {
     return 1;
   }
 
-  // 4. Run the Adaptive Two Phase algorithm (§3.2): it starts as Two
-  //    Phase and each node independently switches to repartitioning if
-  //    its hash table overflows. 5000 groups > M=2000, so they all will.
-  Cluster cluster(params);
-  RunResult run = cluster.Run(
-      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), *query, *rel);
+  // 4. Start the resident serving layer and submit the query with the
+  //    Adaptive Two Phase algorithm (§3.2): it starts as Two Phase and
+  //    each node independently switches to repartitioning if its hash
+  //    table overflows. 5000 groups > M=2000, so they all will.
+  ServiceConfig config;
+  config.params = params;
+  auto service = ClusterService::Start(config, &*rel);
+  if (!service.ok()) {
+    std::fprintf(stderr, "start: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  ServeQuery submission;
+  submission.spec = *query;
+  submission.algorithm = AlgorithmKind::kAdaptiveTwoPhase;
+  auto ticket = (*service)->Submit(std::move(submission));
+  if (!ticket.ok()) {
+    std::fprintf(stderr, "submit: %s\n", ticket.status().ToString().c_str());
+    return 1;
+  }
+  RunResult run = (*ticket)->Wait();
   if (!run.status.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status.ToString().c_str());
     return 1;
@@ -80,5 +95,17 @@ int main() {
     return 1;
   }
   std::printf("verified against reference aggregate: OK\n");
+
+  // 7. Resubmit the same query: the service answers from its result
+  //    cache without touching the data plane.
+  ServeQuery again;
+  again.spec = *query;
+  again.algorithm = AlgorithmKind::kAdaptiveTwoPhase;
+  auto cached = (*service)->Submit(std::move(again));
+  if (!cached.ok()) return 1;
+  const RunResult& hit = (*cached)->Wait();
+  std::printf("resubmitted: from_cache=%s rows=%lld\n",
+              hit.from_cache ? "true" : "false",
+              static_cast<long long>(hit.results.num_rows()));
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "agg/reference.h"
 #include "cluster/cluster.h"
-#include "core/algorithm.h"
+#include "core/query.h"
 #include "workload/skew.h"
 
 using namespace adaptagg;
@@ -38,12 +38,14 @@ int main() {
       static_cast<long long>(sspec.num_tuples),
       static_cast<long long>(sspec.num_groups));
 
+  Query q;
+  q.spec = *query;
   double best_static = 0, adaptive_time = 0;
   for (AlgorithmKind kind :
        {AlgorithmKind::kTwoPhase, AlgorithmKind::kRepartitioning,
         AlgorithmKind::kAdaptiveTwoPhase,
         AlgorithmKind::kAdaptiveRepartitioning}) {
-    RunResult run = cluster.Run(*MakeAlgorithm(kind), *query, *rel);
+    RunResult run = q.Execute(cluster, *rel, kind);
     if (!run.status.ok()) {
       std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
                    run.status.ToString().c_str());

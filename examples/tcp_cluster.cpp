@@ -1,13 +1,13 @@
 // Runs the same aggregation over REAL loopback TCP sockets instead of
 // in-process channels — the engine's stand-in for the paper's PVM
 // cluster messaging. Demonstrates that the algorithms only depend on the
-// Transport interface.
+// Transport interface, and that the serving layer multiplexes query
+// sessions over one physical mesh regardless of what carries the frames.
 
 #include <cstdio>
 
 #include "agg/reference.h"
-#include "cluster/cluster.h"
-#include "core/algorithm.h"
+#include "serve/cluster_service.h"
 #include "workload/generator.h"
 
 using namespace adaptagg;
@@ -30,16 +30,30 @@ int main() {
   params.num_tuples = workload.num_tuples;
   params.max_hash_entries = 1'000;
 
-  Cluster cluster(params);
-  cluster.set_transport_factory([](int n) {
+  ServiceConfig config;
+  config.params = params;
+  config.transport_factory = [](int n) {
     // 4 consecutive loopback ports; every pair of nodes gets a socket.
     return MakeTcpMesh(n, 46100);
-  });
+  };
+  auto service = ClusterService::Start(config, &*rel);
+  if (!service.ok()) {
+    std::fprintf(stderr, "start: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("running A-2P over a %d-node TCP loopback mesh...\n",
               params.num_nodes);
-  RunResult run = cluster.Run(
-      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), *query, *rel);
+  ServeQuery submission;
+  submission.spec = *query;
+  submission.algorithm = AlgorithmKind::kAdaptiveTwoPhase;
+  auto ticket = (*service)->Submit(std::move(submission));
+  if (!ticket.ok()) {
+    std::fprintf(stderr, "submit: %s\n", ticket.status().ToString().c_str());
+    return 1;
+  }
+  RunResult run = (*ticket)->Wait();
   if (!run.status.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status.ToString().c_str());
     return 1;

@@ -12,7 +12,7 @@
 
 #include "agg/reference.h"
 #include "cluster/cluster.h"
-#include "core/algorithm.h"
+#include "core/query.h"
 #include "workload/tpcd.h"
 
 using namespace adaptagg;
@@ -22,10 +22,12 @@ namespace {
 int RunQuery(const char* name, Cluster& cluster,
              const AggregationSpec& query, PartitionedRelation& rel) {
   std::printf("--- %s ---\n", name);
+  Query q;
+  q.spec = query;
   for (AlgorithmKind kind :
        {AlgorithmKind::kTwoPhase, AlgorithmKind::kRepartitioning,
         AlgorithmKind::kAdaptiveTwoPhase}) {
-    RunResult run = cluster.Run(*MakeAlgorithm(kind), query, rel);
+    RunResult run = q.Execute(cluster, rel, kind);
     if (!run.status.ok()) {
       std::fprintf(stderr, "%s failed: %s\n",
                    AlgorithmKindToString(kind).c_str(),

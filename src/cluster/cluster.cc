@@ -1,54 +1,15 @@
 #include "cluster/cluster.h"
 
-#include <atomic>
 #include <chrono>
-#include <iterator>
 #include <thread>
 
 #include "cluster/gather_sink.h"
+#include "cluster/run_assembly.h"
 #include "common/logging.h"
 #include "common/simd.h"
 #include "net/fault.h"
 
 namespace adaptagg {
-namespace {
-
-/// Severity used to pick the run's root cause among node statuses:
-/// injected faults beat ordinary errors, which beat detection timeouts,
-/// which beat cascaded "aborted by peer" echoes.
-int RootCauseRank(const Status& st) {
-  if (st.message().find("aborted by peer") != std::string::npos) return 0;
-  if (st.code() == StatusCode::kDeadlineExceeded) return 1;
-  if (st.message().find("injected") != std::string::npos) return 3;
-  return 2;
-}
-
-/// Routes a FaultyTransport's fire events into the node's obs shard.
-FaultObserver MakeFaultObserver(NodeObs* obs) {
-  return [obs](const FaultEvent& e) {
-    switch (e.kind) {
-      case FaultKind::kDrop:
-        obs->fault_msgs_dropped.Increment();
-        break;
-      case FaultKind::kDuplicate:
-        obs->fault_msgs_duplicated.Increment();
-        break;
-      case FaultKind::kDelay:
-        obs->fault_msgs_delayed.Increment();
-        break;
-      case FaultKind::kCorrupt:
-        obs->fault_msgs_corrupted.Increment();
-        break;
-      case FaultKind::kCrash:
-      case FaultKind::kStraggle:
-        break;  // node faults report through NodeContext directly
-    }
-    obs->RecordFault("fault." + std::string(FaultKindToString(e.kind)),
-                     {{"peer", e.peer}});
-  };
-}
-
-}  // namespace
 
 Cluster::Cluster(SystemParams params) : params_(std::move(params)) {
   transport_factory_ =
@@ -60,6 +21,7 @@ Cluster::Cluster(SystemParams params) : params_(std::move(params)) {
 RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
                        PartitionedRelation& rel, AlgorithmOptions options) {
   RunResult result;
+  result.query_id = options.query_id;
   const int n = params_.num_nodes;
   if (rel.num_nodes() != n) {
     result.status = Status::InvalidArgument(
@@ -69,22 +31,9 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   }
 
   // Predicates are validated once, up front, against the schemas they
-  // will be evaluated on (this also resolves by-name column references
-  // before the node threads share the expression trees read-only).
-  if (options.where != nullptr) {
-    Status st = ValidatePredicate(*options.where, spec.input_schema());
-    if (!st.ok()) {
-      result.status = Status(st.code(), "WHERE: " + st.message());
-      return result;
-    }
-  }
-  if (options.having != nullptr) {
-    Status st = ValidatePredicate(*options.having, spec.final_schema());
-    if (!st.ok()) {
-      result.status = Status(st.code(), "HAVING: " + st.message());
-      return result;
-    }
-  }
+  // will be evaluated on.
+  result.status = ValidateRunOptions(spec, options);
+  if (!result.status.ok()) return result;
 
   Result<std::vector<std::unique_ptr<Transport>>> transports =
       transport_factory_(n);
@@ -123,7 +72,8 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
     if (inject_faults) {
       static_cast<FaultyTransport*>(
           (*transports)[static_cast<size_t>(i)].get())
-          ->set_observer(MakeFaultObserver(&contexts.back()->obs()));
+          ->set_observer(
+              MakeFaultObserver(&contexts.back()->obs()));
     }
   }
 
@@ -136,10 +86,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
        {"forced_scalar", simd::ForcedScalar() ? 1 : 0}});
 
   std::vector<Status> statuses(static_cast<size_t>(n));
-  // Wall time of the run's first node failure, for the abort-latency
-  // histogram (how long the rest of the cluster takes to notice).
-  std::atomic<bool> failure_seen{false};
-  std::atomic<double> first_failure_wall{0.0};
+  FailureFanout fanout;
   auto wall_start = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
@@ -148,27 +95,7 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
       threads.emplace_back([&, i] {
         NodeContext& ctx = *contexts[static_cast<size_t>(i)];
         Status st = algo.RunNode(ctx);
-        if (!st.ok()) {
-          const double now = WallSeconds();
-          bool expected = false;
-          if (failure_seen.compare_exchange_strong(expected, true)) {
-            first_failure_wall.store(now, std::memory_order_release);
-          } else {
-            ctx.obs().fault_abort_latency_us.Observe(
-                (now - first_failure_wall.load(
-                           std::memory_order_acquire)) *
-                1e6);
-          }
-          // Wake every peer that may be blocked waiting for this node's
-          // traffic; they will fail their runs with "aborted by peer".
-          // (A node whose transport is in fail-stop mode reaches nobody
-          // — its peers must detect the silence instead.)
-          Message abort;
-          abort.type = MessageType::kAbort;
-          for (int dest = 0; dest < n; ++dest) {
-            if (dest != i) (void)ctx.Send(dest, abort);
-          }
-        }
+        if (!st.ok()) fanout.OnNodeFailure(ctx);
         statuses[static_cast<size_t>(i)] = st;
       });
     }
@@ -178,46 +105,8 @@ RunResult Cluster::Run(const Algorithm& algo, const AggregationSpec& spec,
   result.wall_time_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
 
-  // Report the root cause: prefer a node that failed on its own (an
-  // injected fault most of all) over one that timed out detecting the
-  // failure, over one that merely observed a peer's abort.
-  int best_rank = -1;
-  for (int i = 0; i < n; ++i) {
-    const Status& st = statuses[static_cast<size_t>(i)];
-    if (st.ok()) continue;
-    const int rank = RootCauseRank(st);
-    if (rank > best_rank) {
-      best_rank = rank;
-      result.status = Status(
-          st.code(), "node " + std::to_string(i) + ": " + st.message());
-    }
-  }
-
-  result.num_nodes = n;
-  result.clocks.reserve(static_cast<size_t>(n));
-  result.node_stats.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    NodeContext& ctx = *contexts[static_cast<size_t>(i)];
-    result.sim_time_s = std::max(result.sim_time_s, ctx.clock().now());
-    result.clocks.push_back(ctx.clock());
-    result.node_stats.push_back(ctx.stats());
-    // Fold stat-tracked values into the shard, then merge shards in node
-    // order (Merge is commutative, so the order is cosmetic).
-    ctx.FinalizeObs();
-    result.metrics.Merge(ctx.obs().Snapshot());
-    std::vector<TraceEvent> node_events = ctx.obs().trace().TakeEvents();
-    result.trace_events.insert(
-        result.trace_events.end(),
-        std::make_move_iterator(node_events.begin()),
-        std::make_move_iterator(node_events.end()));
-  }
-  // On the shared medium, the wire is a sequential resource whose total
-  // occupancy adds to the completion time (§2's no-overlap model).
-  result.wire_time_s = net.serialized_wire_s();
-  result.sim_time_s += result.wire_time_s;
-
-  result.results.schema = spec.final_schema();
-  result.results.rows = gathered.TakeRows();
+  result.status = PickRootCause(statuses);
+  FinalizeRunResult(contexts, net, gathered, spec, result);
   return result;
 }
 

@@ -48,6 +48,14 @@ struct RunResult {
   std::vector<TraceEvent> trace_events;
   /// Node count of the run (the trace exporter's track count).
   int num_nodes = 0;
+  /// Serving-layer session id of the run (0: one-shot Cluster::Run).
+  /// Surfaces in RunSummaryLine so concurrent sessions' summary lines
+  /// stay attributable.
+  uint32_t query_id = 0;
+  /// True when the serving layer answered from its ResultCache without
+  /// touching the data plane (sim/wire/wall times are then ~0 and
+  /// clocks/node_stats/metrics are empty).
+  bool from_cache = false;
 
   int64_t total_result_rows() const {
     int64_t n = 0;

@@ -319,10 +319,16 @@ Status NodeContext::EmitFinalRow(const uint8_t* key, const uint8_t* state) {
   ++stats_.result_rows;
   if (options_.store_results && disk_ != nullptr) {
     if (result_file_ == nullptr) {
+      // Session runs namespace the file by query id: concurrent sessions
+      // store results on the same shared node disks.
+      const std::string name =
+          options_.query_id != 0
+              ? "result_q" + std::to_string(options_.query_id) + "_n" +
+                    std::to_string(node_id_)
+              : "result_n" + std::to_string(node_id_);
       ADAPTAGG_ASSIGN_OR_RETURN(
           HeapFile hf,
-          HeapFile::Create(disk_, &spec_.final_schema(),
-                           "result_n" + std::to_string(node_id_)));
+          HeapFile::Create(disk_, &spec_.final_schema(), name));
       result_file_ = std::make_unique<HeapFile>(std::move(hf));
     }
     ADAPTAGG_RETURN_IF_ERROR(result_file_->AppendRaw(row_buf_.data()));

@@ -94,6 +94,12 @@ struct AlgorithmOptions {
 
   /// Failure-detection knobs (deadlines, heartbeats). See net/fault.h.
   FailureDetection failure;
+
+  /// Serving-layer session id (0: one-shot run). Stamped by
+  /// ClusterService on admission; namespaces the node's result file so
+  /// concurrent sessions storing results on one shared disk stay
+  /// distinguishable, and flows into RunResult::query_id.
+  uint32_t query_id = 0;
 };
 
 /// Per-node execution counters reported back by a run.

@@ -1,0 +1,123 @@
+#include "cluster/run_assembly.h"
+
+#include <iterator>
+#include <string>
+
+#include "exec/expression.h"
+#include "obs/trace_recorder.h"
+
+namespace adaptagg {
+namespace {
+
+/// Severity used to pick the run's root cause among node statuses:
+/// injected faults beat ordinary errors, which beat detection timeouts,
+/// which beat cascaded "aborted by peer" echoes.
+int RootCauseRank(const Status& st) {
+  if (st.message().find("aborted by peer") != std::string::npos) return 0;
+  if (st.code() == StatusCode::kDeadlineExceeded) return 1;
+  if (st.message().find("injected") != std::string::npos) return 3;
+  return 2;
+}
+
+}  // namespace
+
+FaultObserver MakeFaultObserver(NodeObs* obs) {
+  return [obs](const FaultEvent& e) {
+    switch (e.kind) {
+      case FaultKind::kDrop:
+        obs->fault_msgs_dropped.Increment();
+        break;
+      case FaultKind::kDuplicate:
+        obs->fault_msgs_duplicated.Increment();
+        break;
+      case FaultKind::kDelay:
+        obs->fault_msgs_delayed.Increment();
+        break;
+      case FaultKind::kCorrupt:
+        obs->fault_msgs_corrupted.Increment();
+        break;
+      case FaultKind::kCrash:
+      case FaultKind::kStraggle:
+        break;  // node faults report through NodeContext directly
+    }
+    obs->RecordFault("fault." + std::string(FaultKindToString(e.kind)),
+                     {{"peer", e.peer}});
+  };
+}
+
+Status ValidateRunOptions(const AggregationSpec& spec,
+                          const AlgorithmOptions& options) {
+  if (options.where != nullptr) {
+    Status st = ValidatePredicate(*options.where, spec.input_schema());
+    if (!st.ok()) return Status(st.code(), "WHERE: " + st.message());
+  }
+  if (options.having != nullptr) {
+    Status st = ValidatePredicate(*options.having, spec.final_schema());
+    if (!st.ok()) return Status(st.code(), "HAVING: " + st.message());
+  }
+  return Status::OK();
+}
+
+void FailureFanout::OnNodeFailure(NodeContext& ctx) {
+  const double now = WallSeconds();
+  bool expected = false;
+  if (failure_seen_.compare_exchange_strong(expected, true)) {
+    first_failure_wall_.store(now, std::memory_order_release);
+  } else {
+    ctx.obs().fault_abort_latency_us.Observe(
+        (now - first_failure_wall_.load(std::memory_order_acquire)) * 1e6);
+  }
+  Message abort;
+  abort.type = MessageType::kAbort;
+  for (int dest = 0; dest < ctx.num_nodes(); ++dest) {
+    if (dest != ctx.node_id()) (void)ctx.Send(dest, abort);
+  }
+}
+
+Status PickRootCause(const std::vector<Status>& statuses) {
+  Status cause;  // OK unless some node failed
+  int best_rank = -1;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const Status& st = statuses[i];
+    if (st.ok()) continue;
+    const int rank = RootCauseRank(st);
+    if (rank > best_rank) {
+      best_rank = rank;
+      cause =
+          Status(st.code(), "node " + std::to_string(i) + ": " + st.message());
+    }
+  }
+  return cause;
+}
+
+void FinalizeRunResult(std::vector<std::unique_ptr<NodeContext>>& contexts,
+                       NetworkModel& net, GatherSink& gathered,
+                       const AggregationSpec& spec, RunResult& result) {
+  const int n = static_cast<int>(contexts.size());
+  result.num_nodes = n;
+  result.clocks.reserve(static_cast<size_t>(n));
+  result.node_stats.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    NodeContext& ctx = *contexts[static_cast<size_t>(i)];
+    result.sim_time_s = std::max(result.sim_time_s, ctx.clock().now());
+    result.clocks.push_back(ctx.clock());
+    result.node_stats.push_back(ctx.stats());
+    // Fold stat-tracked values into the shard, then merge shards in node
+    // order (Merge is commutative, so the order is cosmetic).
+    ctx.FinalizeObs();
+    result.metrics.Merge(ctx.obs().Snapshot());
+    std::vector<TraceEvent> node_events = ctx.obs().trace().TakeEvents();
+    result.trace_events.insert(result.trace_events.end(),
+                               std::make_move_iterator(node_events.begin()),
+                               std::make_move_iterator(node_events.end()));
+  }
+  // On the shared medium, the wire is a sequential resource whose total
+  // occupancy adds to the completion time (§2's no-overlap model).
+  result.wire_time_s = net.serialized_wire_s();
+  result.sim_time_s += result.wire_time_s;
+
+  result.results.schema = spec.final_schema();
+  result.results.rows = gathered.TakeRows();
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,64 @@
+#ifndef ADAPTAGG_CLUSTER_RUN_ASSEMBLY_H_
+#define ADAPTAGG_CLUSTER_RUN_ASSEMBLY_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/gather_sink.h"
+#include "cluster/node_context.h"
+
+namespace adaptagg {
+
+/// Shared machinery between the one-shot Cluster::Run and the serving
+/// layer's per-session execution: option validation, failure fan-out,
+/// root-cause selection, and end-of-run result assembly. Both executors
+/// run the same algorithms over the same NodeContext interface; keeping
+/// the run plumbing in one place keeps their semantics identical.
+
+/// Validates the WHERE/HAVING predicates of `options` against the
+/// schemas they will be evaluated on (also resolves by-name column
+/// references before node threads share the expression trees
+/// read-only).
+Status ValidateRunOptions(const AggregationSpec& spec,
+                          const AlgorithmOptions& options);
+
+/// Tracks the wall time of a run's first node failure and broadcasts the
+/// abort to every peer. One instance per run; OnNodeFailure is called
+/// concurrently from node threads whose RunNode returned an error.
+class FailureFanout {
+ public:
+  /// Records the failure (first one pins the run's failure wall time,
+  /// later ones observe their abort latency into the node's histogram)
+  /// and wakes every peer that may be blocked waiting for this node's
+  /// traffic; they will fail their runs with "aborted by peer". A node
+  /// whose transport is in fail-stop mode reaches nobody — its peers
+  /// must detect the silence instead.
+  void OnNodeFailure(NodeContext& ctx);
+
+ private:
+  std::atomic<bool> failure_seen_{false};
+  std::atomic<double> first_failure_wall_{0.0};
+};
+
+/// Routes a FaultyTransport's fire events into the node's obs shard.
+FaultObserver MakeFaultObserver(NodeObs* obs);
+
+/// Picks the run's root cause among the per-node statuses: a node that
+/// failed on its own (an injected fault most of all) beats one that
+/// timed out detecting the failure, which beats one that merely observed
+/// a peer's abort. OK when every node succeeded.
+Status PickRootCause(const std::vector<Status>& statuses);
+
+/// Folds the end-of-run state of every node — clocks, stats, obs
+/// snapshots, trace events — plus the network's serialized wire total
+/// and the gathered rows into `result`. Sets sim/wire times, node_stats,
+/// metrics, traces, and results; callers fill status/wall_time/query_id.
+void FinalizeRunResult(std::vector<std::unique_ptr<NodeContext>>& contexts,
+                       NetworkModel& net, GatherSink& gathered,
+                       const AggregationSpec& spec, RunResult& result);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CLUSTER_RUN_ASSEMBLY_H_

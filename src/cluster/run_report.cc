@@ -48,6 +48,10 @@ std::string RunReport(const RunResult& run) {
   // carried one, with the always-on NodeRunStats as the fallback, so the
   // report works identically on obs-disabled builds.
   const MetricsSnapshot& m = run.metrics;
+  if (run.query_id != 0) {
+    os << "query id: " << run.query_id
+       << (run.from_cache ? " (served from result cache)" : "") << "\n";
+  }
   std::snprintf(buf, sizeof(buf),
                 "status: %s\nmodeled time: %.6f s (wire %.6f s), wall "
                 "%.6f s\nresult rows: %lld, spilled records: %lld, nodes "
@@ -90,6 +94,14 @@ std::string RunReport(const RunResult& run) {
 }
 
 std::string RunSummaryLine(const RunResult& run) {
+  // Serving-layer sessions prefix their query id so the summary lines
+  // of concurrent queries stay attributable; one-shot runs (qid 0)
+  // keep the historical format.
+  std::string prefix;
+  if (run.query_id != 0) {
+    prefix = "qid=" + std::to_string(run.query_id) + " ";
+    if (run.from_cache) prefix += "cached=1 ";
+  }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "sim=%.6f wire=%.6f wall=%.6f rows=%lld spilled=%lld "
@@ -101,7 +113,7 @@ std::string RunSummaryLine(const RunResult& run) {
                 static_cast<long long>(run.metrics.Value("net.bytes_sent")),
                 static_cast<long long>(
                     run.metrics.Value("net.channel_depth_high_water")));
-  return buf;
+  return prefix + buf;
 }
 
 }  // namespace adaptagg

@@ -45,6 +45,8 @@ std::vector<uint8_t> Message::Serialize() const {
   off += 8;
   std::memcpy(out.data() + off, &charged_bytes, 4);
   off += 4;
+  std::memcpy(out.data() + off, &query_id, 4);
+  off += 4;
   if (!payload.empty()) {
     std::memcpy(out.data() + off, payload.data(), payload.size());
     off += payload.size();
@@ -86,6 +88,8 @@ Result<Message> Message::Deserialize(const uint8_t* data, size_t len) {
   std::memcpy(&m.seq, data + off, 8);
   off += 8;
   std::memcpy(&m.charged_bytes, data + off, 4);
+  off += 4;
+  std::memcpy(&m.query_id, data + off, 4);
   off += 4;
   m.payload.assign(data + off, data + len);
   return m;

@@ -39,8 +39,8 @@ std::string MessageTypeToString(MessageType type);
 inline constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
 
 /// Fixed bytes of one frame after the length word:
-/// crc32c + type + from + phase + depart + seq + charged_bytes.
-inline constexpr size_t kHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8 + 4;
+/// crc32c + type + from + phase + depart + seq + charged_bytes + query_id.
+inline constexpr size_t kHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8 + 4 + 4;
 
 /// One network message. `depart_time` carries the sender's simulated
 /// clock so receivers preserve causality (a conservative discrete-event
@@ -60,13 +60,18 @@ struct Message {
   /// page size here, so the paper's per-page network charge — and with
   /// it every modeled time — is independent of the wire optimization.
   uint32_t charged_bytes = 0;
+  /// Serving-layer session tag: which query's exchange instance this frame
+  /// belongs to. 0 means "no session" (the one-shot Cluster::Run path).
+  /// The session router demultiplexes a shared physical mesh on this id,
+  /// so concurrent repartitions never cross-talk.
+  uint32_t query_id = 0;
   std::vector<uint8_t> payload;
 
   /// Wire encoding for socket transports:
   /// [u32 total_len][u32 crc32c][u8 type][i32 from][u32 phase]
-  /// [f64 depart][u64 seq][u32 charged_bytes][payload], where the CRC-32C
-  /// covers everything after the crc word itself. total_len counts from
-  /// the crc word on.
+  /// [f64 depart][u64 seq][u32 charged_bytes][u32 query_id][payload],
+  /// where the CRC-32C covers everything after the crc word itself.
+  /// total_len counts from the crc word on.
   std::vector<uint8_t> Serialize() const;
 
   /// Parses a frame produced by Serialize() (without the leading length

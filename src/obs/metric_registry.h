@@ -137,7 +137,11 @@ struct MetricsSnapshot {
   /// histograms add per bucket (edges must agree; mismatched histograms
   /// keep this snapshot's buckets and only merge the total). Entries only
   /// present in `other` are copied over. Commutative and associative, so
-  /// any merge tree over node shards yields the same snapshot.
+  /// any merge tree over node shards yields the same snapshot. Merge
+  /// mutates only this value-type snapshot — never a live registry — so
+  /// the serving layer's finisher threads can fold per-session shards
+  /// while node threads keep updating them: the race surface is entirely
+  /// inside Snapshot(), which reads every cell with relaxed atomics.
   void Merge(const MetricsSnapshot& other);
 
   /// Value of `name`, or 0 when absent.

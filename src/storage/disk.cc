@@ -11,6 +11,7 @@
 namespace adaptagg {
 
 void Disk::CountRead(FileId file, int64_t index) {
+  MutexLock lock(&stats_mu_);
   auto it = last_read_.find(file);
   if (it != last_read_.end() && it->second + 1 == index) {
     ++stats_.pages_read_seq;
@@ -31,41 +32,49 @@ SimDisk::SimDisk(int page_size) : Disk(page_size) {}
 
 Result<FileId> SimDisk::CreateFile(const std::string& name) {
   (void)name;  // names are only meaningful for FileDisk paths
+  MutexLock lock(&mu_);
   FileId id = next_id_++;
   files_.emplace(id, std::vector<std::vector<uint8_t>>());
   return id;
 }
 
 Status SimDisk::AppendPage(FileId file, const std::vector<uint8_t>& page) {
-  auto it = files_.find(file);
-  if (it == files_.end()) {
-    return Status::NotFound("SimDisk: no file " + std::to_string(file));
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      return Status::NotFound("SimDisk: no file " + std::to_string(file));
+    }
+    if (static_cast<int>(page.size()) != page_size()) {
+      return Status::InvalidArgument("page size mismatch: got " +
+                                     std::to_string(page.size()));
+    }
+    it->second.push_back(page);
   }
-  if (static_cast<int>(page.size()) != page_size()) {
-    return Status::InvalidArgument("page size mismatch: got " +
-                                   std::to_string(page.size()));
-  }
-  it->second.push_back(page);
   CountWrite();
   return Status::OK();
 }
 
 Status SimDisk::ReadPage(FileId file, int64_t index,
                          std::vector<uint8_t>& out) {
-  auto it = files_.find(file);
-  if (it == files_.end()) {
-    return Status::NotFound("SimDisk: no file " + std::to_string(file));
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      return Status::NotFound("SimDisk: no file " + std::to_string(file));
+    }
+    if (index < 0 || index >= static_cast<int64_t>(it->second.size())) {
+      return Status::OutOfRange("SimDisk: page " + std::to_string(index) +
+                                " of " + std::to_string(it->second.size()));
+    }
+    out = it->second[static_cast<size_t>(index)];
   }
-  if (index < 0 || index >= static_cast<int64_t>(it->second.size())) {
-    return Status::OutOfRange("SimDisk: page " + std::to_string(index) +
-                              " of " + std::to_string(it->second.size()));
-  }
-  out = it->second[static_cast<size_t>(index)];
   CountRead(file, index);
   return Status::OK();
 }
 
 Result<int64_t> SimDisk::NumPages(FileId file) const {
+  MutexLock lock(&mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("SimDisk: no file " + std::to_string(file));
@@ -74,6 +83,7 @@ Result<int64_t> SimDisk::NumPages(FileId file) const {
 }
 
 Status SimDisk::DeleteFile(FileId file) {
+  MutexLock lock(&mu_);
   if (files_.erase(file) == 0) {
     return Status::NotFound("SimDisk: no file " + std::to_string(file));
   }
@@ -87,6 +97,7 @@ FileDisk::FileDisk(std::string dir, int page_size)
     : Disk(page_size), dir_(std::move(dir)) {}
 
 FileDisk::~FileDisk() {
+  MutexLock lock(&mu_);
   for (auto& [id, f] : files_) {
     if (f.fd >= 0) {
       ::close(f.fd);
@@ -96,6 +107,7 @@ FileDisk::~FileDisk() {
 }
 
 Result<FileId> FileDisk::CreateFile(const std::string& name) {
+  MutexLock lock(&mu_);
   FileId id = next_id_++;
   OpenFile f;
   f.path = dir_ + "/adaptagg_" + std::to_string(id) + "_" + name;
@@ -108,43 +120,50 @@ Result<FileId> FileDisk::CreateFile(const std::string& name) {
 }
 
 Status FileDisk::AppendPage(FileId file, const std::vector<uint8_t>& page) {
-  auto it = files_.find(file);
-  if (it == files_.end()) {
-    return Status::NotFound("FileDisk: no file " + std::to_string(file));
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      return Status::NotFound("FileDisk: no file " + std::to_string(file));
+    }
+    if (static_cast<int>(page.size()) != page_size()) {
+      return Status::InvalidArgument("page size mismatch");
+    }
+    off_t off = static_cast<off_t>(it->second.num_pages) * page_size();
+    ssize_t n = ::pwrite(it->second.fd, page.data(), page.size(), off);
+    if (n != static_cast<ssize_t>(page.size())) {
+      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    ++it->second.num_pages;
   }
-  if (static_cast<int>(page.size()) != page_size()) {
-    return Status::InvalidArgument("page size mismatch");
-  }
-  off_t off = static_cast<off_t>(it->second.num_pages) * page_size();
-  ssize_t n = ::pwrite(it->second.fd, page.data(), page.size(), off);
-  if (n != static_cast<ssize_t>(page.size())) {
-    return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
-  }
-  ++it->second.num_pages;
   CountWrite();
   return Status::OK();
 }
 
 Status FileDisk::ReadPage(FileId file, int64_t index,
                           std::vector<uint8_t>& out) {
-  auto it = files_.find(file);
-  if (it == files_.end()) {
-    return Status::NotFound("FileDisk: no file " + std::to_string(file));
-  }
-  if (index < 0 || index >= it->second.num_pages) {
-    return Status::OutOfRange("FileDisk: page " + std::to_string(index));
-  }
-  out.resize(static_cast<size_t>(page_size()));
-  off_t off = static_cast<off_t>(index) * page_size();
-  ssize_t n = ::pread(it->second.fd, out.data(), out.size(), off);
-  if (n != static_cast<ssize_t>(out.size())) {
-    return Status::IOError("pread: " + std::string(std::strerror(errno)));
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      return Status::NotFound("FileDisk: no file " + std::to_string(file));
+    }
+    if (index < 0 || index >= it->second.num_pages) {
+      return Status::OutOfRange("FileDisk: page " + std::to_string(index));
+    }
+    out.resize(static_cast<size_t>(page_size()));
+    off_t off = static_cast<off_t>(index) * page_size();
+    ssize_t n = ::pread(it->second.fd, out.data(), out.size(), off);
+    if (n != static_cast<ssize_t>(out.size())) {
+      return Status::IOError("pread: " + std::string(std::strerror(errno)));
+    }
   }
   CountRead(file, index);
   return Status::OK();
 }
 
 Result<int64_t> FileDisk::NumPages(FileId file) const {
+  MutexLock lock(&mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("FileDisk: no file " + std::to_string(file));
@@ -153,6 +172,7 @@ Result<int64_t> FileDisk::NumPages(FileId file) const {
 }
 
 Status FileDisk::DeleteFile(FileId file) {
+  MutexLock lock(&mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("FileDisk: no file " + std::to_string(file));

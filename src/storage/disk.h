@@ -7,7 +7,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace adaptagg {
 
@@ -30,7 +32,11 @@ struct DiskStats {
 /// pages, readable by index. Implementations track DiskStats; the paper's
 /// I/O times are charged by the caller (CostClock) from those counters.
 ///
-/// Not thread-safe: each node owns its disks exclusively.
+/// Thread-safe: the serving layer runs concurrent query sessions against
+/// one node's disks, so every operation and the stats counters are
+/// internally synchronized. Per-session I/O attribution (deterministic
+/// sequential/random classification independent of neighbors) is layered
+/// on top via ScopedDisk, not here.
 class Disk {
  public:
   explicit Disk(int page_size) : page_size_(page_size) {}
@@ -40,10 +46,14 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   int page_size() const { return page_size_; }
-  const DiskStats& stats() const { return stats_; }
+  DiskStats stats() const {
+    MutexLock lock(&stats_mu_);
+    return stats_;
+  }
   /// Clears the counters and the sequential-read tracking, so that runs
   /// over the same disk start from identical I/O state.
   void ResetStats() {
+    MutexLock lock(&stats_mu_);
     stats_ = DiskStats();
     last_read_.clear();
   }
@@ -68,12 +78,16 @@ class Disk {
   /// Classifies and counts a read of page `index` of `file`: sequential if
   /// it directly follows the previous read of the same file.
   void CountRead(FileId file, int64_t index);
-  void CountWrite() { ++stats_.pages_written; }
+  void CountWrite() {
+    MutexLock lock(&stats_mu_);
+    ++stats_.pages_written;
+  }
 
  private:
   int page_size_;
-  DiskStats stats_;
-  std::unordered_map<FileId, int64_t> last_read_;
+  mutable Mutex stats_mu_;
+  DiskStats stats_ ADAPTAGG_GUARDED_BY(stats_mu_);
+  std::unordered_map<FileId, int64_t> last_read_ ADAPTAGG_GUARDED_BY(stats_mu_);
 };
 
 /// In-memory disk: stores pages in RAM but counts I/O as if they hit a
@@ -91,8 +105,10 @@ class SimDisk : public Disk {
   Status DeleteFile(FileId file) override;
 
  private:
-  FileId next_id_ = 1;
-  std::unordered_map<FileId, std::vector<std::vector<uint8_t>>> files_;
+  mutable Mutex mu_;
+  FileId next_id_ ADAPTAGG_GUARDED_BY(mu_) = 1;
+  std::unordered_map<FileId, std::vector<std::vector<uint8_t>>> files_
+      ADAPTAGG_GUARDED_BY(mu_);
 };
 
 /// Real-file disk: each FileId maps to a file under `dir`, accessed with
@@ -119,8 +135,9 @@ class FileDisk : public Disk {
   };
 
   std::string dir_;
-  FileId next_id_ = 1;
-  std::unordered_map<FileId, OpenFile> files_;
+  mutable Mutex mu_;
+  FileId next_id_ ADAPTAGG_GUARDED_BY(mu_) = 1;
+  std::unordered_map<FileId, OpenFile> files_ ADAPTAGG_GUARDED_BY(mu_);
 };
 
 }  // namespace adaptagg

@@ -22,6 +22,19 @@ class HeapFile {
   static Result<HeapFile> Create(Disk* disk, const Schema* schema,
                                  const std::string& name);
 
+  /// Read-only view of an existing (fully flushed) heap file through a
+  /// different Disk over the same underlying store — the serving layer
+  /// scans one shared partition through per-session ScopedDisks so each
+  /// query's I/O lands on its own counters. `disk` must resolve the same
+  /// FileId space as `base.disk()`. Appending through a view is
+  /// undefined (the view's page count would diverge from the base's).
+  static HeapFile View(Disk* disk, const HeapFile& base) {
+    HeapFile f(disk, &base.schema(), base.file_id());
+    f.num_tuples_ = base.num_tuples();
+    f.num_pages_ = base.num_pages();
+    return f;
+  }
+
   int64_t num_tuples() const { return num_tuples_; }
   int64_t num_pages() const { return num_pages_; }
   const Schema& schema() const { return *schema_; }

@@ -49,6 +49,7 @@ Result<PartitionedRelation> PartitionedRelation::CreateWithDisks(
 }
 
 Status PartitionedRelation::Append(int node, const TupleView& tuple) {
+  BumpVersion();
   return partitions_[node]->Append(tuple);
 }
 

@@ -1,6 +1,8 @@
 #ifndef ADAPTAGG_STORAGE_PARTITIONED_RELATION_H_
 #define ADAPTAGG_STORAGE_PARTITIONED_RELATION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,12 +46,25 @@ class PartitionedRelation {
   /// Resets per-disk I/O counters (call between experiment runs).
   void ResetDiskStats();
 
+  /// Monotonic mutation counter, the cache-invalidation half of the
+  /// serving layer's result-cache key: any Append (and any explicit
+  /// BumpVersion by an out-of-band mutator) advances it, so cached
+  /// results for older versions can never be served. Thread-safe; starts
+  /// at 1 so 0 can mean "no relation" in cache keys.
+  uint64_t version() const {
+    return version_->load(std::memory_order_acquire);
+  }
+  void BumpVersion() { version_->fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   PartitionedRelation() = default;
 
   std::unique_ptr<Schema> schema_;
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<std::unique_ptr<HeapFile>> partitions_;
+  // Heap-allocated so the relation stays movable (Create returns by value).
+  std::unique_ptr<std::atomic<uint64_t>> version_ =
+      std::make_unique<std::atomic<uint64_t>>(1);
 };
 
 }  // namespace adaptagg

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -82,6 +83,64 @@ TEST(ObsStress, ConcurrentUpdatesDuringSnapshot) {
   int64_t bucket_sum = 0;
   for (int64_t b : h->bucket_counts) bucket_sum += b;
   EXPECT_EQ(bucket_sum, h->value);
+#else
+  GTEST_SKIP() << "observability compiled out (ADAPTAGG_OBS_DISABLED)";
+#endif
+}
+
+// The serving layer's metric flow: per-session registries are updated
+// by node worker threads while a finisher thread snapshots each shard
+// and folds the shards together with MetricsSnapshot::Merge — and the
+// service's own registry is snapshot concurrently by Metrics() callers.
+// Merge itself only touches plain value snapshots (no shared state), so
+// the concurrency contract is exactly "Snapshot may race updates"; this
+// test pins that contract down under TSan the way FinishSession uses it.
+TEST(ObsStress, SnapshotAndMergeRaceSessionUpdates) {
+#if !defined(ADAPTAGG_OBS_DISABLED)
+  static constexpr int kShards = 3;
+  static constexpr int kOpsPerShard = 20'000;
+
+  std::vector<std::unique_ptr<MetricRegistry>> shards;
+  for (int i = 0; i < kShards; ++i) {
+    shards.push_back(std::make_unique<MetricRegistry>());
+  }
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kShards; ++t) {
+    writers.emplace_back([&shards, t] {
+      Counter c = shards[static_cast<size_t>(t)]->counter("merge.count");
+      Gauge g = shards[static_cast<size_t>(t)]->gauge("merge.peak");
+      for (int i = 0; i < kOpsPerShard; ++i) {
+        c.Increment();
+        g.UpdateMax(i);
+      }
+    });
+  }
+
+  // The "finisher": repeatedly snapshots every live shard and merges the
+  // shards into one view, mid-update.
+  std::thread merger([&shards, &stop] {
+    int64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot merged;
+      for (const auto& shard : shards) merged.Merge(shard->Snapshot());
+      const int64_t now = merged.Value("merge.count");
+      EXPECT_GE(now, last);  // merged counters never run backwards
+      EXPECT_LE(now, int64_t{kShards} * kOpsPerShard);
+      last = now;
+    }
+  });
+
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  merger.join();
+
+  MetricsSnapshot final_view;
+  for (const auto& shard : shards) final_view.Merge(shard->Snapshot());
+  EXPECT_EQ(final_view.Value("merge.count"),
+            int64_t{kShards} * kOpsPerShard);
+  EXPECT_EQ(final_view.Value("merge.peak"), kOpsPerShard - 1);
 #else
   GTEST_SKIP() << "observability compiled out (ADAPTAGG_OBS_DISABLED)";
 #endif

@@ -1,0 +1,14 @@
+#ifndef ADAPTAGG_S12_CLUSTER_RUN_H_
+#define ADAPTAGG_S12_CLUSTER_RUN_H_
+
+// S12 fixture: direct Cluster::Run call sites outside the serving layer.
+// The digit separator on the first line doubles as a stripper
+// regression check: if it were misread as a char-literal open, the
+// violations below would be swallowed and the self-test would fail.
+inline void DirectRun(Cluster& cluster) {
+  constexpr long kTuples = 100'000;
+  cluster.Run(algo, spec, rel, kTuples);
+  Cluster::Run(algo, spec, rel);
+}
+
+#endif  // ADAPTAGG_S12_CLUSTER_RUN_H_

@@ -77,7 +77,8 @@ TEST(LintSelfTest, EveryRuleFiresOnItsViolationFixture) {
       {"D1", "src/d1_wall.h"},
       {"D2", "src/d2_rand.h"},
       {"D3", "src/d3_unordered.h"},
-    {"S11", "src/s11_intrinsics.h"},
+      {"S11", "src/s11_intrinsics.h"},
+      {"S12", "src/s12_cluster_run.h"},
   };
   for (const auto& e : kExpected) {
     EXPECT_TRUE(HasFinding(run.output, e.rule, e.file))

@@ -8,10 +8,13 @@
 // rows, spills, adaptive switches. --csv makes the output
 // machine-readable.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agg/reference.h"
@@ -21,6 +24,7 @@
 #include "model/cost_model.h"
 #include "net/fault.h"
 #include "obs/trace_export.h"
+#include "serve/cluster_service.h"
 #include "workload/generator.h"
 #include "workload/skew.h"
 
@@ -47,6 +51,8 @@ struct CliOptions {
   std::string trace_file;
   std::string fault;
   double fault_timeout = -1;
+  bool serve = false;
+  int clients = 4;
 };
 
 void PrintUsage(const char* argv0) {
@@ -77,7 +83,12 @@ void PrintUsage(const char* argv0) {
       "                       (arms failure detection; aborted runs\n"
       "                       report node, phase, and cause)\n"
       "  --fault-timeout S    override the derived recv idle deadline\n"
-      "                       and arm failure detection explicitly\n",
+      "                       and arm failure detection explicitly\n"
+      "  --serve              serving-mode demo: resident ClusterService,\n"
+      "                       concurrent clients, result cache; prints\n"
+      "                       throughput, latency percentiles, and the\n"
+      "                       serve.* counters\n"
+      "  --clients N          concurrent clients for --serve (default 4)\n",
       argv0);
 }
 
@@ -168,6 +179,11 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--fault-timeout") {
       ADAPTAGG_ASSIGN_OR_RETURN(std::string v, next());
       opt.fault_timeout = std::atof(v.c_str());
+    } else if (arg == "--serve") {
+      opt.serve = true;
+    } else if (arg == "--clients") {
+      ADAPTAGG_ASSIGN_OR_RETURN(std::string v, next());
+      opt.clients = std::atoi(v.c_str());
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -233,30 +249,32 @@ int RunModel(const CliOptions& opt,
   return 0;
 }
 
+Result<PartitionedRelation> MakeCliRelation(const CliOptions& opt) {
+  if (opt.output_skew) {
+    OutputSkewSpec spec;
+    spec.num_nodes = opt.nodes;
+    spec.single_group_nodes = opt.nodes / 2;
+    spec.num_tuples = opt.tuples;
+    spec.num_groups = opt.groups;
+    spec.seed = opt.seed;
+    return GenerateOutputSkewRelation(spec);
+  }
+  WorkloadSpec spec;
+  spec.num_nodes = opt.nodes;
+  spec.num_tuples = opt.tuples;
+  spec.num_groups = opt.groups;
+  spec.distribution = opt.distribution;
+  spec.zipf_theta = opt.zipf_theta;
+  spec.input_skew_factor = opt.input_skew;
+  spec.seed = opt.seed;
+  return GenerateRelation(spec);
+}
+
 int RunEngine(const CliOptions& opt,
               const std::vector<AlgorithmKind>& algorithms) {
   SystemParams params = MakeParams(opt);
 
-  Result<PartitionedRelation> rel = [&]() -> Result<PartitionedRelation> {
-    if (opt.output_skew) {
-      OutputSkewSpec spec;
-      spec.num_nodes = opt.nodes;
-      spec.single_group_nodes = opt.nodes / 2;
-      spec.num_tuples = opt.tuples;
-      spec.num_groups = opt.groups;
-      spec.seed = opt.seed;
-      return GenerateOutputSkewRelation(spec);
-    }
-    WorkloadSpec spec;
-    spec.num_nodes = opt.nodes;
-    spec.num_tuples = opt.tuples;
-    spec.num_groups = opt.groups;
-    spec.distribution = opt.distribution;
-    spec.zipf_theta = opt.zipf_theta;
-    spec.input_skew_factor = opt.input_skew;
-    spec.seed = opt.seed;
-    return GenerateRelation(spec);
-  }();
+  Result<PartitionedRelation> rel = MakeCliRelation(opt);
   if (!rel.ok()) {
     std::fprintf(stderr, "workload: %s\n", rel.status().ToString().c_str());
     return 1;
@@ -289,7 +307,19 @@ int RunEngine(const CliOptions& opt,
     fault_plan = std::move(parsed).value();
   }
 
-  Cluster cluster(params);
+  // One resident service runs every algorithm; the cache is off so each
+  // algorithm actually executes instead of replaying the first one's
+  // rows (they all produce the same result by design).
+  ServiceConfig service_config;
+  service_config.params = params;
+  service_config.cache_entries = 0;
+  Result<std::unique_ptr<ClusterService>> service =
+      ClusterService::Start(service_config, &*rel);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
   if (opt.csv) {
     std::printf(
         "algorithm,model_seconds,wall_seconds,rows,spilled,switched%s\n",
@@ -312,7 +342,17 @@ int RunEngine(const CliOptions& opt,
       run_opts.obs.spans = true;
       run_opts.obs.traces = true;
     }
-    RunResult run = cluster.Run(*MakeAlgorithm(kind), *spec, *rel, run_opts);
+    ServeQuery submission;
+    submission.spec = *spec;
+    submission.algorithm = kind;
+    submission.options = run_opts;
+    Result<QueryTicketPtr> ticket = (*service)->Submit(std::move(submission));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "%s: %s\n", AlgorithmKindToString(kind).c_str(),
+                   ticket.status().ToString().c_str());
+      return 1;
+    }
+    RunResult run = (*ticket)->Wait();
     if (!run.status.ok()) {
       if (!fault_plan.empty()) {
         // Failing is the expected outcome of many fault plans; report
@@ -373,6 +413,109 @@ int RunEngine(const CliOptions& opt,
   return 0;
 }
 
+/// --serve: the serving-layer demo. N concurrent clients submit a mix
+/// of four query shapes (the bench query plus three WHERE variants) to
+/// one resident ClusterService; each shape executes once and later
+/// submissions hit the result cache. Prints throughput, latency
+/// percentiles from the tickets' wall stamps, and the serve.* counters.
+int RunServe(const CliOptions& opt) {
+  SystemParams params = MakeParams(opt);
+  Result<PartitionedRelation> rel = MakeCliRelation(opt);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "workload: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  Result<AggregationSpec> spec = MakeBenchQuery(&rel->schema());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "query: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  ServiceConfig config;
+  config.params = params;
+  Result<std::unique_ptr<ClusterService>> service =
+      ClusterService::Start(config, &*rel);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  const int clients = std::max(1, opt.clients);
+  constexpr int kQueriesPerClient = 8;
+  std::printf(
+      "serving: %d clients x %d queries, 4 query shapes, cache on\n",
+      clients, kQueriesPerClient);
+
+  std::vector<double> latencies(
+      static_cast<size_t>(clients) * kQueriesPerClient, -1.0);
+  std::atomic<int> rejected{0};
+  std::atomic<int> failed{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          ServeQuery submission;
+          submission.spec = *spec;
+          const int64_t shape = (c + q) % 4;
+          if (shape > 0) {
+            submission.options.where =
+                Gt(Col(kBenchGroupCol), Lit(int64_t{shape}));
+          }
+          Result<QueryTicketPtr> ticket =
+              (*service)->Submit(std::move(submission));
+          if (!ticket.ok()) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const RunResult& run = (*ticket)->Wait();
+          if (!run.status.ok()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          latencies[static_cast<size_t>(c) * kQueriesPerClient +
+                    static_cast<size_t>(q)] =
+              (*ticket)->complete_wall_s() - (*ticket)->submit_wall_s();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::vector<double> ok;
+  for (double l : latencies) {
+    if (l >= 0) ok.push_back(l);
+  }
+  std::sort(ok.begin(), ok.end());
+  auto pct = [&](double p) {
+    if (ok.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * static_cast<double>(ok.size()));
+    if (idx >= ok.size()) idx = ok.size() - 1;
+    return ok[idx] * 1e3;
+  };
+
+  MetricsSnapshot m = (*service)->Metrics();
+  std::printf("completed  : %zu ok, %d failed, %d rejected\n", ok.size(),
+              failed.load(), rejected.load());
+  std::printf("latency ms : p50=%.2f p95=%.2f p99=%.2f\n", pct(0.50),
+              pct(0.95), pct(0.99));
+  std::printf("admitted   : %lld (inflight high-water %lld)\n",
+              static_cast<long long>(m.Value("serve.admitted")),
+              static_cast<long long>(
+                  m.Value("serve.inflight_high_water")));
+  std::printf("cache      : %lld hits / %lld misses\n",
+              static_cast<long long>(m.Value("serve.cache.hits")),
+              static_cast<long long>(m.Value("serve.cache.misses")));
+  (*service)->Shutdown();
+  if ((*service)->resident_threads() != 0) {
+    std::fprintf(stderr, "leaked resident threads after shutdown\n");
+    return 1;
+  }
+  return failed.load() == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Result<CliOptions> opt = ParseArgs(argc, argv);
   if (!opt.ok()) {
@@ -393,6 +536,9 @@ int Main(int argc, char** argv) {
                  "--sweep requires --model (engine sweeps live in "
                  "bench/)\n");
     return 1;
+  }
+  if (opt->serve) {
+    return RunServe(*opt);
   }
   return RunEngine(*opt, *algorithms);
 }

@@ -54,6 +54,12 @@
 //       identifiers. Vector code goes through the portable dispatch
 //       layer so the scalar fallback and forced-scalar override stay
 //       exhaustive.
+//   S12 no direct Cluster::Run call site in src/, tools/, or examples/
+//       outside src/cluster (the definition), src/serve (the layer
+//       that wraps it), and the allowlisted Query::Execute — production
+//       paths submit through ClusterService (admission control, session
+//       isolation, result cache) or the Query API. bench/ and tests/
+//       measure and pin the one-shot path deliberately and stay exempt.
 //   D1  no wall-clock reads in src/ (steady_clock / system_clock /
 //       WallSeconds / ...): simulated results must depend only on the
 //       CostClock. Wall time is allowlisted exactly where it belongs —
@@ -128,6 +134,14 @@ constexpr AllowlistEntry kAllowlist[] = {
     {"D1", "src/cluster/cluster.cc",
      "measures run wall time and fixes the cluster-wide trace wall "
      "epoch; reported beside, never inside, simulated time"},
+    {"D1", "src/cluster/run_assembly.cc",
+     "stamps the wall time of a run's first node failure so abort "
+     "latency is measurable; reported beside, never inside, simulated "
+     "time"},
+    {"D1", "src/serve/cluster_service.cc",
+     "serving latency (submit-to-complete) and per-session trace "
+     "epochs are wall time by definition; modeled per-query time still "
+     "comes only off each session's CostClocks"},
     {"D3", "src/agg/reference.cc",
      "the oracle accumulates into an unordered_map and sorts the "
      "result rows immediately after the loop"},
@@ -199,7 +213,16 @@ std::string StripCommentsAndStrings(const std::string& text) {
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'') {
-          state = State::kChar;
+          // A quote directly after an identifier character is a digit
+          // separator (100'000) or a literal suffix position, not a
+          // char-literal open; treating it as one would swallow real
+          // code up to the next quote and hide violations from every
+          // token rule.
+          if (i == 0 ||
+              (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
+               text[i - 1] != '_')) {
+            state = State::kChar;
+          }
         }
         break;
       case State::kLineComment:
@@ -555,6 +578,56 @@ void CheckNoBareRecv(const std::string& rel,
       Report(rel, static_cast<int>(i) + 1, "S8",
              "bare Recv() outside src/net — use RecvWithDeadline / "
              "TryRecv / AwaitMessage");
+    }
+  }
+}
+
+/// S12: direct Cluster::Run call sites. The one-shot entry point stays
+/// for benches and tests (which measure and pin it), for src/cluster
+/// itself, for the serving layer built on the same assembly helpers,
+/// and for Query::Execute; everything else submits through
+/// ClusterService or the Query API so no production path bypasses
+/// admission control and session isolation. Detection: a `.Run(`,
+/// `->Run(`, or `::Run(` whose receiver identifier contains "cluster"
+/// (case-insensitive).
+bool ClusterRunAllowed(const std::string& rel) {
+  return rel.rfind("src/cluster/", 0) == 0 ||
+         rel.rfind("src/serve/", 0) == 0 ||
+         rel.rfind("bench/", 0) == 0 || rel.rfind("tests/", 0) == 0 ||
+         rel == "src/core/query.cc";
+}
+
+void CheckNoDirectClusterRun(const std::string& rel,
+                             const std::vector<std::string>& stripped) {
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    size_t pos = 0;
+    while ((pos = l.find("Run(", pos)) != std::string::npos) {
+      const size_t after = pos + 4;
+      size_t r = pos;
+      if (r >= 1 && l[r - 1] == '.') {
+        r -= 1;
+      } else if (r >= 2 && (l.compare(r - 2, 2, "->") == 0 ||
+                            l.compare(r - 2, 2, "::") == 0)) {
+        r -= 2;
+      } else {
+        pos = after;
+        continue;
+      }
+      size_t b = r;
+      while (b > 0 && IsIdentChar(l[b - 1])) --b;
+      std::string receiver = l.substr(b, r - b);
+      for (char& c : receiver) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (receiver.find("cluster") != std::string::npos) {
+        Report(rel, static_cast<int>(i) + 1, "S12",
+               "direct Cluster::Run call site — submit through "
+               "ClusterService (or Query::Execute) so the query gets "
+               "admission control and session isolation");
+      }
+      pos = after;
     }
   }
 }
@@ -933,6 +1006,9 @@ int main(int argc, char** argv) {
           }
         }
       }
+    }
+    if (!ClusterRunAllowed(f.rel)) {
+      CheckNoDirectClusterRun(f.rel, f.stripped_lines);
     }
     if (f.in_src) {
       CheckSrcTokens(f.rel, f.stripped_lines);
