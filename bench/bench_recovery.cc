@@ -1,0 +1,141 @@
+// Fault-recovery benchmark: wall-clock cost of surviving a node crash,
+// across a checkpoint-cadence x crash-phase matrix. Every faulted cell
+// injects a fail-stop crash on node 1 and runs with recovery enabled,
+// so the run detects the death, prunes the fault, and re-executes from
+// the last durable checkpoint (cadence K > 0), from scratch (K = 0), or
+// at the cost model's chosen cadence (auto). The interesting series is
+// wall time and replay work vs K: rare checkpoints pay more replay,
+// frequent ones pay more snapshot I/O. A fault-free baseline per
+// cadence isolates the checkpointing overhead itself. Numbers go to
+// BENCH_recovery.json (EXPERIMENTS.md "Fault recovery" has the
+// methodology).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/fault.h"
+
+namespace adaptagg {
+namespace {
+
+using bench::BenchJsonWriter;
+using bench::FmtInt;
+using bench::FmtSeconds;
+using bench::TablePrinter;
+
+struct CrashPhase {
+  const char* label;
+  /// Fault-plan template; empty = fault-free baseline.
+  std::string plan;
+};
+
+struct Cadence {
+  const char* label;
+  int64_t every_batches;  // -1 = cost-model auto, 0 = no checkpoints
+};
+
+}  // namespace
+}  // namespace adaptagg
+
+int main(int argc, char** argv) {
+  using namespace adaptagg;
+  (void)argc;
+  bench::SetBenchBinaryName(argv[0]);
+
+  const double scale = bench::BenchScale();
+  const int nodes = 4;
+  const int64_t tuples = static_cast<int64_t>(40'000 * scale);
+  const int64_t groups = 2'000;
+
+  WorkloadSpec workload;
+  workload.num_nodes = nodes;
+  workload.num_tuples = tuples;
+  workload.num_groups = groups;
+  auto rel = GenerateRelation(workload);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "generate: %s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  auto spec = MakeBenchQuery(&rel->schema());
+  if (!spec.ok()) return 1;
+
+  SystemParams params;
+  params.num_nodes = nodes;
+  params.num_tuples = tuples;
+  params.max_hash_entries = 1'000;
+  params.network = NetworkKind::kHighBandwidth;
+
+  // Crash mid-scan (half of node 1's partition scanned) and mid-merge.
+  const int64_t crash_tuple = tuples / nodes / 2;
+  const CrashPhase kPhases[] = {
+      {"none", ""},
+      {"scan", "crash:node=1,tuple=" + std::to_string(crash_tuple)},
+      {"merge", "crash:node=1,phase=merge"},
+  };
+  const Cadence kCadences[] = {
+      {"k0", 0}, {"k4", 4}, {"k16", 16}, {"k64", 64}, {"auto", -1},
+  };
+
+  const std::string config_line =
+      "nodes=" + std::to_string(nodes) + " tuples=" +
+      std::to_string(tuples) + " groups=" + std::to_string(groups) +
+      " crash_tuple=" + std::to_string(crash_tuple) +
+      " algo=two-phase";
+  bench::PrintHeader(
+      "recovery",
+      "crash recovery wall time vs checkpoint cadence and crash phase",
+      config_line);
+
+  TablePrinter table({"crash", "cadence", "wall s", "attempts",
+                      "ckpts", "deduped", "ok"});
+  BenchJsonWriter json("recovery", config_line);
+  bool all_ok = true;
+  for (const CrashPhase& phase : kPhases) {
+    for (const Cadence& cadence : kCadences) {
+      AlgorithmOptions options;
+      options.recovery.enabled = true;
+      options.recovery.checkpoint_every_batches = cadence.every_batches;
+      if (!phase.plan.empty()) {
+        auto plan = FaultPlan::Parse(phase.plan);
+        if (!plan.ok()) {
+          std::fprintf(stderr, "plan: %s\n",
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        options.fault_plan = std::move(*plan);
+        options.failure.enabled = true;
+        options.failure.recv_idle_timeout_s = 2.0;
+      }
+
+      Cluster cluster(params);
+      const std::string name =
+          std::string(phase.label) + "_" + cadence.label;
+      bench::EngineRunOutcome out = bench::RunEngine(
+          cluster, AlgorithmKind::kTwoPhase, *spec, *rel, options, name);
+      all_ok = all_ok && out.ok;
+
+      const int64_t attempts = out.metrics.Value("recovery.attempts");
+      const int64_t ckpts =
+          out.metrics.Value("recovery.checkpoints_written");
+      const int64_t deduped = out.metrics.Value("recovery.pages_deduped");
+      table.AddRow({phase.label, cadence.label,
+                    FmtSeconds(out.wall_time_s), FmtInt(attempts),
+                    FmtInt(ckpts), FmtInt(deduped),
+                    out.ok ? "yes" : "NO"});
+      json.AddPoint(name, out.sim_time_s, out.wall_time_s,
+                    out.wall_time_s > 0
+                        ? static_cast<double>(tuples) / out.wall_time_s
+                        : 0);
+      json.MergeMetrics(out.metrics);
+    }
+  }
+  table.Print();
+  if (!json.Write()) return 1;
+  if (!all_ok) {
+    std::fprintf(stderr, "recovery bench: some cells failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -129,6 +129,43 @@ Status SpillingAggregator::DrainTableOverflow() {
       });
 }
 
+bool SpillingAggregator::Snapshot(std::vector<uint8_t>* out) const {
+  out->clear();
+  if (finished_ || has_spilled() || table_.radix_partitioning()) {
+    return false;
+  }
+  const size_t key_width = static_cast<size_t>(spec_->key_width());
+  const size_t state_width = static_cast<size_t>(spec_->state_width());
+  out->reserve(static_cast<size_t>(table_.size()) *
+               (key_width + state_width));
+  table_.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    out->insert(out->end(), key, key + key_width);
+    out->insert(out->end(), state, state + state_width);
+  });
+  return true;
+}
+
+Status SpillingAggregator::RestoreFrom(const uint8_t* data, size_t size) {
+  if (finished_ || has_spilled() || table_.size() != 0) {
+    return Status::FailedPrecondition(
+        "checkpoint restore requires a fresh aggregator");
+  }
+  if (table_.radix_partitioning()) {
+    return Status::FailedPrecondition(
+        "checkpoint restore is incompatible with radix pre-partitioning");
+  }
+  const size_t width = static_cast<size_t>(spec_->partial_width());
+  if (width == 0 || size % width != 0) {
+    return Status::DataLoss("checkpointed partials are not a whole number "
+                            "of records: " + std::to_string(size) +
+                            " bytes / width " + std::to_string(width));
+  }
+  for (size_t off = 0; off < size; off += width) {
+    ADAPTAGG_RETURN_IF_ERROR(AddPartial(data + off));
+  }
+  return Status::OK();
+}
+
 Status SpillingAggregator::Finish(const EmitFn& emit) {
   ADAPTAGG_CHECK(!finished_) << "Finish() called twice";
   finished_ = true;

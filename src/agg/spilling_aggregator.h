@@ -71,6 +71,21 @@ class SpillingAggregator {
   /// the spill files.
   Status Finish(const EmitFn& emit);
 
+  /// Serializes the resident table as flat partial records ([key][state],
+  /// spec->partial_width() bytes each, in the table's deterministic emit
+  /// order) into `out` for checkpointing. Returns false — leaving `out`
+  /// empty — when the state is not snapshottable: records already spilled
+  /// to disk, radix pre-partitioning staged records outside the table, or
+  /// Finish() already ran. Callers then simply skip this checkpoint.
+  bool Snapshot(std::vector<uint8_t>* out) const;
+
+  /// Rebuilds the resident table from a Snapshot() byte stream by
+  /// re-upserting every partial record in its original order, so the
+  /// restored table's emit order — and thus all downstream pagination —
+  /// matches the table that was snapshotted. Requires an empty, non-radix
+  /// aggregator.
+  Status RestoreFrom(const uint8_t* data, size_t size);
+
   /// The resident table; adaptive algorithms watch its occupancy.
   AggHashTable& table() { return table_; }
   const AggHashTable& table() const { return table_; }

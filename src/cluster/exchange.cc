@@ -69,6 +69,10 @@ Status Exchange::SendPage(int dest) {
       ctx_->AcquirePageBuffer());
   msg.charged_bytes =
       static_cast<uint32_t>(ctx_->params().message_page_bytes);
+  // Deterministic per-destination data-page numbering: a replayed sender
+  // regenerates the identical stream, so a recovering receiver can skip
+  // pages at or below its checkpointed fold watermark.
+  msg.page_seq = ctx_->NextPageSeq(dest);
   ++pages_per_dest_[static_cast<size_t>(dest)];
   return ctx_->Send(dest, std::move(msg));
 }

@@ -48,6 +48,7 @@ NodeContext::NodeContext(int node_id, const SystemParams& params,
           obs_wall_epoch_s >= 0 ? obs_wall_epoch_s : WallSeconds())),
       send_seq_(static_cast<size_t>(params.num_nodes), 0),
       recv_seq_(static_cast<size_t>(params.num_nodes), 0),
+      page_seq_(static_cast<size_t>(params.num_nodes), 0),
       last_heard_(static_cast<size_t>(params.num_nodes), WallSeconds()),
       row_buf_(static_cast<size_t>(spec.final_schema().tuple_size())) {
   if (disk_ != nullptr) last_disk_ = disk_->stats();
@@ -93,6 +94,7 @@ Status NodeContext::Send(int to, Message msg) {
   if (to >= 0 && to < num_nodes()) {
     msg.seq = ++send_seq_[static_cast<size_t>(to)];
   }
+  msg.epoch = options_.epoch;
   net_->OnSend(clock_, msg);
   ++stats_.messages_sent;
   const int64_t bytes = static_cast<int64_t>(msg.payload.size());
@@ -124,6 +126,13 @@ Result<bool> NodeContext::AdmitIncoming(const Message& msg) {
     return true;  // unattributed traffic (raw transport users in tests)
   }
   last_heard_[static_cast<size_t>(from)] = WallSeconds();
+  if (msg.epoch != options_.epoch) {
+    // A frame from another membership epoch is a stale leftover of a
+    // pre-resize mesh: drop it before any sequence bookkeeping so the
+    // old membership's traffic can never corrupt the new one's state.
+    obs_->recovery_stale_epoch_dropped.Increment();
+    return false;
+  }
   if (msg.seq == 0) {
     // Unsequenced: sent around NodeContext (raw transport users).
     return msg.type != MessageType::kHeartbeat;
@@ -269,6 +278,7 @@ void NodeContext::MaybeHeartbeat() {
     Message hb;
     hb.type = MessageType::kHeartbeat;
     hb.seq = ++send_seq_[static_cast<size_t>(p)];
+    hb.epoch = options_.epoch;
     // Best-effort: a failed beacon just means the peer's detector fires.
     (void)transport_->Send(p, std::move(hb));
     obs_->fault_heartbeats_sent.Increment();

@@ -25,6 +25,26 @@
 
 namespace adaptagg {
 
+class RecoveryNode;
+
+/// Fault-recovery knobs of one run (DESIGN.md §11). When enabled, the
+/// cluster checkpoints each node's partial-aggregate state every K scan
+/// batches and, on an injected crash, re-executes the query with every
+/// node replaying from its last good checkpoint instead of aborting.
+/// Checkpoint I/O goes to dedicated recovery disks — never the charged
+/// node disks — so enabling recovery on a fault-free run leaves every
+/// modeled result bit-identical.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// Checkpoint interval in scan batches: -1 derives K from the cost
+  /// model (model/recovery_model.h), 0 never checkpoints (recovery then
+  /// replays from scratch), K > 0 is an explicit interval.
+  int64_t checkpoint_every_batches = -1;
+  /// Executions of the query before giving up (first run included), so
+  /// repeated crashes terminate with the last attempt's error.
+  int max_attempts = 3;
+};
+
 /// Tunables of one algorithm run. Negative values mean "derive the paper
 /// default from SystemParams".
 struct AlgorithmOptions {
@@ -100,6 +120,15 @@ struct AlgorithmOptions {
   /// concurrent sessions storing results on one shared disk stay
   /// distinguishable, and flows into RunResult::query_id.
   uint32_t query_id = 0;
+
+  /// Cluster-membership epoch this run executes under (0: one-shot runs
+  /// and the service's initial membership). Stamped into every outbound
+  /// frame; inbound frames from another epoch are stale leftovers of a
+  /// pre-resize membership and are dropped on admission.
+  uint32_t epoch = 0;
+
+  /// Fault-recovery configuration (checkpointing + survivor replay).
+  RecoveryOptions recovery;
 };
 
 /// Per-node execution counters reported back by a run.
@@ -253,6 +282,24 @@ class NodeContext {
   /// non-empty fault plan is active).
   bool failure_detection_armed() const { return armed_; }
 
+  /// True once this node executed an injected crash. The recovery loop
+  /// retries exactly when some node crashed — every other failure mode
+  /// keeps its clean-abort semantics.
+  bool crashed() const { return crashed_; }
+
+  /// Next deterministic data-page sequence number toward `dest` (1, 2,
+  /// ...). Stamped by Exchange::SendPage on kRawPage/kPartialPage frames;
+  /// unlike the transport seq it never moves with wall-clock heartbeat
+  /// traffic, so a replayed stream reproduces the same numbering.
+  uint64_t NextPageSeq(int dest) {
+    return ++page_seq_[static_cast<size_t>(dest)];
+  }
+
+  /// This node's recovery runtime hook (null when recovery is disabled;
+  /// phase bodies then skip all checkpoint/restore work).
+  RecoveryNode* recovery() { return recovery_; }
+  void SetRecovery(RecoveryNode* recovery) { recovery_ = recovery; }
+
   /// Resolved idle deadline for blocking receives.
   double recv_idle_timeout_s() const { return idle_timeout_s_; }
 
@@ -305,6 +352,8 @@ class NodeContext {
   std::string current_phase_ = "init";
   std::vector<uint64_t> send_seq_;
   std::vector<uint64_t> recv_seq_;
+  std::vector<uint64_t> page_seq_;
+  RecoveryNode* recovery_ = nullptr;
   std::vector<double> last_heard_;
   double last_heartbeat_wall_ = 0;
 

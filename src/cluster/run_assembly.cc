@@ -38,7 +38,9 @@ FaultObserver MakeFaultObserver(NodeObs* obs) {
         break;
       case FaultKind::kCrash:
       case FaultKind::kStraggle:
-        break;  // node faults report through NodeContext directly
+      case FaultKind::kDiskFail:
+      case FaultKind::kTornWrite:
+        break;  // node/storage faults report elsewhere
     }
     obs->RecordFault("fault." + std::string(FaultKindToString(e.kind)),
                      {{"peer", e.peer}});

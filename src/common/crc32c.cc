@@ -1,4 +1,4 @@
-#include "net/crc32c.h"
+#include "common/crc32c.h"
 
 #include <array>
 

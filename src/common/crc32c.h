@@ -1,5 +1,5 @@
-#ifndef ADAPTAGG_NET_CRC32C_H_
-#define ADAPTAGG_NET_CRC32C_H_
+#ifndef ADAPTAGG_COMMON_CRC32C_H_
+#define ADAPTAGG_COMMON_CRC32C_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -17,4 +17,4 @@ uint32_t Crc32c(uint32_t crc, const uint8_t* data, size_t len);
 
 }  // namespace adaptagg
 
-#endif  // ADAPTAGG_NET_CRC32C_H_
+#endif  // ADAPTAGG_COMMON_CRC32C_H_

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NetworkError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kNotImplemented:

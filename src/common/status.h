@@ -20,6 +20,7 @@ enum class StatusCode {
   kIOError,
   kNetworkError,
   kDeadlineExceeded,
+  kDataLoss,
   kInternal,
   kNotImplemented,
 };
@@ -72,6 +73,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

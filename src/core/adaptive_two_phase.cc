@@ -1,3 +1,4 @@
+#include "cluster/recovery.h"
 #include "core/algorithm.h"
 #include "core/phases.h"
 
@@ -19,10 +20,42 @@ class AdaptiveTwoPhase : public Algorithm {
     const AggregationSpec& spec = ctx.spec();
     const int n = ctx.num_nodes();
 
+    // Recovery bracket. The scan side is stateful (the local table and
+    // the switch decision), but everything it sends is regenerated
+    // deterministically by a from-scratch rescan — same switch tuple,
+    // same page stream, same page_seq numbering. So, as in
+    // Repartitioning, a checkpoint holds only the receiver side: the
+    // global merge table plus per-origin fold watermarks, and replay
+    // dedupes re-sent pages against the watermarks.
+    RecoveryNode* rec = ctx.recovery();
+    if (rec != nullptr) rec->BeginAttempt(ctx);
+    const CheckpointState* restore =
+        rec != nullptr ? rec->restore() : nullptr;
+
     SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                               ctx.options().spill_fanout,
                               "ga2p_n" + std::to_string(ctx.node_id()));
     DataReceiver recv(&ctx, &global, n);
+    if (restore != nullptr) {
+      ADAPTAGG_RETURN_IF_ERROR(global.RestoreFrom(
+          restore->global_partials.data(), restore->global_partials.size()));
+      recv.SetReplayWatermarks(restore->fold_watermarks);
+    }
+    if (rec != nullptr && rec->checkpointing()) {
+      recv.set_post_fold_hook([&]() -> Status {
+        if (!rec->TickBatch()) return Status::OK();
+        CheckpointState snap;
+        snap.scan_hwm = 0;
+        snap.scan_complete = false;
+        snap.fold_watermarks = recv.folded_watermarks();
+        if (global.Snapshot(&snap.global_partials)) {
+          rec->WriteCheckpoint(ctx, snap);
+        } else {
+          rec->CountSkipped(ctx);
+        }
+        return Status::OK();
+      });
+    }
     Exchange ex_partial(&ctx, MessageType::kPartialPage,
                         spec.partial_width(), kPhaseData);
     Exchange ex_raw(&ctx, MessageType::kRawPage, spec.projected_width(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/recovery.h"
 #include "common/logging.h"
 
 namespace adaptagg {
@@ -45,7 +46,8 @@ DataReceiver::DataReceiver(NodeContext* ctx, BatchSink on_raw,
       on_partial_(std::move(on_partial)),
       view_batch_(&ctx->spec()),
       expected_eos_(expected_eos),
-      eos_from_(static_cast<size_t>(ctx->num_nodes()), false) {
+      eos_from_(static_cast<size_t>(ctx->num_nodes()), false),
+      fold_watermark_(static_cast<size_t>(ctx->num_nodes()), 0) {
   const SystemParams& p = ctx->params();
   // Global-phase merge costs (§2.2): reading the record and computing the
   // cumulative value. Hashing was charged on the sending side.
@@ -88,12 +90,35 @@ Status DataReceiver::HandlePage(Message& msg, bool is_partial) {
   return status;
 }
 
+void DataReceiver::SetReplayWatermarks(const std::vector<uint64_t>& wm) {
+  const size_t bound = std::min(wm.size(), fold_watermark_.size());
+  for (size_t i = 0; i < bound; ++i) fold_watermark_[i] = wm[i];
+}
+
 Status DataReceiver::Handle(Message& msg) {
   switch (msg.type) {
     case MessageType::kPartialPage:
-      return HandlePage(msg, /*is_partial=*/true);
-    case MessageType::kRawPage:
-      return HandlePage(msg, /*is_partial=*/false);
+    case MessageType::kRawPage: {
+      const bool in_range =
+          msg.from >= 0 &&
+          static_cast<size_t>(msg.from) < fold_watermark_.size();
+      if (msg.page_seq != 0 && in_range &&
+          msg.page_seq <= fold_watermark_[static_cast<size_t>(msg.from)]) {
+        // A replayed sender regenerated a page this node folded before
+        // its checkpoint; folding it again would double-count, so the
+        // duplicate is counted and discarded.
+        ctx_->obs().recovery_pages_deduped.Increment();
+        ctx_->ReleasePageBuffer(std::move(msg.payload));
+        return Status::OK();
+      }
+      ADAPTAGG_RETURN_IF_ERROR(
+          HandlePage(msg, msg.type == MessageType::kPartialPage));
+      if (msg.page_seq != 0 && in_range) {
+        fold_watermark_[static_cast<size_t>(msg.from)] = msg.page_seq;
+      }
+      if (post_fold_hook_ != nullptr) return post_fold_hook_();
+      return Status::OK();
+    }
     case MessageType::kEndOfStream:
       if (msg.phase == kPhaseData) {
         ++eos_seen_;
@@ -166,35 +191,106 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
   const AggregationSpec& spec = ctx.spec();
   const int n = ctx.num_nodes();
 
+  // Recovery bracket: load the latest durable checkpoint (if any) and
+  // replay forward from it. A fault-free first attempt has no checkpoint
+  // to restore, and checkpoint I/O runs on dedicated disks, so modeled
+  // results are bit-identical with recovery on or off.
+  RecoveryNode* rec = ctx.recovery();
+  if (rec != nullptr) rec->BeginAttempt(ctx);
+  const CheckpointState* restore = rec != nullptr ? rec->restore() : nullptr;
+
   SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                             ctx.options().spill_fanout,
                             "g2p_n" + std::to_string(ctx.node_id()));
   DataReceiver recv(&ctx, &global, n);
-  // Each node's merge table owns ~1/n of the groups routed by key hash.
-  MaybeEnableRadix(ctx, global, "global",
-                   ctx.estimated_local_groups() / std::max(n, 1));
+  if (restore == nullptr) {
+    // Each node's merge table owns ~1/n of the groups routed by key hash.
+    MaybeEnableRadix(ctx, global, "global",
+                     ctx.estimated_local_groups() / std::max(n, 1));
+  }
 
   // Phase 1: aggregate the local partition.
   SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
                            ctx.options().spill_fanout,
                            "l2p_n" + std::to_string(ctx.node_id()));
-  MaybeEnableRadix(ctx, local, "local", ctx.estimated_local_groups());
+  if (restore == nullptr) {
+    MaybeEnableRadix(ctx, local, "local", ctx.estimated_local_groups());
+  } else {
+    // Radix staging is incompatible with restore (and is a wall-clock
+    // optimization only), so replay attempts run plain tables.
+    ADAPTAGG_RETURN_IF_ERROR(global.RestoreFrom(
+        restore->global_partials.data(), restore->global_partials.size()));
+    ADAPTAGG_RETURN_IF_ERROR(local.RestoreFrom(
+        restore->local_partials.data(), restore->local_partials.size()));
+    recv.SetReplayWatermarks(restore->fold_watermarks);
+  }
+
+  // Frozen pre-Finish image of the local table for merge-phase
+  // checkpoints: Finish() consumes the table, but a crash during the
+  // merge must be able to re-send the identical partial stream.
+  std::vector<uint8_t> frozen_local;
+  bool local_frozen = false;
+
+  const int64_t resume_hwm =
+      restore != nullptr && !restore->scan_complete ? restore->scan_hwm : 0;
+  const bool skip_scan = restore != nullptr && restore->scan_complete;
   {
     ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("scan"));
     PhaseTimer scan_span = ctx.obs().StartPhase("scan");
     const double agg_cost = p.t_r() + p.t_h() + p.t_a();
-    ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
-        ctx,
-        [&](const TupleBatch& batch, int64_t) {
-          ctx.clock().AddCpu(static_cast<double>(batch.size()) * agg_cost);
-          return local.AddProjectedBatch(batch);
-        },
-        [&]() {
-          ctx.SyncDiskIo();
-          return recv.Poll();
-        }));
+    if (!skip_scan) {
+      ADAPTAGG_RETURN_IF_ERROR(RunBatchedScan(
+          ctx,
+          [&](const TupleBatch& batch, int64_t base) -> Status {
+            // Replay fast-forward: batches already folded into the
+            // restored local table are rescanned but not re-aggregated.
+            if (base + batch.size() <= resume_hwm) return Status::OK();
+            ctx.clock().AddCpu(static_cast<double>(batch.size()) *
+                               agg_cost);
+            return local.AddProjectedBatch(batch);
+          },
+          [&]() -> Status {
+            ctx.SyncDiskIo();
+            ADAPTAGG_RETURN_IF_ERROR(recv.Poll());
+            if (rec != nullptr &&
+                ctx.stats().tuples_scanned >= resume_hwm &&
+                rec->TickBatch()) {
+              CheckpointState snap;
+              snap.scan_hwm = ctx.stats().tuples_scanned;
+              snap.scan_complete = false;
+              snap.fold_watermarks = recv.folded_watermarks();
+              if (local.Snapshot(&snap.local_partials) &&
+                  global.Snapshot(&snap.global_partials)) {
+                rec->WriteCheckpoint(ctx, snap);
+              } else {
+                rec->CountSkipped(ctx);
+              }
+            }
+            return Status::OK();
+          }));
+    }
 
-    // Ship local partials to their owner nodes.
+    if (rec != nullptr && rec->checkpointing()) {
+      local_frozen = local.Snapshot(&frozen_local);
+      recv.set_post_fold_hook([&]() -> Status {
+        if (!rec->TickBatch()) return Status::OK();
+        CheckpointState snap;
+        snap.scan_hwm = ctx.stats().tuples_scanned;
+        snap.scan_complete = true;
+        snap.fold_watermarks = recv.folded_watermarks();
+        if (local_frozen && global.Snapshot(&snap.global_partials)) {
+          snap.local_partials = frozen_local;
+          rec->WriteCheckpoint(ctx, snap);
+        } else {
+          rec->CountSkipped(ctx);
+        }
+        return Status::OK();
+      });
+    }
+
+    // Ship local partials to their owner nodes. On replay this
+    // regenerates the identical stream; receivers that already folded a
+    // page skip it by its deterministic page_seq.
     Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
                 kPhaseData);
     ADAPTAGG_RETURN_IF_ERROR(SendPartials(
@@ -218,14 +314,44 @@ Status RunRepartitioningBody(NodeContext& ctx) {
   const AggregationSpec& spec = ctx.spec();
   const int n = ctx.num_nodes();
 
+  // Recovery bracket. Repartitioning holds no local aggregate state, so
+  // a checkpoint is the global table plus fold watermarks; replay always
+  // rescans from tuple zero and relies on receiver-side dedupe.
+  RecoveryNode* rec = ctx.recovery();
+  if (rec != nullptr) rec->BeginAttempt(ctx);
+  const CheckpointState* restore = rec != nullptr ? rec->restore() : nullptr;
+
   SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                             ctx.options().spill_fanout,
                             "grep_n" + std::to_string(ctx.node_id()));
   DataReceiver recv(&ctx, &global, n);
-  // Repartitioning routes raw tuples by key hash, so this node's table
-  // holds ~1/n of the groups.
-  MaybeEnableRadix(ctx, global, "global",
-                   ctx.estimated_local_groups() / std::max(n, 1));
+  if (restore == nullptr) {
+    // Repartitioning routes raw tuples by key hash, so this node's table
+    // holds ~1/n of the groups.
+    MaybeEnableRadix(ctx, global, "global",
+                     ctx.estimated_local_groups() / std::max(n, 1));
+  } else {
+    ADAPTAGG_RETURN_IF_ERROR(global.RestoreFrom(
+        restore->global_partials.data(), restore->global_partials.size()));
+    recv.SetReplayWatermarks(restore->fold_watermarks);
+  }
+  if (rec != nullptr && rec->checkpointing()) {
+    // Checkpoint on merge progress: every folded page ticks the cadence,
+    // during the scan's polls and the final drain alike.
+    recv.set_post_fold_hook([&]() -> Status {
+      if (!rec->TickBatch()) return Status::OK();
+      CheckpointState snap;
+      snap.scan_hwm = 0;
+      snap.scan_complete = false;
+      snap.fold_watermarks = recv.folded_watermarks();
+      if (global.Snapshot(&snap.global_partials)) {
+        rec->WriteCheckpoint(ctx, snap);
+      } else {
+        rec->CountSkipped(ctx);
+      }
+      return Status::OK();
+    });
+  }
   Exchange ex(&ctx, MessageType::kRawPage, spec.projected_width(),
               kPhaseData);
 

@@ -1,6 +1,9 @@
 #ifndef ADAPTAGG_CORE_PHASES_H_
 #define ADAPTAGG_CORE_PHASES_H_
 
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "agg/batch_kernels.h"
@@ -102,6 +105,28 @@ class DataReceiver {
   bool done() const { return eos_seen_ >= expected_eos_; }
   bool end_of_phase_seen() const { return end_of_phase_seen_; }
 
+  /// Installs the fold watermarks from a restored checkpoint: a data page
+  /// from origin o with page_seq <= wm[o] was already folded into the
+  /// restored aggregator, so a replayed copy is counted
+  /// (recovery.pages_deduped) and discarded — this is what keeps merges
+  /// exactly-once across re-execution. Senders number their data pages
+  /// 1,2,... per destination (Exchange::SendPage) and regenerate the
+  /// identical stream on replay.
+  void SetReplayWatermarks(const std::vector<uint64_t>& wm);
+
+  /// Largest folded page_seq per origin — the checkpoint manifest's fold
+  /// watermark vector.
+  const std::vector<uint64_t>& folded_watermarks() const {
+    return fold_watermark_;
+  }
+
+  /// Installs a hook run after each data page folds successfully. The
+  /// recovery runtime uses it to checkpoint on merge-phase progress; an
+  /// error from the hook fails the receive.
+  void set_post_fold_hook(std::function<Status()> hook) {
+    post_fold_hook_ = std::move(hook);
+  }
+
  private:
   Status Handle(Message& msg);
   /// Validates and decodes one page payload, feeding the sink one
@@ -122,6 +147,10 @@ class DataReceiver {
   bool end_of_phase_seen_ = false;
   double partial_cost_;
   double raw_cost_;
+  /// Largest folded page_seq per origin; pages at or below it are
+  /// replayed duplicates and are skipped.
+  std::vector<uint64_t> fold_watermark_;
+  std::function<Status()> post_fold_hook_;
 };
 
 /// Emits every group of a finished local aggregation as a partial record,

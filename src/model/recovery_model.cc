@@ -1,0 +1,31 @@
+#include "model/recovery_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptagg {
+
+CheckpointDecision DecideCheckpointInterval(const SystemParams& params,
+                                            int64_t est_groups,
+                                            int64_t partial_bytes,
+                                            int64_t batch_width) {
+  CheckpointDecision d;
+  // One checkpoint writes the resident partials (plus a manifest page)
+  // sequentially to the node's checkpoint disk.
+  const double snapshot_bytes =
+      static_cast<double>(std::max<int64_t>(est_groups, 1)) *
+      static_cast<double>(std::max<int64_t>(partial_bytes, 1));
+  const double pages =
+      1.0 + std::ceil(snapshot_bytes / static_cast<double>(params.page_bytes));
+  d.checkpoint_cost_s = pages * params.io_seq_s;
+  // Replaying one lost batch re-reads and re-hashes batch_width tuples
+  // (the aggregate update rides along with the hash in the fused kernel).
+  d.batch_cost_s = static_cast<double>(std::max<int64_t>(batch_width, 1)) *
+                   (params.t_r() + params.t_h() + params.t_a());
+  const double k = std::sqrt(2.0 * d.checkpoint_cost_s / d.batch_cost_s);
+  d.every_batches = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(k)), 1, 4096);
+  return d;
+}
+
+}  // namespace adaptagg

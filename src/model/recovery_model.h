@@ -1,0 +1,39 @@
+#ifndef ADAPTAGG_MODEL_RECOVERY_MODEL_H_
+#define ADAPTAGG_MODEL_RECOVERY_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/params.h"
+
+namespace adaptagg {
+
+/// Outcome of the checkpoint-interval decision, kept around so the
+/// recovery runtime can export why it checkpoints as often as it does.
+struct CheckpointDecision {
+  /// Chosen interval: snapshot the node's partial state every this many
+  /// scan batches. Always in [1, 4096].
+  int64_t every_batches = 0;
+  /// Modeled cost (seconds) of writing one checkpoint.
+  double checkpoint_cost_s = 0;
+  /// Modeled cost (seconds) of re-doing one scan batch after a crash.
+  double batch_cost_s = 0;
+};
+
+/// Picks the checkpoint interval K from the paper's Table 1 cost terms,
+/// Young-style: balance the recurring cost of a checkpoint against the
+/// expected replay work it saves, K ~ sqrt(2 * C_ckpt / C_batch), clamped
+/// to [1, 4096]. `est_groups` is the expected resident-table size when a
+/// checkpoint fires (more groups = bigger snapshot = rarer checkpoints)
+/// and `partial_bytes` the width of one partial record.
+///
+/// The decision is a pure function of its arguments — it never reads a
+/// clock or charges modeled time — so enabling checkpointing can never
+/// perturb the modeled results of a fault-free run.
+CheckpointDecision DecideCheckpointInterval(const SystemParams& params,
+                                            int64_t est_groups,
+                                            int64_t partial_bytes,
+                                            int64_t batch_width = 128);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_MODEL_RECOVERY_MODEL_H_

@@ -21,6 +21,10 @@ std::string_view FaultKindToString(FaultKind kind) {
       return "crash";
     case FaultKind::kStraggle:
       return "straggle";
+    case FaultKind::kDiskFail:
+      return "disk-fail";
+    case FaultKind::kTornWrite:
+      return "torn-write";
   }
   return "?";
 }
@@ -66,6 +70,8 @@ Result<FaultKind> ParseKind(std::string_view v) {
   if (v == "corrupt") return FaultKind::kCorrupt;
   if (v == "crash") return FaultKind::kCrash;
   if (v == "straggle") return FaultKind::kStraggle;
+  if (v == "disk-fail") return FaultKind::kDiskFail;
+  if (v == "torn-write") return FaultKind::kTornWrite;
   return Status::InvalidArgument("fault plan: unknown fault kind '" +
                                  std::string(v) + "'");
 }
@@ -172,6 +178,29 @@ double FaultPlan::StraggleSecsForNode(int node) const {
   return 0;
 }
 
+int64_t FaultPlan::DiskFailNthForNode(int node) const {
+  for (const FaultSpec& f : faults) {
+    if (f.kind == FaultKind::kDiskFail && f.node == node) return f.nth;
+  }
+  return -1;
+}
+
+int64_t FaultPlan::TornWriteNthForNode(int node) const {
+  for (const FaultSpec& f : faults) {
+    if (f.kind == FaultKind::kTornWrite && f.node == node) return f.nth;
+  }
+  return -1;
+}
+
+bool FaultPlan::HasCheckpointDiskFaults() const {
+  for (const FaultSpec& f : faults) {
+    if (f.kind == FaultKind::kDiskFail || f.kind == FaultKind::kTornWrite) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
   FaultPlan plan;
   std::string_view rest = text;
@@ -210,6 +239,10 @@ std::string FaultPlan::ToString() const {
       if (!f.phase.empty()) add("phase=" + f.phase);
       if (f.kind == FaultKind::kStraggle) {
         add("secs=" + std::to_string(f.secs));
+      }
+      if (f.kind == FaultKind::kDiskFail ||
+          f.kind == FaultKind::kTornWrite) {
+        add("nth=" + std::to_string(f.nth));
       }
     }
     out += args;
@@ -301,7 +334,9 @@ Status FaultyTransport::Send(int to, Message msg) {
         }
         case FaultKind::kCrash:
         case FaultKind::kStraggle:
-          break;  // node faults; never armed as send faults
+        case FaultKind::kDiskFail:
+        case FaultKind::kTornWrite:
+          break;  // node/storage faults; never armed as send faults
       }
     }
   }

@@ -14,7 +14,9 @@ namespace adaptagg {
 
 /// Kinds of injectable faults. Message faults (drop/duplicate/delay/
 /// corrupt) act on a FaultyTransport's outbound traffic; node faults
-/// (crash/straggle) are executed by the NodeContext runtime hooks.
+/// (crash/straggle) are executed by the NodeContext runtime hooks;
+/// storage faults (disk-fail/torn-write) are applied to the targeted
+/// node's checkpoint disk by the recovery runtime.
 enum class FaultKind {
   kDrop = 0,
   kDuplicate,
@@ -22,6 +24,8 @@ enum class FaultKind {
   kCorrupt,
   kCrash,
   kStraggle,
+  kDiskFail,
+  kTornWrite,
 };
 
 /// Stable lowercase name ("drop", "crash", ...).
@@ -38,6 +42,12 @@ std::string_view FaultKindToString(FaultKind kind);
 ///  * straggle: `node` sleeps `secs` wall-seconds at every inbox poll
 ///    (the scan loop polls every kPollInterval tuples, so this slows the
 ///    node down without changing any simulated cost).
+///  * disk-fail: `node`'s checkpoint disk fails every append after `nth`
+///    more successful ones (recovery degrades to an older checkpoint or
+///    scratch replay; the query must still answer correctly).
+///  * torn-write: `node`'s checkpoint disk persists its `nth` append
+///    with the tail zeroed but reports success — the CRC on read must
+///    turn this into kDataLoss, never a wrong answer.
 struct FaultSpec {
   FaultKind kind = FaultKind::kDrop;
   int from = -1;
@@ -69,6 +79,14 @@ struct FaultPlan {
   const FaultSpec* CrashForNode(int node) const;
   /// Per-poll straggle sleep for `node` (0 when not straggling).
   double StraggleSecsForNode(int node) const;
+  /// `nth` of the first disk-fail spec targeting `node`'s checkpoint
+  /// disk, or -1 when absent.
+  int64_t DiskFailNthForNode(int node) const;
+  /// `nth` of the first torn-write spec targeting `node`'s checkpoint
+  /// disk, or -1 when absent.
+  int64_t TornWriteNthForNode(int node) const;
+  /// True when any spec targets a checkpoint disk.
+  bool HasCheckpointDiskFaults() const;
 
   static Result<FaultPlan> Parse(const std::string& text);
   /// Canonical `--fault` syntax; Parse(ToString()) round-trips.

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "net/crc32c.h"
+#include "common/crc32c.h"
 
 namespace adaptagg {
 
@@ -47,6 +47,10 @@ std::vector<uint8_t> Message::Serialize() const {
   off += 4;
   std::memcpy(out.data() + off, &query_id, 4);
   off += 4;
+  std::memcpy(out.data() + off, &epoch, 4);
+  off += 4;
+  std::memcpy(out.data() + off, &page_seq, 8);
+  off += 8;
   if (!payload.empty()) {
     std::memcpy(out.data() + off, payload.data(), payload.size());
     off += payload.size();
@@ -91,6 +95,10 @@ Result<Message> Message::Deserialize(const uint8_t* data, size_t len) {
   off += 4;
   std::memcpy(&m.query_id, data + off, 4);
   off += 4;
+  std::memcpy(&m.epoch, data + off, 4);
+  off += 4;
+  std::memcpy(&m.page_seq, data + off, 8);
+  off += 8;
   m.payload.assign(data + off, data + len);
   return m;
 }

@@ -85,6 +85,23 @@ NodeObs::NodeObs(int node_id, const ObsConfig& config,
   fault_deadline_aborts = registry_.counter("fault.deadline_aborts");
   fault_abort_latency_us =
       registry_.histogram("fault.abort_latency_us", AbortLatencySpec());
+
+  recovery_checkpoints_written =
+      registry_.counter("recovery.checkpoints_written");
+  recovery_checkpoint_bytes = registry_.counter("recovery.checkpoint_bytes");
+  recovery_checkpoint_failures =
+      registry_.counter("recovery.checkpoint_failures");
+  recovery_checkpoints_skipped =
+      registry_.counter("recovery.checkpoints_skipped");
+  recovery_checkpoint_data_loss =
+      registry_.counter("recovery.checkpoint_data_loss");
+  recovery_pages_deduped = registry_.counter("recovery.pages_deduped");
+  recovery_stale_epoch_dropped =
+      registry_.counter("recovery.stale_epoch_dropped");
+  recovery_attempts = registry_.counter("recovery.attempts");
+  recovery_nodes_restored = registry_.counter("recovery.nodes_restored");
+  recovery_attempt_wall_us =
+      registry_.histogram("recovery.attempt_wall_us", AbortLatencySpec());
 }
 
 void NodeObs::RecordSwitch(

@@ -127,6 +127,32 @@ class NodeObs {
   /// noticing and unwinding (abort fan-out + detection latency).
   Histogram fault_abort_latency_us;
 
+  // Fault recovery: checkpointed partials, replay dedupe, elasticity.
+  /// Checkpoints this node durably wrote.
+  Counter recovery_checkpoints_written;
+  /// Payload bytes of the checkpoints this node durably wrote.
+  Counter recovery_checkpoint_bytes;
+  /// Checkpoint writes that failed on disk (previous checkpoint kept).
+  Counter recovery_checkpoint_failures;
+  /// Checkpoint opportunities skipped because the aggregation state was
+  /// not snapshottable (spilled to disk or radix-staged).
+  Counter recovery_checkpoints_skipped;
+  /// Checkpoints that failed verification on load — torn or corrupted —
+  /// forcing this node to replay from scratch instead.
+  Counter recovery_checkpoint_data_loss;
+  /// Replayed data pages skipped by the fold watermark, keeping merges
+  /// exactly-once across re-execution.
+  Counter recovery_pages_deduped;
+  /// Inbound frames dropped for carrying a stale membership epoch.
+  Counter recovery_stale_epoch_dropped;
+  /// Re-execution attempts the run needed beyond the first (bumped on
+  /// the coordinator's shard by the recovery loop).
+  Counter recovery_attempts;
+  /// Nodes that restored mid-query state from a checkpoint this run.
+  Counter recovery_nodes_restored;
+  /// Wall time of each re-execution attempt (coordinator's shard).
+  Histogram recovery_attempt_wall_us;
+
  private:
   /// The config a shard actually honors: the caller's, or everything-off
   /// when the subsystem is compiled out — so a disabled build never

@@ -118,6 +118,22 @@ class ClusterService {
   /// destructor.
   void Shutdown();
 
+  /// Elastic node join/leave: resizes the resident cluster to
+  /// `new_num_nodes` between queries. Quiesces (in-flight sessions
+  /// drain; new submissions park in the pending queue), builds the new
+  /// mesh first (a factory failure leaves the old plane serving),
+  /// retires the old workers and router, rebalances the relation's
+  /// partitions round-robin across the new node count, rebuilds the
+  /// data plane, and bumps the membership epoch so frames from the old
+  /// plane can never fold into a post-resize query. Blocks until done;
+  /// must not be called concurrently with Shutdown or another Resize.
+  Status Resize(int new_num_nodes);
+
+  /// Current cluster-membership epoch: 0 at start, +1 per completed
+  /// Resize. Every session is stamped with the epoch it was activated
+  /// under; stale-epoch frames are dropped on admission.
+  uint32_t membership_epoch() const ADAPTAGG_EXCLUDES(mu_);
+
   /// Drops every cached result (explicit invalidation hook for
   /// out-of-band relation mutation; version-keyed lookups already
   /// never serve a stale entry after PartitionedRelation::BumpVersion).
@@ -140,12 +156,22 @@ class ClusterService {
   struct NodeTaskQueue;
 
   ClusterService(ServiceConfig config, PartitionedRelation* rel,
+                 Cluster::TransportFactory mesh_factory,
                  std::vector<std::unique_ptr<Transport>> mesh);
 
-  /// Builds the session's per-node execution state (router endpoints,
-  /// scoped disks, partition views, contexts) and enqueues one task per
-  /// node onto the worker pools.
+  /// Admission-time setup (metrics, recovery runtime) followed by the
+  /// first StartAttempt.
   void Activate(Session* session) ADAPTAGG_REQUIRES(mu_);
+
+  /// Builds one execution attempt's per-node state (router endpoints,
+  /// scoped disks, partition views, contexts, gather sink) and enqueues
+  /// one task per node onto the worker pools. Called by Activate for
+  /// attempt 1 and by FinishSession's replay branch after a crash.
+  void StartAttempt(Session* session) ADAPTAGG_REQUIRES(mu_);
+
+  /// Pumps queued submissions in FIFO order while capacity lasts (and
+  /// the data plane is not mid-resize).
+  void PumpPending() ADAPTAGG_REQUIRES(mu_);
 
   void WorkerLoop(int node);
 
@@ -156,6 +182,8 @@ class ClusterService {
 
   ServiceConfig config_;
   PartitionedRelation* rel_;
+  /// Kept beyond Start so Resize can build a replacement mesh.
+  Cluster::TransportFactory mesh_factory_;
   std::unique_ptr<SessionRouter> router_;
   ResultCache cache_;
 
@@ -163,6 +191,10 @@ class ClusterService {
   Scheduler scheduler_ ADAPTAGG_GUARDED_BY(mu_);
   bool accepting_ ADAPTAGG_GUARDED_BY(mu_) = true;
   bool joined_ ADAPTAGG_GUARDED_BY(mu_) = false;
+  /// True while Resize is swapping the data plane: submissions park in
+  /// pending_ and the completion pump stalls until the swap finishes.
+  bool resizing_ ADAPTAGG_GUARDED_BY(mu_) = false;
+  uint32_t membership_epoch_ ADAPTAGG_GUARDED_BY(mu_) = 0;
   std::map<uint32_t, std::unique_ptr<Session>> active_
       ADAPTAGG_GUARDED_BY(mu_);
   std::deque<std::unique_ptr<Session>> pending_ ADAPTAGG_GUARDED_BY(mu_);
@@ -185,6 +217,8 @@ class ClusterService {
   Counter cache_misses_;
   Counter completed_;
   Counter aborted_;
+  Counter replays_;
+  Counter resizes_;
   Gauge inflight_high_water_;
   Gauge queue_depth_high_water_;
   Gauge late_frames_dropped_;

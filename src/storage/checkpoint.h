@@ -1,0 +1,101 @@
+#ifndef ADAPTAGG_STORAGE_CHECKPOINT_H_
+#define ADAPTAGG_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace adaptagg {
+
+/// Checkpointed mid-query execution state of one logical node, written
+/// every K batches by the recovery runtime and replayed after a crash.
+/// The high-water marks make replay exact: `scan_hwm` says how many
+/// post-WHERE survivors are already folded into `local_partials`, and
+/// `fold_watermarks[origin]` says which exchange data pages (by the
+/// deterministic Message::page_seq counter) are already folded into
+/// `global_partials` — a recovering receiver skips replayed pages at or
+/// below its watermark, so merges stay exactly-once.
+struct CheckpointState {
+  /// Post-WHERE survivors folded into the local table; always a whole
+  /// number of scan batches. Ignored once `scan_complete` is set.
+  int64_t scan_hwm = 0;
+  /// True once the local phase finished: replay skips the scan entirely
+  /// and re-sends partials from the restored local snapshot.
+  bool scan_complete = false;
+  /// Per-origin exchange high-water marks: the largest page_seq already
+  /// merged into `global_partials` (index = origin node id).
+  std::vector<uint64_t> fold_watermarks;
+  /// Flat partial records ([key][state], spec->partial_width() each) of
+  /// the local-phase table, in its deterministic emit order.
+  std::vector<uint8_t> local_partials;
+  /// Flat partial records of the global/merge-phase table.
+  std::vector<uint8_t> global_partials;
+};
+
+/// Durable store of the latest good checkpoint per logical node. Each
+/// node gets its own dedicated disk (by default a private SimDisk, never
+/// the cost-charged node disks, so checkpointing cannot perturb modeled
+/// time); every page is CRC-32C-signed on write and verified on read, so
+/// a torn or truncated checkpoint surfaces as a descriptive kDataLoss —
+/// the recovery runtime then replays from scratch instead of trusting
+/// damaged state. A failed Write leaves the previous checkpoint intact.
+///
+/// Thread model: one logical node's slot is only ever touched by the
+/// thread currently executing that node; the attempt loop reads stats
+/// after joining all node threads.
+class CheckpointStore {
+ public:
+  /// Builds the per-node checkpoint disk; lets fault injection substitute
+  /// a FaultySimDisk / TornWriteDisk for selected nodes.
+  using DiskFactory = std::function<std::unique_ptr<Disk>(int node)>;
+
+  /// `factory` may be empty: every node then gets a plain SimDisk with
+  /// `page_size`-byte pages.
+  CheckpointStore(int num_nodes, int page_size, DiskFactory factory = {});
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Durably writes `state` as node `node`'s latest checkpoint. On any
+  /// disk error the previous checkpoint (if any) stays the latest.
+  Status Write(int node, const CheckpointState& state);
+
+  /// True when a (possibly damaged) checkpoint exists for `node`.
+  bool Has(int node) const;
+
+  /// Reads back node `node`'s latest checkpoint. kNotFound when none was
+  /// ever written; kDataLoss when the stored pages fail CRC or the
+  /// manifest is inconsistent (torn/truncated write) — never a silently
+  /// wrong CheckpointState.
+  Result<CheckpointState> Load(int node) const;
+
+  /// Forgets node `node`'s checkpoint (e.g. after a kDataLoss load, so
+  /// later attempts go straight to scratch replay).
+  void Drop(int node);
+
+  /// Pages a checkpoint of `state` occupies (for cost accounting).
+  int64_t PagesFor(const CheckpointState& state) const;
+
+  /// Checkpoint payload bytes most recently written for `node` (0 if
+  /// none); exposed so the runtime can count checkpoint_bytes.
+  int64_t last_write_bytes(int node) const;
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<Disk> disk;
+    FileId latest = -1;
+    int64_t latest_pages = 0;
+    int64_t last_write_bytes = 0;
+    int64_t generation = 0;
+  };
+
+  int page_size_;
+  std::vector<NodeSlot> nodes_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_STORAGE_CHECKPOINT_H_

@@ -2,9 +2,19 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace adaptagg {
+namespace {
+
+// Bit 31 of the frame-count word marks a CRC-signed page: the last four
+// bytes of the page then hold a CRC-32C over everything before them. Real
+// frame counts never get near 2^31 (a page holds at most page_size
+// records), so the flag cannot collide with a genuine count.
+constexpr uint32_t kCrcSignedFlag = 0x80000000u;
+
+}  // namespace
 
 SpillWriter::SpillWriter(Disk* disk, FileId file, int raw_width,
                          int partial_width)
@@ -42,7 +52,20 @@ Status SpillWriter::Append(SpillTag tag, const uint8_t* record) {
 
 Status SpillWriter::Flush() {
   if (frames_in_page_ == 0) return Status::OK();
-  std::memcpy(page_.data(), &frames_in_page_, sizeof(frames_in_page_));
+  const int page_size = disk_->page_size();
+  if (offset_ + 4 <= page_size) {
+    // Room in the trailing padding: sign the page. The signed layout uses
+    // the same page count and byte positions as the unsigned one, so
+    // modeled I/O (pages written/read) is bit-identical either way.
+    const uint32_t flagged = frames_in_page_ | kCrcSignedFlag;
+    std::memcpy(page_.data(), &flagged, sizeof(flagged));
+    const uint32_t crc =
+        Crc32c(0, page_.data(), static_cast<size_t>(page_size) - 4);
+    std::memcpy(page_.data() + page_size - 4, &crc, 4);
+  } else {
+    // Exactly-full page: no padding to host the CRC; leave it unsigned.
+    std::memcpy(page_.data(), &frames_in_page_, sizeof(frames_in_page_));
+  }
   ADAPTAGG_RETURN_IF_ERROR(disk_->AppendPage(file_, page_));
   ++num_pages_;
   std::fill(page_.begin(), page_.end(), 0);
@@ -66,6 +89,19 @@ bool SpillReader::LoadPage(int64_t index) {
     return false;
   }
   std::memcpy(&frames_in_page_, page_bytes_.data(), sizeof(frames_in_page_));
+  if (frames_in_page_ & kCrcSignedFlag) {
+    const size_t page_size = page_bytes_.size();
+    uint32_t stored;
+    std::memcpy(&stored, page_bytes_.data() + page_size - 4, 4);
+    const uint32_t actual = Crc32c(0, page_bytes_.data(), page_size - 4);
+    if (stored != actual) {
+      status_ = Status::DataLoss(
+          "spill page " + std::to_string(index) +
+          " failed CRC-32C (torn or corrupted write)");
+      return false;
+    }
+    frames_in_page_ &= ~kCrcSignedFlag;
+  }
   frame_in_page_ = 0;
   offset_ = sizeof(uint32_t);
   next_page_ = index + 1;

@@ -21,6 +21,14 @@ enum class SpillTag : uint8_t { kRaw = 0, kPartial = 1 };
 ///   page := [uint32 frame_count] ([uint8 tag][record bytes])*
 /// Records never span pages. The raw and partial record widths are fixed
 /// per writer.
+///
+/// Integrity: whenever at least four bytes of trailing padding remain,
+/// Flush signs the page — bit 31 of frame_count is set and a CRC-32C over
+/// everything before the last word is stored in the final four bytes.
+/// SpillReader verifies the signature and reports a mismatch as a
+/// descriptive kDataLoss instead of decoding garbage. Exactly-full pages
+/// have no padding and stay unsigned; signing never changes page counts,
+/// so modeled I/O is unaffected.
 class SpillWriter {
  public:
   /// Creates the backing file. Widths are in bytes; a width of 0 means the

@@ -139,6 +139,231 @@ TEST_F(FaultMatrixTest, DropRepartitionMessageAbortsDescriptively) {
       << run.status.ToString();
 }
 
+// ---------------------------------------------------------------
+// Recovery matrix: {crash@scan, crash@merge, crash@emit} x
+// {checkpointed, uncheckpointed} x {inproc, tcp}. With recovery
+// enabled, every cell must COMPLETE — survivor re-execution replays
+// the crashed attempt from the last checkpoint (or scratch) — and the
+// result multiset must be byte-identical to the fault-free run.
+
+class RecoveryMatrixTest : public ::testing::Test {
+ protected:
+  void RunMatrix(bool tcp, int base_port) {
+    WorkloadSpec wspec;
+    wspec.num_nodes = 3;
+    wspec.num_tuples = 6'000;
+    wspec.num_groups = 200;
+    ASSERT_OK_AND_ASSIGN(PartitionedRelation rel,
+                         GenerateRelation(wspec));
+    ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                         MakeBenchQuery(&rel.schema()));
+    ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                         ReferenceAggregate(spec, rel));
+
+    const AlgorithmKind kinds[] = {AlgorithmKind::kRepartitioning,
+                                   AlgorithmKind::kAdaptiveTwoPhase};
+    const char* crashes[] = {"crash:node=1,tuple=500",
+                             "crash:node=1,phase=merge",
+                             "crash:node=1,phase=emit"};
+    // 4 = checkpoint every 4 batches; 0 = recovery without checkpoints
+    // (replay from scratch) — both must land on the same rows.
+    const int64_t cadences[] = {4, 0};
+    SystemParams params = SmallClusterParams(3, wspec.num_tuples, 256);
+
+    int port = base_port;
+    for (AlgorithmKind kind : kinds) {
+      for (const char* crash : crashes) {
+        for (int64_t cadence : cadences) {
+          SCOPED_TRACE(std::string(AlgorithmKindToString(kind)) + "/" +
+                       crash + "/every=" + std::to_string(cadence) +
+                       (tcp ? "/tcp" : "/inproc"));
+          Cluster cluster(params);
+          if (tcp) {
+            // Each attempt builds a fresh mesh; bump the port block per
+            // call so the replay never races the dying listeners.
+            const int base = port;
+            port += 40;
+            cluster.set_transport_factory(
+                [base, used = 0](int n) mutable {
+                  const int at = base + used;
+                  used += 10;
+                  return MakeTcpMesh(n, at);
+                });
+          }
+          AlgorithmOptions opts;
+          opts.gather_results = true;
+          ASSERT_OK_AND_ASSIGN(opts.fault_plan, FaultPlan::Parse(crash));
+          opts.failure.enabled = true;
+          opts.failure.recv_idle_timeout_s = 2.0;
+          opts.recovery.enabled = true;
+          opts.recovery.checkpoint_every_batches = cadence;
+
+          RunResult run =
+              cluster.Run(*MakeAlgorithm(kind), spec, rel, opts);
+          ASSERT_OK(run.status);
+          EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+          EXPECT_EQ(run.metrics.Value("recovery.attempts"), 1);
+        }
+      }
+    }
+  }
+};
+
+TEST_F(RecoveryMatrixTest, InprocMesh) { RunMatrix(/*tcp=*/false, 0); }
+
+TEST_F(RecoveryMatrixTest, TcpMesh) { RunMatrix(/*tcp=*/true, 48000); }
+
+TEST_F(RecoveryMatrixTest, DoubleCrashSameNodeRecoversTwice) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  ASSERT_OK_AND_ASSIGN(
+      opts.fault_plan,
+      FaultPlan::Parse("crash:node=1,tuple=500;crash:node=1,phase=merge"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+  opts.recovery.enabled = true;
+  opts.recovery.checkpoint_every_batches = 4;
+  opts.recovery.max_attempts = 3;
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  EXPECT_EQ(run.metrics.Value("recovery.attempts"), 2);
+}
+
+TEST_F(RecoveryMatrixTest, TwoNodesCrashingTogetherRecoverInOneReplay) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  ASSERT_OK_AND_ASSIGN(
+      opts.fault_plan,
+      FaultPlan::Parse("crash:node=0,tuple=500;crash:node=2,tuple=600"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+  opts.recovery.enabled = true;
+  opts.recovery.checkpoint_every_batches = 4;
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kRepartitioning), spec, rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  EXPECT_EQ(run.metrics.Value("recovery.attempts"), 1);
+}
+
+TEST_F(RecoveryMatrixTest, FailingCheckpointDiskDegradesToScratchReplay) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  // Node 1's checkpoint disk rejects every append: no checkpoint ever
+  // becomes durable, so the replay runs from scratch — and must still
+  // land on exactly the fault-free rows.
+  ASSERT_OK_AND_ASSIGN(
+      opts.fault_plan,
+      FaultPlan::Parse("crash:node=1,tuple=500;disk-fail:node=1,nth=0"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+  opts.recovery.enabled = true;
+  opts.recovery.checkpoint_every_batches = 2;
+
+  // Two Phase checkpoints on scan progress, so the write attempts (and
+  // their failures) land at deterministic batch boundaries.
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  EXPECT_GT(run.metrics.Value("recovery.checkpoint_failures"), 0);
+}
+
+TEST_F(RecoveryMatrixTest, TornCheckpointIsDataLossNeverAWrongAnswer) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+  ASSERT_OK_AND_ASSIGN(ResultSet expected, ReferenceAggregate(spec, rel));
+
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  // Two Phase with cadence 3 and a crash at ~batch 4: node 1 writes
+  // exactly one checkpoint (at scan batch 3 = tuple 384) before dying,
+  // and that very first checkpoint append is torn (persisted
+  // half-zeroed, reported as success). The replay must detect the
+  // damage via CRC, count it as data loss, and fall back to a scratch
+  // replay — never fold the damaged partials.
+  ASSERT_OK_AND_ASSIGN(
+      opts.fault_plan,
+      FaultPlan::Parse("crash:node=1,tuple=400;torn-write:node=1,nth=0"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+  opts.recovery.enabled = true;
+  opts.recovery.checkpoint_every_batches = 3;
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kTwoPhase), spec, rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  EXPECT_GT(run.metrics.Value("recovery.checkpoint_data_loss"), 0);
+}
+
+TEST_F(RecoveryMatrixTest, RecoveryDisabledKeepsTheCleanAbortPath) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = 3;
+  wspec.num_tuples = 6'000;
+  wspec.num_groups = 200;
+  ASSERT_OK_AND_ASSIGN(PartitionedRelation rel, GenerateRelation(wspec));
+  ASSERT_OK_AND_ASSIGN(AggregationSpec spec,
+                       MakeBenchQuery(&rel.schema()));
+
+  AlgorithmOptions opts;
+  ASSERT_OK_AND_ASSIGN(opts.fault_plan,
+                       FaultPlan::Parse("crash:node=1,tuple=500"));
+  opts.failure.enabled = true;
+  opts.failure.recv_idle_timeout_s = 2.0;
+  // recovery.enabled stays false: the run must abort descriptively,
+  // exactly as before the recovery subsystem existed.
+
+  Cluster cluster(SmallClusterParams(3, wspec.num_tuples, 256));
+  RunResult run = cluster.Run(
+      *MakeAlgorithm(AlgorithmKind::kAdaptiveTwoPhase), spec, rel, opts);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_NE(run.status.message().find("injected crash"),
+            std::string::npos)
+      << run.status.ToString();
+  EXPECT_EQ(run.metrics.Value("recovery.attempts"), 0);
+}
+
 TEST_F(FaultMatrixTest, CrashNodeMidScanAbortsDescriptively) {
   WorkloadSpec wspec;
   wspec.num_nodes = 3;

@@ -1,0 +1,56 @@
+#include "model/recovery_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+TEST(RecoveryModelTest, IntervalIsAlwaysInRange) {
+  SystemParams p = SmallClusterParams(8, 1'000'000);
+  for (int64_t groups : {int64_t{1}, int64_t{100}, int64_t{10'000},
+                         int64_t{10'000'000}}) {
+    for (int64_t width : {int64_t{16}, int64_t{64}, int64_t{256}}) {
+      CheckpointDecision d = DecideCheckpointInterval(p, groups, width);
+      EXPECT_GE(d.every_batches, 1) << groups << "/" << width;
+      EXPECT_LE(d.every_batches, 4096) << groups << "/" << width;
+    }
+  }
+}
+
+TEST(RecoveryModelTest, BiggerSnapshotsCheckpointLessOften) {
+  // More resident groups = a more expensive snapshot = the Young-style
+  // balance point moves toward rarer checkpoints.
+  SystemParams p = SmallClusterParams(8, 1'000'000);
+  const CheckpointDecision small =
+      DecideCheckpointInterval(p, /*est_groups=*/100, /*partial_bytes=*/64);
+  const CheckpointDecision large = DecideCheckpointInterval(
+      p, /*est_groups=*/1'000'000, /*partial_bytes=*/64);
+  EXPECT_LT(small.checkpoint_cost_s, large.checkpoint_cost_s);
+  EXPECT_LE(small.every_batches, large.every_batches);
+}
+
+TEST(RecoveryModelTest, DecisionIsDeterministic) {
+  // The interval choice is a pure function of its arguments: same
+  // inputs, same decision, every time. This is what lets checkpointing
+  // run without perturbing modeled results.
+  SystemParams p = SmallClusterParams(4, 200'000);
+  const CheckpointDecision a = DecideCheckpointInterval(p, 5'000, 48);
+  const CheckpointDecision b = DecideCheckpointInterval(p, 5'000, 48);
+  EXPECT_EQ(a.every_batches, b.every_batches);
+  EXPECT_EQ(a.checkpoint_cost_s, b.checkpoint_cost_s);
+  EXPECT_EQ(a.batch_cost_s, b.batch_cost_s);
+}
+
+TEST(RecoveryModelTest, CostsArePositive) {
+  SystemParams p = SmallClusterParams(4, 200'000);
+  const CheckpointDecision d = DecideCheckpointInterval(p, 1'000, 64);
+  EXPECT_GT(d.checkpoint_cost_s, 0.0);
+  EXPECT_GT(d.batch_cost_s, 0.0);
+}
+
+}  // namespace
+}  // namespace adaptagg

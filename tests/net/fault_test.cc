@@ -6,7 +6,7 @@
 #include <cstring>
 #include <vector>
 
-#include "net/crc32c.h"
+#include "common/crc32c.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "test_util.h"

@@ -5,7 +5,7 @@
 #include <cstring>
 #include <vector>
 
-#include "net/crc32c.h"
+#include "common/crc32c.h"
 
 namespace adaptagg {
 namespace {
@@ -94,6 +94,28 @@ TEST(Message, SequenceNumberRoundtrips) {
   auto back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->seq, 0x0123456789ABCDEFull);
+}
+
+TEST(Message, EpochAndPageSeqRoundtrip) {
+  // The recovery/elasticity header fields must survive the wire and
+  // default to 0 ("initial epoch" / "not a data page").
+  Message m;
+  m.type = MessageType::kPartialPage;
+  m.epoch = 7;
+  m.page_seq = 0xFEDCBA9876543210ull;
+  std::vector<uint8_t> wire = m.Serialize();
+  auto back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 7u);
+  EXPECT_EQ(back->page_seq, 0xFEDCBA9876543210ull);
+
+  Message plain;
+  plain.type = MessageType::kControl;
+  wire = plain.Serialize();
+  back = Message::Deserialize(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 0u);
+  EXPECT_EQ(back->page_seq, 0u);
 }
 
 TEST(Message, EveryTruncationIsRejected) {

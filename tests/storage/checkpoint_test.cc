@@ -1,0 +1,124 @@
+#include "storage/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/faulty_disk.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+CheckpointState MakeState(int64_t hwm, bool complete, size_t local_bytes,
+                          size_t global_bytes) {
+  CheckpointState s;
+  s.scan_hwm = hwm;
+  s.scan_complete = complete;
+  s.fold_watermarks = {3, 0, 7};
+  s.local_partials.resize(local_bytes);
+  for (size_t i = 0; i < local_bytes; ++i) {
+    s.local_partials[i] = static_cast<uint8_t>(i * 13 + 1);
+  }
+  s.global_partials.resize(global_bytes);
+  for (size_t i = 0; i < global_bytes; ++i) {
+    s.global_partials[i] = static_cast<uint8_t>(i * 7 + 5);
+  }
+  return s;
+}
+
+TEST(CheckpointStoreTest, RoundTripsEveryField) {
+  CheckpointStore store(2, 512);
+  // Payload larger than one page, so the multi-page path is exercised.
+  const CheckpointState written = MakeState(1280, false, 2000, 900);
+  ASSERT_OK(store.Write(0, written));
+  EXPECT_TRUE(store.Has(0));
+  EXPECT_FALSE(store.Has(1));
+
+  ASSERT_OK_AND_ASSIGN(CheckpointState loaded, store.Load(0));
+  EXPECT_EQ(loaded.scan_hwm, written.scan_hwm);
+  EXPECT_EQ(loaded.scan_complete, written.scan_complete);
+  EXPECT_EQ(loaded.fold_watermarks, written.fold_watermarks);
+  EXPECT_EQ(loaded.local_partials, written.local_partials);
+  EXPECT_EQ(loaded.global_partials, written.global_partials);
+}
+
+TEST(CheckpointStoreTest, LoadWithoutWriteIsNotFound) {
+  CheckpointStore store(1, 512);
+  Result<CheckpointState> loaded = store.Load(0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, RewriteReplacesLatest) {
+  CheckpointStore store(1, 512);
+  ASSERT_OK(store.Write(0, MakeState(128, false, 64, 0)));
+  ASSERT_OK(store.Write(0, MakeState(256, false, 128, 32)));
+  ASSERT_OK_AND_ASSIGN(CheckpointState loaded, store.Load(0));
+  EXPECT_EQ(loaded.scan_hwm, 256);
+  EXPECT_EQ(loaded.local_partials.size(), 128u);
+}
+
+TEST(CheckpointStoreTest, TornWriteSurfacesAsDataLossNeverWrongState) {
+  CheckpointStore store(1, 512, [](int) -> std::unique_ptr<Disk> {
+    auto disk = std::make_unique<TornWriteDisk>(512);
+    disk->TearWrite(0);  // the very first append persists half-zeroed
+    return disk;
+  });
+  // The write itself reports success — that is the point of a torn
+  // write — but the CRC check on read must refuse the damaged state.
+  ASSERT_OK(store.Write(0, MakeState(128, false, 300, 0)));
+  EXPECT_TRUE(store.Has(0));
+  Result<CheckpointState> loaded = store.Load(0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+
+  // Drop after data loss: later attempts go straight to scratch.
+  store.Drop(0);
+  EXPECT_FALSE(store.Has(0));
+  Result<CheckpointState> gone = store.Load(0);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, FailedWriteKeepsPreviousCheckpointLatest) {
+  auto* raw = new FaultySimDisk(512);
+  CheckpointStore store(1, 512, [raw](int) {
+    return std::unique_ptr<Disk>(raw);
+  });
+  ASSERT_OK(store.Write(0, MakeState(128, false, 64, 0)));
+
+  raw->FailWritesAfter(0);  // every further append fails
+  Status st = store.Write(0, MakeState(256, false, 128, 0));
+  ASSERT_FALSE(st.ok());
+
+  // The earlier generation is still the latest and still loads clean.
+  ASSERT_OK_AND_ASSIGN(CheckpointState loaded, store.Load(0));
+  EXPECT_EQ(loaded.scan_hwm, 128);
+  EXPECT_EQ(loaded.local_partials.size(), 64u);
+}
+
+TEST(CheckpointStoreTest, NodesAreIndependent) {
+  CheckpointStore store(3, 512);
+  ASSERT_OK(store.Write(0, MakeState(128, false, 16, 0)));
+  ASSERT_OK(store.Write(2, MakeState(512, true, 0, 64)));
+  ASSERT_OK_AND_ASSIGN(CheckpointState n0, store.Load(0));
+  ASSERT_OK_AND_ASSIGN(CheckpointState n2, store.Load(2));
+  EXPECT_EQ(n0.scan_hwm, 128);
+  EXPECT_FALSE(n0.scan_complete);
+  EXPECT_TRUE(n2.scan_complete);
+  EXPECT_FALSE(store.Has(1));
+}
+
+TEST(CheckpointStoreTest, PagesForTracksPayloadSize) {
+  CheckpointStore store(1, 512);
+  const int64_t small = store.PagesFor(MakeState(0, false, 10, 0));
+  const int64_t large = store.PagesFor(MakeState(0, false, 5000, 5000));
+  EXPECT_GE(small, 1);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace adaptagg

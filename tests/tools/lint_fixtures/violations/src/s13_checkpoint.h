@@ -1,0 +1,12 @@
+#ifndef ADAPTAGG_S13_CHECKPOINT_H_
+#define ADAPTAGG_S13_CHECKPOINT_H_
+
+// S13 fixture: direct checkpoint-store use outside the checkpoint
+// module. Both the type use and the qualified nested name must fire.
+inline void SideChannelCheckpoint() {
+  CheckpointStore store(4, 4096);
+  CheckpointStore::DiskFactory factory;
+  (void)factory;
+}
+
+#endif  // ADAPTAGG_S13_CHECKPOINT_H_

@@ -79,6 +79,7 @@ TEST(LintSelfTest, EveryRuleFiresOnItsViolationFixture) {
       {"D3", "src/d3_unordered.h"},
       {"S11", "src/s11_intrinsics.h"},
       {"S12", "src/s12_cluster_run.h"},
+      {"S13", "src/s13_checkpoint.h"},
   };
   for (const auto& e : kExpected) {
     EXPECT_TRUE(HasFinding(run.output, e.rule, e.file))

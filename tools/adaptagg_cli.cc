@@ -51,6 +51,8 @@ struct CliOptions {
   std::string trace_file;
   std::string fault;
   double fault_timeout = -1;
+  bool recover = false;
+  int64_t checkpoint_every = -1;
   bool serve = false;
   int clients = 4;
 };
@@ -84,6 +86,13 @@ void PrintUsage(const char* argv0) {
       "                       report node, phase, and cause)\n"
       "  --fault-timeout S    override the derived recv idle deadline\n"
       "                       and arm failure detection explicitly\n"
+      "  --recover            enable fault recovery: checkpoint partial\n"
+      "                       aggregates and re-execute crashed nodes\n"
+      "                       from the last checkpoint instead of\n"
+      "                       aborting (DESIGN.md recovery protocol)\n"
+      "  --checkpoint-every K checkpoint cadence in scan batches\n"
+      "                       (default: cost-model choice; 0 = replay\n"
+      "                       from scratch; implies --recover)\n"
       "  --serve              serving-mode demo: resident ClusterService,\n"
       "                       concurrent clients, result cache; prints\n"
       "                       throughput, latency percentiles, and the\n"
@@ -179,6 +188,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--fault-timeout") {
       ADAPTAGG_ASSIGN_OR_RETURN(std::string v, next());
       opt.fault_timeout = std::atof(v.c_str());
+    } else if (arg == "--recover") {
+      opt.recover = true;
+    } else if (arg == "--checkpoint-every") {
+      ADAPTAGG_ASSIGN_OR_RETURN(std::string v, next());
+      opt.checkpoint_every = std::atoll(v.c_str());
+      opt.recover = true;
     } else if (arg == "--serve") {
       opt.serve = true;
     } else if (arg == "--clients") {
@@ -337,6 +352,10 @@ int RunEngine(const CliOptions& opt,
     if (opt.fault_timeout > 0) {
       run_opts.failure.enabled = true;
       run_opts.failure.recv_idle_timeout_s = opt.fault_timeout;
+    }
+    if (opt.recover) {
+      run_opts.recovery.enabled = true;
+      run_opts.recovery.checkpoint_every_batches = opt.checkpoint_every;
     }
     if (!opt.trace_file.empty()) {
       run_opts.obs.spans = true;

@@ -60,6 +60,13 @@
 //       paths submit through ClusterService (admission control, session
 //       isolation, result cache) or the Query API. bench/ and tests/
 //       measure and pin the one-shot path deliberately and stay exempt.
+//   S13 checkpoint-file I/O is confined to the checkpoint module: no
+//       `CheckpointStore` token in src/ outside src/storage/checkpoint.*
+//       (the store) and src/cluster/recovery.* (the recovery runtime
+//       that owns it). Everything else goes through RecoveryNode, so
+//       checkpoint durability invariants (tail CRC, latest-pointer
+//       flip ordering, dedicated disks) have exactly one enforcement
+//       point.
 //   D1  no wall-clock reads in src/ (steady_clock / system_clock /
 //       WallSeconds / ...): simulated results must depend only on the
 //       CostClock. Wall time is allowlisted exactly where it belongs —
@@ -632,6 +639,40 @@ void CheckNoDirectClusterRun(const std::string& rel,
   }
 }
 
+/// S13: checkpoint-file I/O outside the checkpoint module. The store's
+/// durability invariants — tail CRC on every page, write-new-then-flip
+/// latest ordering, dedicated non-charged disks — hold only when every
+/// reader and writer goes through RecoveryNode; a second direct user
+/// would have to re-implement them. Detection: the `CheckpointStore`
+/// identifier anywhere in src/ outside the store itself and the
+/// recovery runtime that owns it.
+bool CheckpointIoAllowed(const std::string& rel) {
+  return rel.rfind("src/storage/checkpoint.", 0) == 0 ||
+         rel.rfind("src/cluster/recovery.", 0) == 0;
+}
+
+void CheckNoCheckpointIo(const std::string& rel,
+                         const std::vector<std::string>& stripped) {
+  constexpr const char* kToken = "CheckpointStore";
+  const size_t len = std::string(kToken).size();
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& l = stripped[i];
+    size_t pos = 0;
+    while ((pos = l.find(kToken, pos)) != std::string::npos) {
+      const bool start_ok = pos == 0 || !IsIdentChar(l[pos - 1]);
+      const bool end_ok =
+          pos + len >= l.size() || !IsIdentChar(l[pos + len]);
+      if (start_ok && end_ok) {
+        Report(rel, static_cast<int>(i) + 1, "S13",
+               "CheckpointStore outside the checkpoint module — go "
+               "through RecoveryNode so checkpoint durability "
+               "invariants stay in one place");
+      }
+      pos += len;
+    }
+  }
+}
+
 /// S9: scalar data-plane calls outside the batch layer. The tokens are
 /// exact — AddBatch / AddIndices / AddProjectedBatch / AddPartialBatch
 /// are distinct identifiers and stay legal everywhere. The allowlist is
@@ -1019,6 +1060,9 @@ int main(int argc, char** argv) {
       }
       if (!ScalarDataPlaneAllowed(f.rel)) {
         CheckNoScalarDataPlane(f.rel, f.stripped_lines);
+      }
+      if (!CheckpointIoAllowed(f.rel)) {
+        CheckNoCheckpointIo(f.rel, f.stripped_lines);
       }
       if (f.rel != "src/common/simd.h") {
         CheckNoRawIntrinsics(f.rel, f.stripped_lines);
