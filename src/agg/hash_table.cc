@@ -769,4 +769,134 @@ void AggHashTable::Clear() {
   }
 }
 
+SharedAggHashTable::SharedAggHashTable(const AggregationSpec* spec,
+                                       int64_t capacity)
+    : spec_(spec),
+      key_width_(spec->key_width()),
+      state_width_(spec->state_width()),
+      state_words_(spec->state_width() / 8),
+      lock_free_(
+          spec->fused_merge_kernel() == FusedMergeKind::kAddInt64 ||
+          spec->fused_merge_kernel() == FusedMergeKind::kDistinct),
+      capacity_(NextPow2(std::max<int64_t>(capacity, 64))),
+      mask_(static_cast<uint64_t>(capacity_ - 1)),
+      limit_(capacity_ * 7 / 10),
+      init_state_(static_cast<size_t>(state_width_)),
+      buckets_(static_cast<size_t>(capacity_)),
+      keys_(static_cast<size_t>(capacity_) *
+            static_cast<size_t>(key_width_)) {
+  spec_->InitState(init_state_.data());
+  if (lock_free_) {
+    states_ll_ = std::vector<std::atomic<int64_t>>(
+        static_cast<size_t>(capacity_) *
+        static_cast<size_t>(state_words_));
+  } else {
+    states_.resize(static_cast<size_t>(capacity_) *
+                   static_cast<size_t>(state_width_));
+  }
+}
+
+int64_t SharedAggHashTable::locked_merges() {
+  int64_t total = 0;
+  for (Stripe& s : stripes_) {
+    MutexLock lock(&s.mu);
+    total += s.locked_merges;
+  }
+  return total;
+}
+
+void SharedAggHashTable::MergeInto(int64_t idx, const uint8_t* in_state) {
+  if (lock_free_) {
+    for (int w = 0; w < state_words_; ++w) {
+      int64_t v;
+      std::memcpy(&v, in_state + w * 8, 8);
+      states_ll_[static_cast<size_t>(idx * state_words_ + w)].fetch_add(
+          v, std::memory_order_relaxed);
+    }
+    return;
+  }
+  Stripe& s = stripes_[idx % kStripes];
+  MutexLock lock(&s.mu);
+  ++s.locked_merges;
+  spec_->MergeState(&states_[static_cast<size_t>(
+                        idx * static_cast<int64_t>(state_width_))],
+                    in_state);
+}
+
+bool SharedAggHashTable::UpsertPartialConcurrent(const uint8_t* partial,
+                                                 uint64_t hash) {
+  const uint8_t* key = spec_->KeyOfPartial(partial);
+  const uint8_t* in_state = spec_->StateOfPartial(partial);
+  uint64_t pos = hash & mask_;
+  while (true) {
+    uint64_t tag = buckets_[pos].load(std::memory_order_acquire);
+    if (tag == kEmpty) {
+      // A full table refuses the insert *before* claiming, so a refused
+      // record costs no slot and no spinning elsewhere. The check races
+      // concurrent claims, but the 30% headroom above the limit absorbs
+      // any overshoot (bounded by the thread count).
+      if (size_.load(std::memory_order_relaxed) >= limit_) return false;
+      if (buckets_[pos].compare_exchange_strong(
+              tag, kClaimed, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        const int64_t idx = size_.fetch_add(1, std::memory_order_acq_rel);
+        ADAPTAGG_CHECK(idx < capacity_)
+            << "shared merge table claim overshot its arena";
+        std::memcpy(&keys_[static_cast<size_t>(
+                        idx * static_cast<int64_t>(key_width_))],
+                    key, static_cast<size_t>(key_width_));
+        if (lock_free_) {
+          for (int w = 0; w < state_words_; ++w) {
+            int64_t v;
+            std::memcpy(&v, init_state_.data() + w * 8, 8);
+            states_ll_[static_cast<size_t>(idx * state_words_ + w)].store(
+                v, std::memory_order_relaxed);
+          }
+        } else if (state_width_ > 0) {
+          std::memcpy(&states_[static_cast<size_t>(
+                          idx * static_cast<int64_t>(state_width_))],
+                      init_state_.data(),
+                      static_cast<size_t>(state_width_));
+        }
+        // Publish: the release store orders the key/init writes above
+        // before any acquire-loading prober can reach them.
+        buckets_[pos].store(static_cast<uint64_t>(idx) + kPublishedBase,
+                            std::memory_order_release);
+        MergeInto(idx, in_state);
+        return true;
+      }
+      continue;  // lost the claim race; re-examine the same bucket
+    }
+    if (tag == kClaimed) {
+      continue;  // publisher is mid-flight; its release store is near
+    }
+    const int64_t idx = static_cast<int64_t>(tag - kPublishedBase);
+    if (std::memcmp(&keys_[static_cast<size_t>(
+                        idx * static_cast<int64_t>(key_width_))],
+                    key, static_cast<size_t>(key_width_)) == 0) {
+      MergeInto(idx, in_state);
+      return true;
+    }
+    pos = (pos + 1) & mask_;
+  }
+}
+
+SharedAggHashTable* SharedMergeArena::GetOrInit(const AggregationSpec* spec,
+                                                int64_t capacity) {
+  MutexLock lock(&mu_);
+  if (table_ == nullptr) {
+    table_ = std::make_unique<SharedAggHashTable>(spec, capacity);
+  } else {
+    ADAPTAGG_CHECK(table_->capacity() ==
+                   NextPow2(std::max<int64_t>(capacity, 64)))
+        << "nodes disagree on the shared merge table capacity";
+  }
+  return table_.get();
+}
+
+void SharedMergeArena::Reset() {
+  MutexLock lock(&mu_);
+  table_.reset();
+}
+
 }  // namespace adaptagg

@@ -1,4 +1,5 @@
 #include "core/algorithm.h"
+#include "core/merge_topology.h"
 #include "core/phases.h"
 
 namespace adaptagg {
@@ -22,7 +23,11 @@ class CentralizedTwoPhase : public Algorithm {
     SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                               ctx.options().spill_fanout,
                               "gc2p_n" + std::to_string(ctx.node_id()));
-    DataReceiver recv(&ctx, &global, ctx.is_coordinator() ? n : 0);
+    MergePlane merge(&ctx, &global,
+                     MergePlane::Config{
+                         [](uint64_t) { return kCoordinator; },
+                         /*broadcast_eos=*/false, /*supported=*/true});
+    DataReceiver& recv = merge.receiver(ctx.is_coordinator() ? n : 0);
 
     // Phase 1: local aggregation.
     SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
@@ -53,31 +58,29 @@ class CentralizedTwoPhase : public Algorithm {
           }));
 
       // All partials go to the coordinator.
-      Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
-                  kPhaseData);
-      ADAPTAGG_RETURN_IF_ERROR(SendPartials(
-          ctx, local, ex, [](uint64_t) { return kCoordinator; }));
-      ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-      Message eos;
-      eos.type = MessageType::kEndOfStream;
-      eos.phase = kPhaseData;
-      ADAPTAGG_RETURN_IF_ERROR(ctx.Send(kCoordinator, eos));
+      ADAPTAGG_RETURN_IF_ERROR(SendPartials(ctx, local, merge));
+      ADAPTAGG_RETURN_IF_ERROR(merge.FlushPartials());
+      ADAPTAGG_RETURN_IF_ERROR(merge.SendDataEos());
       scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
     }
 
-    if (!ctx.is_coordinator()) {
+    if (merge.seed_wire() && !ctx.is_coordinator()) {
+      // Seed wire: workers are done once their partials left. The
+      // non-seed topologies need every node in the reduction and emit
+      // rounds, so those fall through to the shared tail below.
       ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("emit"));
       PhaseTimer emit_span = ctx.obs().StartPhase("emit");
       return ctx.FinishResults();
     }
 
-    // Phase 2 (coordinator only): sequential merge and store.
+    // Phase 2: sequential merge and store (workers drain an empty
+    // expectation and emit no rows on the non-seed topologies).
     {
       ADAPTAGG_RETURN_IF_ERROR(ctx.EnterPhase("merge"));
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }
-    return EmitFinalResults(ctx, global);
+    return merge.FinishAndEmit();
   }
 };
 

@@ -1,4 +1,5 @@
 #include "core/algorithm.h"
+#include "core/merge_topology.h"
 #include "core/phases.h"
 
 namespace adaptagg {
@@ -24,12 +25,13 @@ class GraefeTwoPhase : public Algorithm {
     SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                               ctx.options().spill_fanout,
                               "ggra_n" + std::to_string(ctx.node_id()));
-    DataReceiver recv(&ctx, &global, n);
-    Exchange ex_partial(&ctx, MessageType::kPartialPage,
-                        spec.partial_width(), kPhaseData);
+    MergePlane merge(&ctx, &global,
+                     MergePlane::Config{
+                         [n](uint64_t h) { return DestOfKeyHash(h, n); },
+                         /*broadcast_eos=*/true, /*supported=*/true});
+    DataReceiver& recv = merge.receiver(n);
     Exchange ex_raw(&ctx, MessageType::kRawPage, spec.projected_width(),
                     kPhaseData);
-    auto dest = [n](uint64_t h) { return DestOfKeyHash(h, n); };
 
     AggHashTable local(&spec, ctx.max_hash_entries());
     {
@@ -71,11 +73,10 @@ class GraefeTwoPhase : public Algorithm {
             return recv.Poll();
           }));
 
-      ADAPTAGG_RETURN_IF_ERROR(
-          SendTablePartials(ctx, local, ex_partial, dest));
-      ADAPTAGG_RETURN_IF_ERROR(ex_partial.FlushAll());
+      ADAPTAGG_RETURN_IF_ERROR(SendTablePartials(ctx, local, merge));
+      ADAPTAGG_RETURN_IF_ERROR(merge.FlushPartials());
       ADAPTAGG_RETURN_IF_ERROR(ex_raw.FlushAll());
-      ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+      ADAPTAGG_RETURN_IF_ERROR(merge.SendDataEos());
       scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
     }
     AccumulateHashTableObs(ctx, local.stats());
@@ -85,7 +86,7 @@ class GraefeTwoPhase : public Algorithm {
       PhaseTimer merge_span = ctx.obs().StartPhase("merge");
       ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
     }
-    return EmitFinalResults(ctx, global);
+    return merge.FinishAndEmit();
   }
 };
 

@@ -1,0 +1,637 @@
+#include "core/merge_topology.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "model/locality_model.h"
+#include "net/message.h"
+#include "storage/page.h"
+
+namespace adaptagg {
+namespace {
+
+/// Ledger payload on a non-seed data EOS: [u64 records][u64 pages], LE.
+constexpr size_t kLedgerBytes = 16;
+
+void WriteU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Drains a finished aggregator into a cost-exempt exchange, routing
+/// each group by its key.
+Status DrainToExchange(const AggregationSpec& spec, SpillingAggregator& src,
+                       Exchange& ex,
+                       const std::function<int(const uint8_t* key)>& dest) {
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  Status finish = src.Finish([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    status = ex.AddRecord(dest(key), rec.data());
+  });
+  if (!finish.ok()) return finish;
+  return status;
+}
+
+}  // namespace
+
+MergePlane::MergePlane(NodeContext* ctx, SpillingAggregator* global,
+                       Config config)
+    : ctx_(ctx), global_(global), config_(std::move(config)) {
+  est_groups_ = ctx_->sampled_merge_groups() > 0
+                    ? ctx_->sampled_merge_groups()
+                    : ctx_->options().estimated_groups;
+  topology_ = Resolve();
+  const AggregationSpec& spec = ctx_->spec();
+  const int n = ctx_->num_nodes();
+  if (topology_ == MergeTopology::kRadix &&
+      !global_->table().radix_partitioning()) {
+    const RadixDecision d = DecideRadixPartitioning(
+        RadixMode::kOn, std::max<int64_t>(est_groups_ / std::max(n, 1), 1),
+        ctx_->max_hash_entries(), spec.key_width() + spec.state_width(),
+        ctx_->options().radix_l2_bytes, ctx_->options().radix_llc_bytes);
+    global_->EnableRadixPartitioning(std::max(d.partitions, 2));
+  }
+  if (seed_wire()) {
+    ex_partial_ = std::make_unique<Exchange>(
+        ctx_, MessageType::kPartialPage, spec.partial_width(), kPhaseData);
+    return;
+  }
+  scratch_disk_ = std::make_unique<SimDisk>(ctx_->params().page_bytes);
+  page_capacity_ = PageBuilder::Capacity(ctx_->params().message_page_bytes,
+                                         spec.partial_width());
+  ADAPTAGG_CHECK(page_capacity_ > 0);
+  phantom_records_.assign(static_cast<size_t>(n), 0);
+  phantom_pages_.assign(static_cast<size_t>(n), 0);
+  phantom_fill_.assign(static_cast<size_t>(n), 0);
+  tmp_partial_.resize(static_cast<size_t>(spec.partial_width()));
+  if (topology_ == MergeTopology::kShared) {
+    // Capacity from the broadcast estimate so every node requests the
+    // identical table from the arena; the unknown-estimate fallback
+    // covers n full local tables. 2x the estimate keeps the load at the
+    // estimate to 50% (the concurrent table refuses new groups at 70%,
+    // so a 1.4x underestimate still fits; beyond that the overflow
+    // scatter catches the spill) while keeping the emit pass — every
+    // node scans the whole slot array to pick out its slice — and the
+    // probe working set as small as the estimate allows.
+    int64_t cap = est_groups_ > 0
+                      ? 2 * est_groups_
+                      : 2 * static_cast<int64_t>(n) *
+                            std::max<int64_t>(ctx_->max_hash_entries(), 1);
+    cap = std::min<int64_t>(std::max<int64_t>(cap, 4096), int64_t{1} << 22);
+    shared_ = ctx_->merge_arena()->GetOrInit(&spec, cap);
+  } else {
+    contrib_ = std::make_unique<SpillingAggregator>(
+        &spec, scratch_disk_.get(), ScratchBound(),
+        ctx_->options().spill_fanout,
+        "mrg_hold_n" + std::to_string(ctx_->node_id()));
+  }
+}
+
+MergeTopology MergePlane::Resolve() {
+  const MergeMode mode = ctx_->options().merge_mode;
+  MergeTopology t = MergeTopology::kSeed;
+  switch (mode) {
+    case MergeMode::kAuto:
+      t = ctx_->sampled_merge_topology();
+      break;
+    case MergeMode::kCentral:
+      t = MergeTopology::kCentral;
+      break;
+    case MergeMode::kTree:
+      t = MergeTopology::kTree;
+      break;
+    case MergeMode::kRadix:
+      t = MergeTopology::kRadix;
+      break;
+    case MergeMode::kShared:
+      t = MergeTopology::kShared;
+      break;
+  }
+  // Demotions to the seed wire. Every node resolves identically: the
+  // options pin, the sampling broadcast, the transport kind, and the
+  // recovery runtime are uniform across a run.
+  if (!config_.supported) t = MergeTopology::kSeed;
+  // The replay protocols (page watermarks, merge checkpoints) assume
+  // the seed wire; recovery runs always take it.
+  if (ctx_->recovery() != nullptr) t = MergeTopology::kSeed;
+  const int n = ctx_->num_nodes();
+  if ((t == MergeTopology::kCentral || t == MergeTopology::kTree) && n < 2) {
+    t = MergeTopology::kSeed;
+  }
+  if (t == MergeTopology::kShared &&
+      (!ctx_->shared_memory_transport() || ctx_->merge_arena() == nullptr)) {
+    t = MergeTopology::kSeed;
+  }
+  ctx_->obs().core_merge_topology.Set(static_cast<int64_t>(t));
+  ctx_->obs().RecordDecision(
+      "merge.topology",
+      {{"topology", static_cast<int64_t>(t)},
+       {"mode", static_cast<int64_t>(mode)},
+       {"est_groups", est_groups_},
+       {"skew_q8", ctx_->sampled_merge_skew_q8()},
+       {"nodes", n}});
+  return t;
+}
+
+DataReceiver& MergePlane::receiver(int expected_eos) {
+  if (recv_ != nullptr) return *recv_;
+  if (topology_ == MergeTopology::kShared) {
+    recv_ = std::make_unique<DataReceiver>(
+        ctx_,
+        [this](const TupleBatch& b) { return FoldRawBatchShared(b); },
+        [this](const TupleBatch& b) { return FoldPartialBatchShared(b); },
+        expected_eos);
+  } else {
+    recv_ = std::make_unique<DataReceiver>(ctx_, global_, expected_eos);
+  }
+  recv_->set_merge_plane(this);
+  return *recv_;
+}
+
+Status MergePlane::AddPartial(uint64_t key_hash, const uint8_t* rec) {
+  const int dest = config_.seed_dest(key_hash);
+  if (seed_wire()) {
+    return ex_partial_->AddRecord(dest, rec);
+  }
+  // Phantom accounting: the seed would have paged this record to its
+  // destination; charge the sender side here, ledger the receiver side.
+  ++phantom_records_[static_cast<size_t>(dest)];
+  if (++phantom_fill_[static_cast<size_t>(dest)] == page_capacity_) {
+    ctx_->ChargePhantomSend(
+        static_cast<uint32_t>(ctx_->params().message_page_bytes));
+    ++phantom_pages_[static_cast<size_t>(dest)];
+    phantom_fill_[static_cast<size_t>(dest)] = 0;
+  }
+  if (topology_ == MergeTopology::kShared) {
+    return UpsertShared(rec, key_hash);
+  }
+  return contrib_->AddPartial(rec);
+}
+
+Status MergePlane::FlushPartials() {
+  if (seed_wire()) {
+    return ex_partial_->FlushAll();
+  }
+  const int n = ctx_->num_nodes();
+  for (int d = 0; d < n; ++d) {
+    if (phantom_fill_[static_cast<size_t>(d)] > 0) {
+      ctx_->ChargePhantomSend(
+          static_cast<uint32_t>(ctx_->params().message_page_bytes));
+      ++phantom_pages_[static_cast<size_t>(d)];
+      phantom_fill_[static_cast<size_t>(d)] = 0;
+    }
+    if (phantom_pages_[static_cast<size_t>(d)] > 0) {
+      ctx_->obs().net_exchange_pages_per_dest.Observe(
+          static_cast<double>(phantom_pages_[static_cast<size_t>(d)]));
+    }
+  }
+  return Status::OK();
+}
+
+Status MergePlane::SendDataEos() {
+  if (seed_wire()) {
+    if (config_.broadcast_eos) {
+      return BroadcastEos(ctx_, kPhaseData);
+    }
+    Message eos;
+    eos.type = MessageType::kEndOfStream;
+    eos.phase = kPhaseData;
+    return ctx_->Send(0, eos);
+  }
+  const int n = ctx_->num_nodes();
+  for (int dest = 0; dest < n; ++dest) {
+    if (!config_.broadcast_eos && dest != 0) continue;
+    Message eos;
+    eos.type = MessageType::kEndOfStream;
+    eos.phase = kPhaseData;
+    if (phantom_records_[static_cast<size_t>(dest)] > 0) {
+      eos.payload.resize(kLedgerBytes);
+      WriteU64(eos.payload.data(),
+               static_cast<uint64_t>(
+                   phantom_records_[static_cast<size_t>(dest)]));
+      WriteU64(
+          eos.payload.data() + 8,
+          static_cast<uint64_t>(phantom_pages_[static_cast<size_t>(dest)]));
+      // The seed's EOS payload is empty; keep the marker free of charge.
+      eos.charged_bytes = kExemptChargedBytes;
+    }
+    ADAPTAGG_RETURN_IF_ERROR(ctx_->Send(dest, eos));
+  }
+  return Status::OK();
+}
+
+Status MergePlane::FoldLedger(const Message& msg) {
+  if (msg.payload.size() != kLedgerBytes) {
+    return Status::NetworkError("bad merge ledger payload from node " +
+                                std::to_string(msg.from));
+  }
+  const int64_t records = static_cast<int64_t>(ReadU64(msg.payload.data()));
+  const int64_t pages = static_cast<int64_t>(ReadU64(msg.payload.data() + 8));
+  const int64_t cap = page_capacity_;
+  if (records <= 0 || pages <= 0 || pages != (records + cap - 1) / cap) {
+    return Status::NetworkError("inconsistent merge ledger from node " +
+                                std::to_string(msg.from));
+  }
+  // Replay the seed receive side: per page the wire + propagation
+  // charge, then the per-record merge cost in kBatchWidth windows —
+  // exactly DataReceiver::HandlePage on a full partial page.
+  const SystemParams& p = ctx_->params();
+  const double merge_cost = p.t_r() + p.t_a();
+  for (int64_t i = 0; i < pages; ++i) {
+    ctx_->ChargePhantomReceive(static_cast<uint32_t>(p.message_page_bytes));
+    const int64_t cnt = (i + 1 < pages) ? cap : records - (pages - 1) * cap;
+    for (int64_t run = 0; run < cnt; run += kBatchWidth) {
+      const int64_t w = std::min<int64_t>(kBatchWidth, cnt - run);
+      ctx_->clock().AddCpu(static_cast<double>(w) * merge_cost);
+    }
+    ctx_->stats().partial_records_received += cnt;
+  }
+  return Status::OK();
+}
+
+Status MergePlane::UpsertShared(const uint8_t* rec, uint64_t key_hash) {
+  if (shared_->UpsertPartialConcurrent(rec, key_hash)) {
+    return Status::OK();
+  }
+  overflow_.insert(overflow_.end(), rec,
+                   rec + ctx_->spec().partial_width());
+  return Status::OK();
+}
+
+Status MergePlane::FoldRawBatchShared(const TupleBatch& batch) {
+  const AggregationSpec& spec = ctx_->spec();
+  const size_t kw = static_cast<size_t>(spec.key_width());
+  uint8_t* state = tmp_partial_.data() + kw;
+  for (int i = 0; i < batch.size(); ++i) {
+    const uint8_t* proj =
+        batch.records() + static_cast<size_t>(i) *
+                              static_cast<size_t>(batch.stride());
+    std::memcpy(tmp_partial_.data(), proj, kw);
+    spec.InitState(state);
+    spec.UpdateFromProjected(state, proj);
+    ADAPTAGG_RETURN_IF_ERROR(
+        UpsertShared(tmp_partial_.data(), batch.hash(i)));
+  }
+  return Status::OK();
+}
+
+Status MergePlane::FoldPartialBatchShared(const TupleBatch& batch) {
+  for (int i = 0; i < batch.size(); ++i) {
+    const uint8_t* rec =
+        batch.records() + static_cast<size_t>(i) *
+                              static_cast<size_t>(batch.stride());
+    ADAPTAGG_RETURN_IF_ERROR(UpsertShared(rec, batch.hash(i)));
+  }
+  return Status::OK();
+}
+
+Status MergePlane::DrainInto(SpillingAggregator& src, SpillingAggregator& dst,
+                             bool seed_emit_bookkeeping) {
+  const AggregationSpec& spec = ctx_->spec();
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  Status finish = src.Finish([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    status = dst.AddPartial(rec.data());
+  });
+  if (seed_emit_bookkeeping) {
+    // The bookkeeping the seed's EmitFinalResults does when it drains
+    // the global aggregator (its spill reads bill on SyncDiskIo).
+    ctx_->stats().spill.Accumulate(src.stats());
+    AccumulateHashTableObs(*ctx_, src.ht_stats());
+    ctx_->SyncDiskIo();
+  }
+  if (!finish.ok()) return finish;
+  return status;
+}
+
+Status MergePlane::FoldExemptPage(Message& msg, SpillingAggregator& dst) {
+  const AggregationSpec& spec = ctx_->spec();
+  Status status;
+  ADAPTAGG_RETURN_IF_ERROR(ForEachRecordInPage(
+      msg, spec.partial_width(), ctx_->params().message_page_bytes,
+      [&](const uint8_t* rec) {
+        if (status.ok()) status = dst.AddPartial(rec);
+      }));
+  ADAPTAGG_RETURN_IF_ERROR(status);
+  ctx_->ReleasePageBuffer(std::move(msg.payload));
+  return Status::OK();
+}
+
+std::vector<int> MergePlane::ReduceChildren() const {
+  const int n = ctx_->num_nodes();
+  const int id = ctx_->node_id();
+  std::vector<int> children;
+  if (topology_ == MergeTopology::kCentral) {
+    if (id == 0) {
+      for (int p = 1; p < n; ++p) children.push_back(p);
+    }
+    return children;
+  }
+  // Binomial subtree roots: id receives id+s for ascending power-of-two
+  // s until its own send level (the lowest set bit of id).
+  for (int64_t s = 1; s < n; s <<= 1) {
+    if ((id & s) != 0) break;
+    if (id + s < n) children.push_back(static_cast<int>(id + s));
+  }
+  return children;
+}
+
+int MergePlane::ReduceParent() const {
+  const int id = ctx_->node_id();
+  if (topology_ == MergeTopology::kCentral) return 0;
+  return id & (id - 1);  // clears the lowest set bit
+}
+
+int64_t MergePlane::ScratchBound() const {
+  // With a group estimate in hand, 2x covers sampling error without
+  // paying for an M-sized bucket array per scratch table (the table
+  // ctor allocates its bucket array eagerly, so an oversized bound is
+  // real work on every merge). No estimate falls back to the M bound,
+  // which can never spill more than the seed's own global table.
+  if (est_groups_ > 0) return std::max<int64_t>(2 * est_groups_, 1024);
+  return std::max<int64_t>(ctx_->max_hash_entries(), 1024);
+}
+
+int64_t MergePlane::EmitBound() const {
+  if (est_groups_ > 0) {
+    const int n = std::max(ctx_->num_nodes(), 1);
+    // 2x the per-node share absorbs hash imbalance across owners.
+    return std::max<int64_t>(2 * est_groups_ / n, 1024);
+  }
+  return std::max<int64_t>(ctx_->max_hash_entries(), 1024);
+}
+
+Status MergePlane::EmitAwaitLoop(SpillingAggregator& emit_agg,
+                                 std::vector<bool>& awaiting,
+                                 std::vector<Message>& parked) {
+  NodeContext& ctx = *ctx_;
+  const int n = ctx.num_nodes();
+  int remaining = 0;
+  for (bool b : awaiting) remaining += b ? 1 : 0;
+  std::vector<Message> leftover;
+  auto dispatch = [&](Message& msg) -> Status {
+    if (msg.type == MessageType::kHeartbeat) return Status::OK();
+    if (msg.type == MessageType::kAbort) {
+      return Status::Internal("aborted by peer node " +
+                              std::to_string(msg.from));
+    }
+    if (msg.phase == kPhaseMergeEmit &&
+        msg.type == MessageType::kPartialPage) {
+      return FoldExemptPage(msg, emit_agg);
+    }
+    if (msg.phase == kPhaseMergeEmit &&
+        msg.type == MessageType::kEndOfStream) {
+      if (msg.from >= 0 && msg.from < n &&
+          awaiting[static_cast<size_t>(msg.from)]) {
+        awaiting[static_cast<size_t>(msg.from)] = false;
+        --remaining;
+      }
+      return Status::OK();
+    }
+    leftover.push_back(std::move(msg));
+    return Status::OK();
+  };
+  // Frames that raced ahead of this round (e.g. overflow pages crossing
+  // the shared barrier) fold first.
+  for (Message& msg : parked) {
+    ADAPTAGG_RETURN_IF_ERROR(dispatch(msg));
+  }
+  parked.clear();
+  while (remaining > 0) {
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        Message msg, ctx.AwaitMessage([&](int p) {
+          return awaiting[static_cast<size_t>(p)];
+        }));
+    ADAPTAGG_RETURN_IF_ERROR(dispatch(msg));
+  }
+  // Stash only after the loop: AwaitMessage pops the stash first, so
+  // stashing inside it would spin on the same frame.
+  for (Message& msg : leftover) {
+    ctx.Stash(std::move(msg));
+  }
+  return Status::OK();
+}
+
+Status MergePlane::ReduceAndEmit() {
+  NodeContext& ctx = *ctx_;
+  const AggregationSpec& spec = ctx.spec();
+  const int n = ctx.num_nodes();
+  const int id = ctx.node_id();
+  SpillingAggregator merged(&spec, scratch_disk_.get(), ScratchBound(),
+                            ctx.options().spill_fanout,
+                            "mrg_red_n" + std::to_string(id));
+  // Fold this node's two contribution sets: held local partials and the
+  // raw-side groups the seed receiver folded into the global table. In
+  // A-Rep a key can appear in both; the reduction merges them.
+  ADAPTAGG_RETURN_IF_ERROR(DrainInto(*contrib_, merged, false));
+  ADAPTAGG_RETURN_IF_ERROR(DrainInto(*global_, merged, true));
+
+  // Collect the reduction subtree, any arrival order (a child's pages
+  // always precede its EOS on the pair link, but different children
+  // interleave freely).
+  const std::vector<int> children = ReduceChildren();
+  std::vector<bool> child_pending(static_cast<size_t>(n), false);
+  for (int c : children) child_pending[static_cast<size_t>(c)] = true;
+  int remaining = static_cast<int>(children.size());
+  std::vector<Message> parked;
+  while (remaining > 0) {
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        Message msg, ctx.AwaitMessage([&](int p) {
+          return child_pending[static_cast<size_t>(p)];
+        }));
+    if (msg.type == MessageType::kHeartbeat) continue;
+    if (msg.type == MessageType::kAbort) {
+      return Status::Internal("aborted by peer node " +
+                              std::to_string(msg.from));
+    }
+    if (msg.phase == kPhaseMergeReduce &&
+        msg.type == MessageType::kPartialPage) {
+      ADAPTAGG_RETURN_IF_ERROR(FoldExemptPage(msg, merged));
+    } else if (msg.phase == kPhaseMergeReduce &&
+               msg.type == MessageType::kEndOfStream) {
+      if (msg.from >= 0 && msg.from < n &&
+          child_pending[static_cast<size_t>(msg.from)]) {
+        child_pending[static_cast<size_t>(msg.from)] = false;
+        --remaining;
+      }
+    } else {
+      parked.push_back(std::move(msg));
+    }
+  }
+
+  if (id != 0) {
+    const int parent = ReduceParent();
+    Exchange ex(ctx_, MessageType::kPartialPage, spec.partial_width(),
+                kPhaseMergeReduce, /*cost_exempt=*/true);
+    ADAPTAGG_RETURN_IF_ERROR(DrainToExchange(
+        spec, merged, ex, [parent](const uint8_t*) { return parent; }));
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    Message eos;
+    eos.type = MessageType::kEndOfStream;
+    eos.phase = kPhaseMergeReduce;
+    ADAPTAGG_RETURN_IF_ERROR(ctx.Send(parent, eos));
+  } else {
+    // Root: scatter merged groups back to their seed emit owners (self
+    // included), so every final row lands on its seed node.
+    Exchange ex(ctx_, MessageType::kPartialPage, spec.partial_width(),
+                kPhaseMergeEmit, /*cost_exempt=*/true);
+    ADAPTAGG_RETURN_IF_ERROR(
+        DrainToExchange(spec, merged, ex, [&](const uint8_t* key) {
+          return config_.seed_dest(spec.HashKey(key));
+        }));
+    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(ctx_, kPhaseMergeEmit));
+  }
+
+  SpillingAggregator emit_agg(&spec, scratch_disk_.get(), EmitBound(),
+                              ctx.options().spill_fanout,
+                              "mrg_emit_n" + std::to_string(id));
+  std::vector<bool> awaiting(static_cast<size_t>(n), false);
+  awaiting[0] = true;  // only the root closes the emit round
+  ADAPTAGG_RETURN_IF_ERROR(EmitAwaitLoop(emit_agg, awaiting, parked));
+  return EmitFinalResults(ctx, emit_agg);
+}
+
+Status MergePlane::SharedFinishAndEmit() {
+  NodeContext& ctx = *ctx_;
+  const AggregationSpec& spec = ctx.spec();
+  const int n = ctx.num_nodes();
+  const int id = ctx.node_id();
+  // Seed-emit bookkeeping for the global aggregator (empty in kShared —
+  // the receiver folded raw pages straight into the shared table).
+  Status fin = global_->Finish([](const uint8_t*, const uint8_t*) {});
+  ctx.stats().spill.Accumulate(global_->stats());
+  AccumulateHashTableObs(ctx, global_->ht_stats());
+  ctx.SyncDiskIo();
+  ADAPTAGG_RETURN_IF_ERROR(fin);
+
+  // Barrier: each node's last upsert happens-before its EOS broadcast,
+  // so collecting all n markers (self included) makes the table final.
+  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(ctx_, kPhaseMergeReduce));
+  std::vector<bool> barrier_pending(static_cast<size_t>(n), true);
+  int remaining = n;
+  std::vector<Message> parked;
+  while (remaining > 0) {
+    ADAPTAGG_ASSIGN_OR_RETURN(
+        Message msg, ctx.AwaitMessage([&](int p) {
+          return barrier_pending[static_cast<size_t>(p)];
+        }));
+    if (msg.type == MessageType::kHeartbeat) continue;
+    if (msg.type == MessageType::kAbort) {
+      return Status::Internal("aborted by peer node " +
+                              std::to_string(msg.from));
+    }
+    if (msg.phase == kPhaseMergeReduce &&
+        msg.type == MessageType::kEndOfStream) {
+      if (msg.from >= 0 && msg.from < n &&
+          barrier_pending[static_cast<size_t>(msg.from)]) {
+        barrier_pending[static_cast<size_t>(msg.from)] = false;
+        --remaining;
+      }
+    } else {
+      // Overflow scatter frames from nodes already past the barrier.
+      parked.push_back(std::move(msg));
+    }
+  }
+
+  // This node's slice of the shared table, plus every node's refused
+  // overflow records scattered home.
+  SpillingAggregator emit_agg(&spec, scratch_disk_.get(), EmitBound(),
+                              ctx.options().spill_fanout,
+                              "mrg_emit_n" + std::to_string(id));
+  Status status;
+  shared_->ForEach([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    if (config_.seed_dest(spec.HashKey(key)) != id) return;
+    std::memcpy(tmp_partial_.data(), key,
+                static_cast<size_t>(spec.key_width()));
+    std::memcpy(tmp_partial_.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    status = emit_agg.AddPartial(tmp_partial_.data());
+  });
+  ADAPTAGG_RETURN_IF_ERROR(status);
+  Exchange ex(ctx_, MessageType::kPartialPage, spec.partial_width(),
+              kPhaseMergeEmit, /*cost_exempt=*/true);
+  const size_t pw = static_cast<size_t>(spec.partial_width());
+  for (size_t off = 0; off < overflow_.size(); off += pw) {
+    const uint8_t* rec = overflow_.data() + off;
+    ADAPTAGG_RETURN_IF_ERROR(
+        ex.AddRecord(config_.seed_dest(spec.HashKey(rec)), rec));
+  }
+  ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
+  ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(ctx_, kPhaseMergeEmit));
+  std::vector<bool> awaiting(static_cast<size_t>(n), true);
+  ADAPTAGG_RETURN_IF_ERROR(EmitAwaitLoop(emit_agg, awaiting, parked));
+  return EmitFinalResults(ctx, emit_agg);
+}
+
+Status MergePlane::FinishAndEmit() {
+  if (seed_wire()) {
+    return EmitFinalResults(*ctx_, *global_);
+  }
+  if (topology_ == MergeTopology::kShared) {
+    return SharedFinishAndEmit();
+  }
+  return ReduceAndEmit();
+}
+
+Status SendPartials(NodeContext& ctx, SpillingAggregator& agg,
+                    MergePlane& merge) {
+  const AggregationSpec& spec = ctx.spec();
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  Status finish = agg.Finish([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    ctx.clock().AddCpu(ctx.params().t_w());
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    ++ctx.stats().partial_records_sent;
+    status = merge.AddPartial(spec.HashKey(key), rec.data());
+  });
+  ctx.stats().spill.Accumulate(agg.stats());
+  AccumulateHashTableObs(ctx, agg.ht_stats());
+  ctx.SyncDiskIo();
+  if (!finish.ok()) return finish;
+  return status;
+}
+
+Status SendTablePartials(NodeContext& ctx, AggHashTable& table,
+                         MergePlane& merge) {
+  const AggregationSpec& spec = ctx.spec();
+  std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+  Status status;
+  table.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    if (!status.ok()) return;
+    ctx.clock().AddCpu(ctx.params().t_w());
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    ++ctx.stats().partial_records_sent;
+    status = merge.AddPartial(spec.HashKey(key), rec.data());
+  });
+  table.Clear();
+  return status;
+}
+
+}  // namespace adaptagg

@@ -1,0 +1,181 @@
+#ifndef ADAPTAGG_CORE_MERGE_TOPOLOGY_H_
+#define ADAPTAGG_CORE_MERGE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "agg/hash_table.h"
+#include "agg/spilling_aggregator.h"
+#include "cluster/exchange.h"
+#include "cluster/node_context.h"
+#include "core/phases.h"
+#include "model/merge_model.h"
+#include "storage/disk.h"
+
+namespace adaptagg {
+
+/// Per-run facade over the final-merge topology (DESIGN.md §12). The
+/// seed repo merges partials over one all-to-all exchange (or the C-2P
+/// star); MergePlane lets the cost model swap in three alternatives at
+/// runtime — a binomial tree reduction, merge-side radix staging, and a
+/// shared lock-free global table — while keeping result rows and the
+/// modeled time byte-identical to the seed wire.
+///
+/// The invariance trick: partial records never travel the real wire on
+/// the non-seed topologies. Producers charge the seed's send costs as
+/// "phantom" pages (NodeContext::ChargePhantomSend), keep the records
+/// locally, and attach a per-destination [records, pages] ledger to the
+/// data-phase EOS; each seed destination replays the matching receive
+/// and merge charges from the ledger (FoldLedger). The reduction and
+/// emit-scatter rounds then move the actual bytes over cost-exempt
+/// exchanges, and every final row is emitted on its seed node by the
+/// seed emit-owner function — so charges, rows, and row placement all
+/// match the seed, only the wall-clock merge path differs.
+///
+/// Raw (repartitioned) tuple exchanges always stay real and
+/// seed-routed; topologies only reshape the partial-merge plane.
+class MergePlane {
+ public:
+  struct Config {
+    /// Seed-wire destination of a group-key hash: DestOfKeyHash for the
+    /// partitioned algorithms, constant 0 for Centralized Two Phase.
+    /// Doubles as the emit-owner function of the non-seed topologies,
+    /// which is what keeps every final row on its seed node.
+    std::function<int(uint64_t)> seed_dest;
+    /// Seed end-of-stream routing: broadcast to every node (partitioned
+    /// exchanges) or a single marker to node 0 (C-2P).
+    bool broadcast_eos = true;
+    /// Algorithm phases outside the six supported merge planes pass
+    /// false and always run the seed wire.
+    bool supported = true;
+  };
+
+  /// Resolves the topology (options pin, or the sampling-time decision
+  /// under kAuto, with demotions to kSeed whenever a prerequisite is
+  /// missing), records the `merge.topology` decision instant, and — for
+  /// kRadix — enables merge-side radix staging on `global` if the local
+  /// auto decision has not already done so. Construct after the body's
+  /// own MaybeEnableRadix/restore block and before any data traffic.
+  MergePlane(NodeContext* ctx, SpillingAggregator* global, Config config);
+
+  MergeTopology topology() const { return topology_; }
+
+  /// True when partial records travel the seed exchange (kSeed and
+  /// kRadix — radix staging only reshapes the merge table).
+  bool seed_wire() const {
+    return topology_ == MergeTopology::kSeed ||
+           topology_ == MergeTopology::kRadix;
+  }
+
+  /// The data-phase receiver wired for this topology: the seed sinks on
+  /// the seed wire, the shared-table fold on kShared. Created on first
+  /// call, owned by the plane; `expected_eos` as for DataReceiver.
+  DataReceiver& receiver(int expected_eos);
+
+  /// Routes one drained local partial record (the caller — SendPartials
+  /// or SendTablePartials — has already charged t_w and counted it as
+  /// sent). Seed wire: the real exchange. kCentral/kTree: phantom send
+  /// charges plus a local hold for the reduction. kShared: a concurrent
+  /// upsert into the shared table (refusals go to the overflow scatter).
+  Status AddPartial(uint64_t key_hash, const uint8_t* rec);
+
+  /// Mirrors Exchange::FlushAll on the partial plane: sends (or phantom-
+  /// charges) every partially filled page and records the per-dest page
+  /// skew metric. Call exactly once, after the last AddPartial.
+  Status FlushPartials();
+
+  /// Sends the data-phase end-of-stream markers with the seed's routing,
+  /// carrying the phantom ledger payload on non-seed topologies.
+  Status SendDataEos();
+
+  /// Replays the seed receive-side charges of one origin's deferred
+  /// partial stream from the ledger payload on its data EOS; called by
+  /// DataReceiver::Handle.
+  Status FoldLedger(const Message& msg);
+
+  /// Runs the chosen reduction and emits this node's final rows. Seed
+  /// wire: exactly the seed's EmitFinalResults on `global`. kCentral /
+  /// kTree: fold held partials and received raw-side groups up the
+  /// (star or binomial) reduction to node 0, which scatters merged
+  /// groups back to their seed emit owners. kShared: barrier, scatter
+  /// overflow records to their owners, then drain this node's slice of
+  /// the shared table. Callers must have entered the "merge" phase and
+  /// drained the data receiver first.
+  Status FinishAndEmit();
+
+ private:
+  MergeTopology Resolve();
+  /// Capacity and arena wiring for the kShared table; computed from the
+  /// broadcast group estimate so every node requests the same table.
+  Status PrepareShared();
+  Status UpsertShared(const uint8_t* rec, uint64_t key_hash);
+  Status FoldRawBatchShared(const TupleBatch& batch);
+  Status FoldPartialBatchShared(const TupleBatch& batch);
+  /// Drains a finished aggregator into `dst` as partial records. When
+  /// `seed_emit_bookkeeping` is set, also folds the source's spill and
+  /// hash-table stats into the node — the bookkeeping the seed's
+  /// EmitFinalResults would have done for `global`.
+  Status DrainInto(SpillingAggregator& src, SpillingAggregator& dst,
+                   bool seed_emit_bookkeeping);
+  /// Decodes one cost-exempt merge-phase page into `dst`.
+  Status FoldExemptPage(Message& msg, SpillingAggregator& dst);
+  /// kCentral/kTree: collect children, send up or scatter, emit.
+  Status ReduceAndEmit();
+  /// kShared: barrier + overflow scatter + own-slice drain, emit.
+  Status SharedFinishAndEmit();
+  /// Receives kPhaseMergeEmit pages into `emit_agg` until every node
+  /// flagged in `awaiting` has delivered its emit EOS; `parked` holds
+  /// frames that arrived ahead of this round.
+  Status EmitAwaitLoop(SpillingAggregator& emit_agg,
+                       std::vector<bool>& awaiting,
+                       std::vector<Message>& parked);
+  /// Reduction children of this node: every other node for the kCentral
+  /// root, the binomial subtree roots for kTree.
+  std::vector<int> ReduceChildren() const;
+  int ReduceParent() const;
+  /// Hash-table bound for the plane's private scratch aggregators
+  /// (contribution holds and reduction tables: up to every group).
+  int64_t ScratchBound() const;
+  /// Bound for the emit-round aggregator, which only ever holds this
+  /// node's slice of the final groups (and any shared-table overflow
+  /// scattered home).
+  int64_t EmitBound() const;
+
+  NodeContext* ctx_;
+  SpillingAggregator* global_;
+  Config config_;
+  /// Best global group-count estimate available at construction
+  /// (sampling broadcast, else the options hint; 0 = unknown).
+  int64_t est_groups_ = 0;
+  MergeTopology topology_ = MergeTopology::kSeed;
+
+  std::unique_ptr<DataReceiver> recv_;
+  /// Seed-wire partial exchange (seed topologies only).
+  std::unique_ptr<Exchange> ex_partial_;
+
+  // --- Non-seed state. ---
+  /// Scratch disk for the plane's private aggregators: invisible to
+  /// SyncDiskIo (which only charges ctx.disk() deltas), so reduction
+  /// spills never perturb the modeled time.
+  std::unique_ptr<SimDisk> scratch_disk_;
+  /// Held local partials awaiting the reduction (kCentral/kTree).
+  std::unique_ptr<SpillingAggregator> contrib_;
+  /// Phantom page accounting per seed destination.
+  int page_capacity_ = 0;
+  std::vector<int64_t> phantom_records_;
+  std::vector<int64_t> phantom_pages_;
+  std::vector<int> phantom_fill_;
+
+  // --- kShared state. ---
+  SharedAggHashTable* shared_ = nullptr;
+  /// Partial records the shared table refused at its ceiling; scattered
+  /// to their seed emit owners in the overflow round.
+  std::vector<uint8_t> overflow_;
+  std::vector<uint8_t> tmp_partial_;
+};
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_CORE_MERGE_TOPOLOGY_H_

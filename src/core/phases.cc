@@ -4,6 +4,7 @@
 
 #include "cluster/recovery.h"
 #include "common/logging.h"
+#include "core/merge_topology.h"
 
 namespace adaptagg {
 namespace {
@@ -96,6 +97,13 @@ void DataReceiver::SetReplayWatermarks(const std::vector<uint64_t>& wm) {
 }
 
 Status DataReceiver::Handle(Message& msg) {
+  if (merge_plane_ != nullptr && msg.phase >= kPhaseMergeReduce) {
+    // Reduction-round traffic that raced ahead of the last data EOS;
+    // parked for the merge plane's own receive loops (flushed to the
+    // stash when Drain completes).
+    pending_merge_.push_back(std::move(msg));
+    return Status::OK();
+  }
   switch (msg.type) {
     case MessageType::kPartialPage:
     case MessageType::kRawPage: {
@@ -121,6 +129,11 @@ Status DataReceiver::Handle(Message& msg) {
     }
     case MessageType::kEndOfStream:
       if (msg.phase == kPhaseData) {
+        if (merge_plane_ != nullptr && !msg.payload.empty()) {
+          // Non-seed topologies attach a phantom-charge ledger to their
+          // data EOS; replay the seed's receive-side costs from it.
+          ADAPTAGG_RETURN_IF_ERROR(merge_plane_->FoldLedger(msg));
+        }
         ++eos_seen_;
         // Liveness bookkeeping only (duplicated messages were already
         // discarded by sequence number below this layer).
@@ -165,6 +178,10 @@ Status DataReceiver::Drain() {
         }));
     ADAPTAGG_RETURN_IF_ERROR(Handle(msg));
   }
+  for (Message& msg : pending_merge_) {
+    ctx_->Stash(std::move(msg));
+  }
+  pending_merge_.clear();
   return Status::OK();
 }
 
@@ -202,12 +219,16 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
   SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                             ctx.options().spill_fanout,
                             "g2p_n" + std::to_string(ctx.node_id()));
-  DataReceiver recv(&ctx, &global, n);
   if (restore == nullptr) {
     // Each node's merge table owns ~1/n of the groups routed by key hash.
     MaybeEnableRadix(ctx, global, "global",
                      ctx.estimated_local_groups() / std::max(n, 1));
   }
+  MergePlane merge(&ctx, &global,
+                   MergePlane::Config{
+                       [n](uint64_t h) { return DestOfKeyHash(h, n); },
+                       /*broadcast_eos=*/true, /*supported=*/true});
+  DataReceiver& recv = merge.receiver(n);
 
   // Phase 1: aggregate the local partition.
   SpillingAggregator local(&spec, ctx.disk(), ctx.max_hash_entries(),
@@ -291,12 +312,9 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
     // Ship local partials to their owner nodes. On replay this
     // regenerates the identical stream; receivers that already folded a
     // page skip it by its deterministic page_seq.
-    Exchange ex(&ctx, MessageType::kPartialPage, spec.partial_width(),
-                kPhaseData);
-    ADAPTAGG_RETURN_IF_ERROR(SendPartials(
-        ctx, local, ex, [n](uint64_t h) { return DestOfKeyHash(h, n); }));
-    ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    ADAPTAGG_RETURN_IF_ERROR(SendPartials(ctx, local, merge));
+    ADAPTAGG_RETURN_IF_ERROR(merge.FlushPartials());
+    ADAPTAGG_RETURN_IF_ERROR(merge.SendDataEos());
     scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
   }
 
@@ -306,7 +324,7 @@ Status RunTwoPhaseBody(NodeContext& ctx) {
     PhaseTimer merge_span = ctx.obs().StartPhase("merge");
     ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
   }
-  return EmitFinalResults(ctx, global);
+  return merge.FinishAndEmit();
 }
 
 Status RunRepartitioningBody(NodeContext& ctx) {
@@ -324,13 +342,18 @@ Status RunRepartitioningBody(NodeContext& ctx) {
   SpillingAggregator global(&spec, ctx.disk(), ctx.max_hash_entries(),
                             ctx.options().spill_fanout,
                             "grep_n" + std::to_string(ctx.node_id()));
-  DataReceiver recv(&ctx, &global, n);
   if (restore == nullptr) {
     // Repartitioning routes raw tuples by key hash, so this node's table
     // holds ~1/n of the groups.
     MaybeEnableRadix(ctx, global, "global",
                      ctx.estimated_local_groups() / std::max(n, 1));
-  } else {
+  }
+  MergePlane merge(&ctx, &global,
+                   MergePlane::Config{
+                       [n](uint64_t h) { return DestOfKeyHash(h, n); },
+                       /*broadcast_eos=*/true, /*supported=*/true});
+  DataReceiver& recv = merge.receiver(n);
+  if (restore != nullptr) {
     ADAPTAGG_RETURN_IF_ERROR(global.RestoreFrom(
         restore->global_partials.data(), restore->global_partials.size()));
     recv.SetReplayWatermarks(restore->fold_watermarks);
@@ -375,7 +398,9 @@ Status RunRepartitioningBody(NodeContext& ctx) {
         }));
 
     ADAPTAGG_RETURN_IF_ERROR(ex.FlushAll());
-    ADAPTAGG_RETURN_IF_ERROR(BroadcastEos(&ctx, kPhaseData));
+    // No partial stream here, so the merge plane's EOS carries no
+    // ledger; it is the seed broadcast either way.
+    ADAPTAGG_RETURN_IF_ERROR(merge.SendDataEos());
     scan_span.AddArg("tuples_scanned", ctx.stats().tuples_scanned);
   }
   {
@@ -383,7 +408,7 @@ Status RunRepartitioningBody(NodeContext& ctx) {
     PhaseTimer merge_span = ctx.obs().StartPhase("merge");
     ADAPTAGG_RETURN_IF_ERROR(recv.Drain());
   }
-  return EmitFinalResults(ctx, global);
+  return merge.FinishAndEmit();
 }
 
 }  // namespace adaptagg

@@ -1,0 +1,93 @@
+#include "model/merge_model.h"
+
+#include <algorithm>
+
+#include "model/locality_model.h"
+
+namespace adaptagg {
+
+const char* MergeModeToString(MergeMode mode) {
+  switch (mode) {
+    case MergeMode::kAuto:
+      return "auto";
+    case MergeMode::kCentral:
+      return "central";
+    case MergeMode::kTree:
+      return "tree";
+    case MergeMode::kRadix:
+      return "radix";
+    case MergeMode::kShared:
+      return "shared";
+  }
+  return "?";
+}
+
+const char* MergeTopologyToString(MergeTopology topology) {
+  switch (topology) {
+    case MergeTopology::kSeed:
+      return "seed";
+    case MergeTopology::kCentral:
+      return "central";
+    case MergeTopology::kTree:
+      return "tree";
+    case MergeTopology::kRadix:
+      return "radix";
+    case MergeTopology::kShared:
+      return "shared";
+  }
+  return "?";
+}
+
+MergeDecision DecideMergeTopology(const MergeDecisionInputs& in) {
+  MergeDecision d;
+  d.est_groups = in.est_groups;
+  d.skew_q8 = in.skew_q8;
+  const int64_t n = std::max(in.num_nodes, 1);
+  const int64_t m = std::max<int64_t>(in.max_hash_entries, 1);
+  if (in.est_groups <= 0 || n <= 1) return d;
+
+  // Radix first: it keeps the seed wire pattern (always sound, spill
+  // included), and cache-busting fold work dominates every other
+  // consideration once it applies. Same engage gate as the scan-side
+  // decision, over the per-owner share of the estimate.
+  const RadixDecision rd = DecideRadixPartitioning(
+      RadixMode::kAuto, in.est_groups / n, m, std::max<int64_t>(
+          in.slot_bytes, 1), /*l2_bytes=*/-1, in.radix_llc_bytes);
+  if (rd.engage) {
+    d.topology = MergeTopology::kRadix;
+    return d;
+  }
+
+  // Repartitioning ships raw tuples straight to their owners; its merge
+  // is already partitioned and holds no partial tables to reduce, so a
+  // non-seed reduction is pure added work.
+  if (in.use_repartitioning) return d;
+
+  // Non-seed reductions fold the whole estimate through scratch tables
+  // while the modeled charges replicate the seed stream; stay on the
+  // seed path whenever its per-owner merge share could spill.
+  if (in.est_groups * kNoSpillMargin > n * m) return d;
+
+  // Tree: at kTreeMinNodes+ nodes, the seed scatter sends O(N^2)
+  // mostly-empty pages (every node pays m_p + m_l per peer even for a
+  // handful of groups); the binomial tree sends O(N) and each node
+  // folds at most log2(N) small tables.
+  if (n >= kTreeMinNodes &&
+      in.est_groups <= kTreeGroupsPerNodeCeiling * n) {
+    d.topology = MergeTopology::kTree;
+    return d;
+  }
+
+  // Shared: inproc only (the table must be addressable by every node),
+  // enough groups to dilute slot contention, and low skew so no single
+  // slot serializes the fold.
+  if (in.inproc && in.skew_q8 <= kSharedSkewMaxQ8 &&
+      in.est_groups >= kSharedMinGroups) {
+    d.topology = MergeTopology::kShared;
+    return d;
+  }
+
+  return d;
+}
+
+}  // namespace adaptagg

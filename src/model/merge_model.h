@@ -1,0 +1,119 @@
+#ifndef ADAPTAGG_MODEL_MERGE_MODEL_H_
+#define ADAPTAGG_MODEL_MERGE_MODEL_H_
+
+#include <cstdint>
+
+namespace adaptagg {
+
+/// User-facing pin for the final-merge topology (the fourth adaptive
+/// decision, after repartition-vs-two-phase, the A-2P/A-Rep switches,
+/// and radix pre-partitioning): kAuto lets DecideMergeTopology choose
+/// from the sampling estimate; anything else forces one topology for
+/// every algorithm that supports it (see DESIGN.md §12).
+enum class MergeMode {
+  kAuto,
+  kCentral,
+  kTree,
+  kRadix,
+  kShared,
+};
+
+/// The resolved topology of one run's global merge phase.
+enum class MergeTopology {
+  /// The paper's partitioned merge: each node owns the groups its key
+  /// hash routes to it. Every algorithm's historical wire pattern.
+  kSeed,
+  /// Every node's merge table reduces directly onto node 0, which
+  /// emits all groups (C-2P's pattern generalized to any algorithm).
+  kCentral,
+  /// Binomial log2(N) reduction tree: node id sends its table to
+  /// id - lowbit(id) after absorbing its subtree. O(G log N) total
+  /// fold work but only O(N) messages instead of O(N^2).
+  kTree,
+  /// The partitioned merge with cache-sized radix staging forced on
+  /// the merge-side table (PR 7 machinery): identical wire pattern,
+  /// identical rows and modeled time, better locality when the
+  /// per-owner group share busts the LLC.
+  kRadix,
+  /// One concurrent shared hash table all nodes fold into directly —
+  /// striped-lock generally, lock-free CAS for all-int64-additive
+  /// states. Inproc transports only; demotes to kSeed elsewhere.
+  kShared,
+};
+
+const char* MergeModeToString(MergeMode mode);
+const char* MergeTopologyToString(MergeTopology topology);
+
+/// Count-based inputs of the topology decision. Everything here derives
+/// from record counts and configuration — never from wall clocks or
+/// randomness — so the decision passes determinism rules D1-D3 and is
+/// reproducible across hosts.
+struct MergeDecisionInputs {
+  /// Sampled global distinct-group estimate (<= 0: unknown).
+  int64_t est_groups = 0;
+  /// Cluster size N.
+  int num_nodes = 1;
+  /// Sample skew in q8.8 fixed point: (max over nodes of per-node
+  /// distinct sample keys) * N / total distinct samples, scaled by 256.
+  /// 256 = perfectly uniform; larger = hotter nodes. Integer arithmetic
+  /// keeps the decision bit-reproducible.
+  int32_t skew_q8 = 256;
+  /// The mesh is shared-memory (inproc), so a shared table is reachable.
+  bool inproc = false;
+  /// The paper's first decision chose Repartitioning (raw-tuple wire).
+  bool use_repartitioning = false;
+  /// Hash table bound M per node.
+  int64_t max_hash_entries = 0;
+  /// Bytes per merge-table slot (key + state), for the radix LLC gate.
+  int64_t slot_bytes = 24;
+  /// LLC budget override for the radix gate (<= 0: model default).
+  int64_t radix_llc_bytes = -1;
+};
+
+/// Outcome of the topology decision, carrying the inputs that drove it
+/// (recorded into the `merge.topology` trace instant).
+struct MergeDecision {
+  MergeTopology topology = MergeTopology::kSeed;
+  int64_t est_groups = 0;
+  int32_t skew_q8 = 256;
+};
+
+// --- switch thresholds (exposed for the golden test and the docs) ---
+
+/// Tree only pays with enough nodes for the O(N^2)-message seed scatter
+/// to hurt.
+inline constexpr int kTreeMinNodes = 8;
+/// ... and few enough groups that the per-message overhead (m_p + m_l
+/// per mostly-empty page) dominates the duplicated fold work: total
+/// groups at most this many per node.
+inline constexpr int64_t kTreeGroupsPerNodeCeiling = 64;
+/// Shared table needs enough groups that slot contention is diluted.
+inline constexpr int64_t kSharedMinGroups = 1024;
+/// ... and low skew (hot keys serialize on their slot): 2.0 in q8.8.
+inline constexpr int32_t kSharedSkewMaxQ8 = 512;
+/// Safety margin of the no-spill gate: non-seed topologies fold the
+/// whole estimate through scratch tables, so auto only leaves the seed
+/// path when the seed per-owner share comfortably fits M.
+inline constexpr int64_t kNoSpillMargin = 2;
+
+/// Chooses the final-merge topology. Pure integer arithmetic over the
+/// count-based inputs: no clock, no randomness (lint D1-D3), so every
+/// node given the same inputs resolves the same topology — the Sampling
+/// coordinator computes it once and broadcasts the outcome anyway.
+///
+/// Policy sketch (cost model in DESIGN.md §12):
+///  * radix when the per-owner merge working set busts the LLC (same
+///    gate as the local-aggregation radix decision — the wire pattern
+///    is unchanged, only locality improves);
+///  * otherwise seed for Repartitioning runs (raw-tuple traffic is
+///    already partitioned; a reduction adds pure overhead);
+///  * tree when nodes are many and groups are few (message-bound);
+///  * shared when inproc, low-skew, and groups are plentiful enough to
+///    dilute contention (skips serialize + wire + deserialize);
+///  * seed everywhere else, and always when the estimate is missing or
+///    the seed merge would spill (parity of the spill path).
+MergeDecision DecideMergeTopology(const MergeDecisionInputs& in);
+
+}  // namespace adaptagg
+
+#endif  // ADAPTAGG_MODEL_MERGE_MODEL_H_

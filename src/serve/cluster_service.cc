@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "agg/hash_table.h"
 #include "cluster/recovery.h"
 #include "common/simd.h"
 #include "core/algorithm.h"
@@ -80,6 +81,9 @@ struct ClusterService::Session {
   std::vector<std::unique_ptr<HeapFile>> partitions;
   std::unique_ptr<NetworkModel> net;
   std::unique_ptr<GatherSink> gathered;
+  /// Session-private shared merge arena (the shared topology's
+  /// concurrent table); rebuilt per attempt like the other plane state.
+  std::unique_ptr<SharedMergeArena> merge_arena;
   std::vector<std::unique_ptr<NodeContext>> contexts;
   std::vector<Status> statuses;
   std::unique_ptr<FailureFanout> fanout;
@@ -157,13 +161,14 @@ ClusterService::ClusterService(ServiceConfig config, PartitionedRelation* rel,
       rel_(rel),
       mesh_factory_(std::move(mesh_factory)),
       router_(std::make_unique<SessionRouter>(std::move(mesh))),
-      cache_(config_.cache_entries),
+      cache_(config_.cache_entries, config_.cache_min_cost_us),
       scheduler_(config_.scheduler) {
   admitted_ = metrics_.counter("serve.admitted");
   rejected_queue_full_ = metrics_.counter("serve.rejected.queue_full");
   rejected_memory_ = metrics_.counter("serve.rejected.memory");
   cache_hits_ = metrics_.counter("serve.cache.hits");
   cache_misses_ = metrics_.counter("serve.cache.misses");
+  cache_skipped_cheap_ = metrics_.counter("serve.cache.skipped_cheap");
   completed_ = metrics_.counter("serve.completed");
   aborted_ = metrics_.counter("serve.aborted");
   replays_ = metrics_.counter("serve.recovery.replays");
@@ -391,6 +396,7 @@ void ClusterService::StartAttempt(Session* s) {
 
   s->net = std::make_unique<NetworkModel>(config_.params);
   s->gathered = std::make_unique<GatherSink>();
+  s->merge_arena = std::make_unique<SharedMergeArena>();
   s->fanout = std::make_unique<FailureFanout>();
   // One wall epoch per attempt, as in Cluster::Run, so its nodes' trace
   // wall timelines share an origin.
@@ -411,6 +417,7 @@ void ClusterService::StartAttempt(Session* s) {
         s->transports[static_cast<size_t>(i)].get(), s->net.get(),
         wall_epoch_s));
     s->contexts.back()->SetGather(s->gathered.get());
+    s->contexts.back()->SetMergeArena(s->merge_arena.get());
     if (s->recovery != nullptr) {
       s->contexts.back()->SetRecovery(&s->recovery->node(i));
     }
@@ -513,8 +520,12 @@ void ClusterService::FinishSession(Session* s) {
     // version bump mid-query means these rows describe neither the old
     // nor the new contents reliably enough to replay.
     if (s->cacheable && rel_->version() == s->rel_version) {
-      cache_.Insert({s->rel_version, s->fingerprint},
-                    {result.results, result.sim_time_s});
+      // Insert refuses results under the cost floor; cacheable implies
+      // the cache is enabled, so a refusal here is always the floor.
+      if (!cache_.Insert({s->rel_version, s->fingerprint},
+                         {result.results, result.sim_time_s})) {
+        cache_skipped_cheap_.Increment();
+      }
     }
   } else {
     aborted_.Increment();

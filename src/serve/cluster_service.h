@@ -79,6 +79,10 @@ struct ServiceConfig {
   SchedulerConfig scheduler;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_entries = 64;
+  /// Result-cache admission floor in modeled microseconds: a completed
+  /// query cheaper than this is served but not cached (re-execution
+  /// beats evicting an expensive neighbor). 0 caches everything.
+  int64_t cache_min_cost_us = 0;
   /// Physical mesh factory (empty: in-process mesh). The mesh is built
   /// once and shared by every session through the SessionRouter.
   Cluster::TransportFactory transport_factory;
@@ -215,6 +219,7 @@ class ClusterService {
   Counter rejected_memory_;
   Counter cache_hits_;
   Counter cache_misses_;
+  Counter cache_skipped_cheap_;
   Counter completed_;
   Counter aborted_;
   Counter replays_;

@@ -1,0 +1,228 @@
+// Concurrency torture of SharedAggHashTable, the kShared merge
+// topology's table: many threads fold partial aggregates into one table
+// and the result must match a sequential reference byte for byte, on
+// both the lock-free CAS plane (all-int64-additive states) and the
+// striped-lock plane (min/max and generic kernels). Run under TSan in
+// the sanitizer CI job, this is the data-race proof for the shared
+// merge.
+
+#include "agg/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace adaptagg {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int64_t kGroups = 512;
+constexpr int64_t kRecordsPerThread = 10'000;
+
+Schema MakeTwoColSchema() {
+  return Schema({{"g", DataType::kInt64, 8}, {"v", DataType::kInt64, 8}});
+}
+
+std::vector<uint8_t> Proj(int64_t g, int64_t v) {
+  std::vector<uint8_t> p(16);
+  std::memcpy(p.data(), &g, 8);
+  std::memcpy(p.data() + 8, &v, 8);
+  return p;
+}
+
+/// Deterministic pseudo-values: spread groups and values without any
+/// randomness so every run (and the reference) sees the same stream.
+int64_t GroupOf(int t, int64_t i) { return (i * 31 + t * 7) % kGroups; }
+int64_t ValueOf(int t, int64_t i) { return (i * 13 + t) % 1'000 - 500; }
+
+/// Folds thread `t`'s share of the stream into a private table and
+/// returns its groups as partial records.
+std::vector<std::vector<uint8_t>> ThreadPartials(
+    const AggregationSpec& spec, int t) {
+  AggHashTable local(&spec, kGroups + 8);
+  for (int64_t i = 0; i < kRecordsPerThread; ++i) {
+    auto p = Proj(GroupOf(t, i), ValueOf(t, i));
+    const uint64_t h = spec.HashKey(p.data());
+    EXPECT_NE(local.UpsertProjected(p.data(), h),
+              AggHashTable::UpsertResult::kFull);
+  }
+  std::vector<std::vector<uint8_t>> partials;
+  local.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+    std::memcpy(rec.data(), key, static_cast<size_t>(spec.key_width()));
+    std::memcpy(rec.data() + spec.key_width(), state,
+                static_cast<size_t>(spec.state_width()));
+    partials.push_back(std::move(rec));
+  });
+  return partials;
+}
+
+/// The same stream folded sequentially: group key -> final state bytes.
+std::map<int64_t, std::vector<uint8_t>> Reference(
+    const AggregationSpec& spec) {
+  AggHashTable table(&spec, kGroups + 8);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int64_t i = 0; i < kRecordsPerThread; ++i) {
+      auto p = Proj(GroupOf(t, i), ValueOf(t, i));
+      table.UpsertProjected(p.data(), spec.HashKey(p.data()));
+    }
+  }
+  std::map<int64_t, std::vector<uint8_t>> out;
+  table.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    int64_t g;
+    std::memcpy(&g, key, 8);
+    out[g].assign(state, state + spec.state_width());
+  });
+  return out;
+}
+
+/// Hammers `shared` from kThreads threads and checks the merged states
+/// against the sequential reference.
+void RunTorture(const AggregationSpec& spec, SharedAggHashTable& shared) {
+  std::vector<std::thread> threads;
+  std::atomic<int> refusals{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const auto& rec : ThreadPartials(spec, t)) {
+        if (!shared.UpsertPartialConcurrent(rec.data(),
+                                            spec.HashKey(rec.data()))) {
+          refusals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(refusals.load(), 0);
+  EXPECT_EQ(shared.size(), kGroups);
+
+  const auto expected = Reference(spec);
+  int64_t seen = 0;
+  shared.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    int64_t g;
+    std::memcpy(&g, key, 8);
+    auto it = expected.find(g);
+    ASSERT_NE(it, expected.end()) << "phantom group " << g;
+    EXPECT_EQ(std::memcmp(state, it->second.data(), it->second.size()), 0)
+        << "state mismatch for group " << g;
+    ++seen;
+  });
+  EXPECT_EQ(seen, static_cast<int64_t>(expected.size()));
+}
+
+TEST(SharedAggHashTable, LockFreePlaneMatchesSequentialReference) {
+  Schema schema = MakeTwoColSchema();
+  auto spec_or = MakeCountSumSpec(&schema, 0, 1);
+  ASSERT_TRUE(spec_or.ok());
+  AggregationSpec spec = std::move(spec_or).value();
+  ASSERT_EQ(spec.fused_merge_kernel(), FusedMergeKind::kAddInt64);
+
+  SharedAggHashTable shared(&spec, 4 * kGroups);
+  ASSERT_TRUE(shared.lock_free());
+  RunTorture(spec, shared);
+  EXPECT_EQ(shared.locked_merges(), 0);
+}
+
+TEST(SharedAggHashTable, StripedPlaneMatchesSequentialReference) {
+  Schema schema = MakeTwoColSchema();
+  std::vector<AggDescriptor> aggs;
+  aggs.push_back({AggKind::kMin, 1, "min_v"});
+  aggs.push_back({AggKind::kMax, 1, "max_v"});
+  auto spec_or = AggregationSpec::Make(&schema, {0}, std::move(aggs));
+  ASSERT_TRUE(spec_or.ok());
+  AggregationSpec spec = std::move(spec_or).value();
+  ASSERT_EQ(spec.fused_merge_kernel(), FusedMergeKind::kMinMaxInt64);
+
+  SharedAggHashTable shared(&spec, 4 * kGroups);
+  ASSERT_FALSE(shared.lock_free());
+  RunTorture(spec, shared);
+  // Every repeat-group merge serialized on a stripe: (threads * groups)
+  // inserts-or-merges minus the kGroups first-insertions.
+  EXPECT_GT(shared.locked_merges(), 0);
+}
+
+TEST(SharedAggHashTable, RefusesAtLoadCeilingAndKeepsPublishedGroups) {
+  Schema schema = MakeTwoColSchema();
+  auto spec_or = MakeCountSumSpec(&schema, 0, 1);
+  ASSERT_TRUE(spec_or.ok());
+  AggregationSpec spec = std::move(spec_or).value();
+
+  // Capacity rounds up to 64; the load ceiling is 70% of that.
+  SharedAggHashTable shared(&spec, 1);
+  EXPECT_EQ(shared.capacity(), 64);
+  const int64_t ceiling = 64 * 7 / 10;
+  int64_t accepted = 0;
+  int64_t refused = 0;
+  for (int64_t g = 0; g < 200; ++g) {
+    AggHashTable local(&spec, 4);
+    auto p = Proj(g, 1);
+    local.UpsertProjected(p.data(), spec.HashKey(p.data()));
+    local.ForEach([&](const uint8_t* key, const uint8_t* state) {
+      std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+      std::memcpy(rec.data(), key, 8);
+      std::memcpy(rec.data() + 8, state,
+                  static_cast<size_t>(spec.state_width()));
+      if (shared.UpsertPartialConcurrent(rec.data(),
+                                         spec.HashKey(rec.data()))) {
+        ++accepted;
+      } else {
+        ++refused;
+      }
+    });
+  }
+  EXPECT_EQ(accepted, ceiling);
+  EXPECT_EQ(refused, 200 - ceiling);
+  EXPECT_EQ(shared.size(), ceiling);
+
+  // Existing groups still merge fine at the ceiling.
+  AggHashTable local(&spec, 4);
+  auto p = Proj(0, 5);
+  local.UpsertProjected(p.data(), spec.HashKey(p.data()));
+  local.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+    std::memcpy(rec.data(), key, 8);
+    std::memcpy(rec.data() + 8, state,
+                static_cast<size_t>(spec.state_width()));
+    EXPECT_TRUE(shared.UpsertPartialConcurrent(
+        rec.data(), spec.HashKey(rec.data())));
+  });
+  EXPECT_EQ(shared.size(), ceiling);
+}
+
+TEST(SharedMergeArenaTest, GetOrInitIsIdempotentAndResetClears) {
+  Schema schema = MakeTwoColSchema();
+  auto spec_or = MakeCountSumSpec(&schema, 0, 1);
+  ASSERT_TRUE(spec_or.ok());
+  AggregationSpec spec = std::move(spec_or).value();
+
+  SharedMergeArena arena;
+  SharedAggHashTable* a = arena.GetOrInit(&spec, 1'000);
+  SharedAggHashTable* b = arena.GetOrInit(&spec, 1'000);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b) << "every node must get the same table";
+
+  auto p = Proj(3, 4);
+  AggHashTable local(&spec, 4);
+  local.UpsertProjected(p.data(), spec.HashKey(p.data()));
+  local.ForEach([&](const uint8_t* key, const uint8_t* state) {
+    std::vector<uint8_t> rec(static_cast<size_t>(spec.partial_width()));
+    std::memcpy(rec.data(), key, 8);
+    std::memcpy(rec.data() + 8, state,
+                static_cast<size_t>(spec.state_width()));
+    EXPECT_TRUE(
+        a->UpsertPartialConcurrent(rec.data(), spec.HashKey(rec.data())));
+  });
+  EXPECT_EQ(a->size(), 1);
+
+  arena.Reset();
+  SharedAggHashTable* c = arena.GetOrInit(&spec, 1'000);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->size(), 0) << "a reset arena must hand out a fresh table";
+}
+
+}  // namespace
+}  // namespace adaptagg

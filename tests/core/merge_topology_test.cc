@@ -1,0 +1,335 @@
+// The merge-topology invariance matrix: every pinned topology, through
+// every supported algorithm body, over both transports, must emit
+// byte-identical rows on the same nodes at the identical modeled time
+// as the seed wire. Only wall-clock behavior may differ — that is the
+// whole contract of DESIGN.md §12.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/merge_model.h"
+#include "test_util.h"
+
+namespace adaptagg {
+namespace {
+
+using testing_util::SmallClusterParams;
+
+struct Fixture {
+  PartitionedRelation rel;
+  AggregationSpec spec;
+};
+
+Result<Fixture> MakeFixture(int nodes, int64_t tuples, int64_t groups) {
+  WorkloadSpec wspec;
+  wspec.num_nodes = nodes;
+  wspec.num_tuples = tuples;
+  wspec.num_groups = groups;
+  ADAPTAGG_ASSIGN_OR_RETURN(PartitionedRelation rel,
+                            GenerateRelation(wspec));
+  ADAPTAGG_ASSIGN_OR_RETURN(AggregationSpec spec,
+                            MakeBenchQuery(&rel.schema()));
+  return Fixture{std::move(rel), std::move(spec)};
+}
+
+RunResult RunWith(const SystemParams& params, AlgorithmKind kind,
+                  Fixture& f, MergeMode mode, int tcp_base_port) {
+  Cluster cluster(params);
+  if (tcp_base_port > 0) {
+    cluster.set_transport_factory([tcp_base_port](int n) {
+      return MakeTcpMesh(n, tcp_base_port);
+    });
+  }
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  opts.obs.traces = true;
+  opts.merge_mode = mode;
+  return cluster.Run(*MakeAlgorithm(kind), f.spec, f.rel, opts);
+}
+
+/// Topology values resolved by each node, from the `merge.topology`
+/// decision instants.
+std::vector<int64_t> ResolvedTopologies(const RunResult& run) {
+  std::vector<int64_t> out;
+  for (const TraceEvent& e : run.trace_events) {
+    if (e.kind != TraceEvent::Kind::kInstant ||
+        e.name != "merge.topology") {
+      continue;
+    }
+    for (const auto& [k, v] : e.args) {
+      if (k == "topology") out.push_back(v);
+    }
+  }
+  return out;
+}
+
+void ExpectAllResolved(const RunResult& run, MergeTopology want,
+                       int nodes) {
+  const std::vector<int64_t> got = ResolvedTopologies(run);
+  ASSERT_EQ(static_cast<int>(got.size()), nodes);
+  for (int64_t t : got) {
+    EXPECT_EQ(t, static_cast<int64_t>(want))
+        << "expected every node to resolve "
+        << MergeTopologyToString(want);
+  }
+}
+
+/// The invariance contract against a seed baseline: identical rows with
+/// identical values, identical modeled time, and the seed's per-node
+/// accounting (every final row must surface on its seed owner node).
+/// The default `sim_tol` is a picosecond: three orders below the
+/// smallest modeled charge (microseconds), so any real cost
+/// perturbation still fails, but immune to double-summation ULP noise.
+/// ULP noise is inherent to the comparison, not a topology defect: a
+/// *seed* run's receive side sums per-page charges in arrival order,
+/// and inproc multi-sender interleaving is scheduling-dependent, so the
+/// seed's own last bit flips run to run, while the ledger replay sums
+/// the same multiset in fixed node order. Cells where page fills vary
+/// run-to-run (A-Rep's mid-stream switch flush) or sockets reorder
+/// arrivals (TCP) get a looser nanosecond bound.
+void ExpectSeedInvariant(const RunResult& run, const RunResult& seed,
+                         double sim_tol = 1e-12) {
+  EXPECT_TRUE(ResultSetsEqual(run.results, seed.results, 0.0))
+      << "topology changed an emitted value";
+  EXPECT_NEAR(run.sim_time_s, seed.sim_time_s, sim_tol);
+  ASSERT_EQ(run.node_stats.size(), seed.node_stats.size());
+  for (size_t i = 0; i < run.node_stats.size(); ++i) {
+    SCOPED_TRACE("node " + std::to_string(i));
+    EXPECT_EQ(run.node_stats[i].tuples_scanned,
+              seed.node_stats[i].tuples_scanned);
+    EXPECT_EQ(run.node_stats[i].raw_records_sent,
+              seed.node_stats[i].raw_records_sent);
+    EXPECT_EQ(run.node_stats[i].partial_records_sent,
+              seed.node_stats[i].partial_records_sent);
+    EXPECT_EQ(run.node_stats[i].partial_records_received,
+              seed.node_stats[i].partial_records_received);
+    EXPECT_EQ(run.node_stats[i].result_rows,
+              seed.node_stats[i].result_rows);
+  }
+}
+
+const AlgorithmKind kMatrixAlgorithms[] = {
+    AlgorithmKind::kTwoPhase,
+    AlgorithmKind::kRepartitioning,
+    AlgorithmKind::kAdaptiveTwoPhase,
+};
+
+const MergeMode kPinnedModes[] = {
+    MergeMode::kCentral,
+    MergeMode::kTree,
+    MergeMode::kRadix,
+    MergeMode::kShared,
+};
+
+MergeTopology ExpectedInproc(MergeMode mode) {
+  switch (mode) {
+    case MergeMode::kCentral:
+      return MergeTopology::kCentral;
+    case MergeMode::kTree:
+      return MergeTopology::kTree;
+    case MergeMode::kRadix:
+      return MergeTopology::kRadix;
+    case MergeMode::kShared:
+      return MergeTopology::kShared;
+    case MergeMode::kAuto:
+      break;
+  }
+  return MergeTopology::kSeed;
+}
+
+TEST(MergeTopologyMatrix, PinnedTopologiesMatchSeedInproc) {
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 8'000, 300));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 8'000, /*max=*/2'048);
+  ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                       ReferenceAggregate(f.spec, f.rel));
+  for (AlgorithmKind kind : kMatrixAlgorithms) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    // kAuto without a sampling phase is the seed wire on every body.
+    const RunResult seed =
+        RunWith(params, kind, f, MergeMode::kAuto, /*tcp=*/0);
+    ASSERT_OK(seed.status);
+    ASSERT_TRUE(ResultSetsEqual(seed.results, expected));
+    ExpectAllResolved(seed, MergeTopology::kSeed, kNodes);
+    for (MergeMode mode : kPinnedModes) {
+      SCOPED_TRACE(MergeModeToString(mode));
+      const RunResult run = RunWith(params, kind, f, mode, /*tcp=*/0);
+      ASSERT_OK(run.status);
+      ExpectAllResolved(run, ExpectedInproc(mode), kNodes);
+      ExpectSeedInvariant(run, seed);
+    }
+  }
+}
+
+TEST(MergeTopologyMatrix, PinnedTopologiesMatchSeedOverTcp) {
+  const int kNodes = 3;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 4'000, 150));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 4'000, /*max=*/1'024);
+  int port = 43'150;
+  for (AlgorithmKind kind : kMatrixAlgorithms) {
+    SCOPED_TRACE(AlgorithmKindToString(kind));
+    const RunResult seed = RunWith(params, kind, f, MergeMode::kAuto, port);
+    port += 20;
+    ASSERT_OK(seed.status);
+    ExpectAllResolved(seed, MergeTopology::kSeed, kNodes);
+    for (MergeMode mode : kPinnedModes) {
+      SCOPED_TRACE(MergeModeToString(mode));
+      const RunResult run = RunWith(params, kind, f, mode, port);
+      port += 20;
+      ASSERT_OK(run.status);
+      // kShared needs a shared-memory mesh; over sockets it demotes to
+      // the seed wire instead of failing.
+      const MergeTopology want = mode == MergeMode::kShared
+                                     ? MergeTopology::kSeed
+                                     : ExpectedInproc(mode);
+      ExpectAllResolved(run, want, kNodes);
+      ExpectSeedInvariant(run, seed, /*sim_tol=*/1e-9);
+    }
+  }
+}
+
+TEST(MergeTopologyMatrix, CentralizedBodySupportsPinnedTree) {
+  // C-2P's star is itself a reduction; the plane generalizes it to the
+  // binomial tree (and kCentral collapses to the seed star wire-wise,
+  // but must still match through the phantom-charge path).
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 6'000, 100));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 6'000, /*max=*/2'048);
+  const RunResult seed = RunWith(params, AlgorithmKind::kCentralizedTwoPhase,
+                                 f, MergeMode::kAuto, /*tcp=*/0);
+  ASSERT_OK(seed.status);
+  for (MergeMode mode : kPinnedModes) {
+    SCOPED_TRACE(MergeModeToString(mode));
+    const RunResult run = RunWith(params, AlgorithmKind::kCentralizedTwoPhase,
+                                  f, mode, /*tcp=*/0);
+    ASSERT_OK(run.status);
+    ExpectSeedInvariant(run, seed);
+  }
+}
+
+TEST(MergeTopologyMatrix, GraefeBodySupportsPinnedTopologies) {
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 6'000, 200));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 6'000, /*max=*/2'048);
+  const RunResult seed = RunWith(params, AlgorithmKind::kGraefeTwoPhase, f,
+                                 MergeMode::kAuto, /*tcp=*/0);
+  ASSERT_OK(seed.status);
+  for (MergeMode mode : kPinnedModes) {
+    SCOPED_TRACE(MergeModeToString(mode));
+    const RunResult run = RunWith(params, AlgorithmKind::kGraefeTwoPhase, f,
+                                  mode, /*tcp=*/0);
+    ASSERT_OK(run.status);
+    ExpectSeedInvariant(run, seed);
+  }
+}
+
+TEST(MergeTopologyMatrix, AdaptiveRepartitioningSupportsPinnedTopologies) {
+  // Groups >> M so A-Rep actually exercises its end-of-phase switch
+  // while the merge plane is active.
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 8'000, 1'200));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 8'000, /*max=*/512);
+  const RunResult seed =
+      RunWith(params, AlgorithmKind::kAdaptiveRepartitioning, f,
+              MergeMode::kAuto, /*tcp=*/0);
+  ASSERT_OK(seed.status);
+  for (MergeMode mode : kPinnedModes) {
+    SCOPED_TRACE(MergeModeToString(mode));
+    const RunResult run =
+        RunWith(params, AlgorithmKind::kAdaptiveRepartitioning, f, mode,
+                /*tcp=*/0);
+    ASSERT_OK(run.status);
+    ExpectSeedInvariant(run, seed, /*sim_tol=*/1e-9);
+  }
+}
+
+TEST(MergeTopologyMatrix, SingleNodeDemotesToSeed) {
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(1, 2'000, 50));
+  const SystemParams params = SmallClusterParams(1, 2'000);
+  const RunResult seed = RunWith(params, AlgorithmKind::kTwoPhase, f,
+                                 MergeMode::kAuto, /*tcp=*/0);
+  ASSERT_OK(seed.status);
+  for (MergeMode mode : {MergeMode::kCentral, MergeMode::kTree}) {
+    SCOPED_TRACE(MergeModeToString(mode));
+    const RunResult run =
+        RunWith(params, AlgorithmKind::kTwoPhase, f, mode, /*tcp=*/0);
+    ASSERT_OK(run.status);
+    ExpectAllResolved(run, MergeTopology::kSeed, 1);
+    ExpectSeedInvariant(run, seed);
+  }
+}
+
+TEST(MergeTopologyMatrix, SamplingAutoPicksTopologyAndMatchesReference) {
+  // Many nodes, few groups: the sampling estimate should route kAuto to
+  // the tree reduction, and the run must still match the reference.
+  const int kNodes = 8;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 16'000, 60));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 16'000, /*max=*/4'096);
+  ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                       ReferenceAggregate(f.spec, f.rel));
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  opts.obs.traces = true;
+  opts.crossover_threshold = 1'000'000;  // keep the two-phase body
+  Cluster cluster(params);
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kSampling),
+                              f.spec, f.rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  ExpectAllResolved(run, MergeTopology::kTree, kNodes);
+}
+
+TEST(MergeTopologyMatrix, SamplingAutoPicksSharedInproc) {
+  // Plenty of uniform groups on an inproc mesh: kAuto should land on
+  // the shared concurrent table.
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 24'000, 3'000));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 24'000, /*max=*/16'384);
+  ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                       ReferenceAggregate(f.spec, f.rel));
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  opts.obs.traces = true;
+  opts.crossover_threshold = 1'000'000;
+  Cluster cluster(params);
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kSampling),
+                              f.spec, f.rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  ExpectAllResolved(run, MergeTopology::kShared, kNodes);
+}
+
+TEST(MergeTopologyMatrix, RecoveryRunsDemoteToSeed) {
+  // The replay protocol assumes the seed wire: a recovery-enabled run
+  // with a pinned tree must resolve seed on every node and still match.
+  const int kNodes = 4;
+  ASSERT_OK_AND_ASSIGN(Fixture f, MakeFixture(kNodes, 6'000, 200));
+  const SystemParams params =
+      SmallClusterParams(kNodes, 6'000, /*max=*/2'048);
+  ASSERT_OK_AND_ASSIGN(ResultSet expected,
+                       ReferenceAggregate(f.spec, f.rel));
+  Cluster cluster(params);
+  AlgorithmOptions opts;
+  opts.gather_results = true;
+  opts.obs.traces = true;
+  opts.merge_mode = MergeMode::kTree;
+  opts.recovery.enabled = true;
+  RunResult run = cluster.Run(*MakeAlgorithm(AlgorithmKind::kTwoPhase),
+                              f.spec, f.rel, opts);
+  ASSERT_OK(run.status);
+  EXPECT_TRUE(ResultSetsEqual(run.results, expected));
+  ExpectAllResolved(run, MergeTopology::kSeed, kNodes);
+}
+
+}  // namespace
+}  // namespace adaptagg

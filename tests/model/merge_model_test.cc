@@ -1,0 +1,149 @@
+// Golden pins of DecideMergeTopology's switch points. Each test sits on
+// one side of a published threshold (merge_model.h) so any recalibration
+// of the cost model shows up as an explicit diff here, never as a silent
+// behavior change.
+
+#include "model/merge_model.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptagg {
+namespace {
+
+MergeDecisionInputs Base() {
+  MergeDecisionInputs in;
+  in.est_groups = 100;
+  in.num_nodes = 4;
+  in.skew_q8 = 256;
+  in.inproc = false;
+  in.use_repartitioning = false;
+  in.max_hash_entries = 1'024;
+  in.slot_bytes = 24;
+  in.radix_llc_bytes = -1;
+  return in;
+}
+
+TEST(MergeModel, MissingEstimateStaysSeed) {
+  MergeDecisionInputs in = Base();
+  in.est_groups = 0;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+  in.est_groups = -5;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, SingleNodeStaysSeed) {
+  MergeDecisionInputs in = Base();
+  in.num_nodes = 1;
+  in.est_groups = 50'000;
+  in.inproc = true;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, RadixEngagesWhenPerOwnerShareBustsTheLlc) {
+  // 1000 groups over 2 nodes: the per-owner share of 500 slots times
+  // (24 + bucket) bytes overflows a 1 KiB LLC budget, so the merge-side
+  // radix staging engages — and wins over every later branch.
+  MergeDecisionInputs in = Base();
+  in.est_groups = 1'000;
+  in.num_nodes = 2;
+  in.radix_llc_bytes = 1'024;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kRadix);
+
+  // Same inputs under the default 32 MiB budget: nothing engages and the
+  // decision falls through to seed (n < kTreeMinNodes, not inproc).
+  in.radix_llc_bytes = -1;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, RepartitioningPinsSeedEvenWhenTreeWouldApply) {
+  MergeDecisionInputs in = Base();
+  in.num_nodes = 8;
+  in.est_groups = 512;  // == kTreeGroupsPerNodeCeiling * 8
+  in.use_repartitioning = true;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+  in.use_repartitioning = false;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kTree);
+}
+
+TEST(MergeModel, NoSpillGateBoundsEveryNonSeedTopology) {
+  // n*M = 2048 total entries; est * kNoSpillMargin crosses it between
+  // 1024 and 1025, flipping an otherwise-shared decision back to seed.
+  MergeDecisionInputs in = Base();
+  in.num_nodes = 4;
+  in.max_hash_entries = 512;
+  in.inproc = true;
+  in.est_groups = 1'024;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kShared);
+  in.est_groups = 1'025;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, TreeGroupCeilingBoundary) {
+  MergeDecisionInputs in = Base();
+  in.num_nodes = 8;
+  in.est_groups = kTreeGroupsPerNodeCeiling * 8;  // 512: last tree value
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kTree);
+  in.est_groups += 1;  // 513: too many groups for the message-bound case
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, TreeNeedsEnoughNodes) {
+  MergeDecisionInputs in = Base();
+  in.num_nodes = kTreeMinNodes;
+  in.est_groups = 256;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kTree);
+  in.num_nodes = kTreeMinNodes - 1;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, SharedMinGroupsBoundary) {
+  MergeDecisionInputs in = Base();
+  in.inproc = true;
+  in.skew_q8 = kSharedSkewMaxQ8;
+  in.est_groups = kSharedMinGroups;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kShared);
+  in.est_groups = kSharedMinGroups - 1;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, SharedSkewBoundary) {
+  MergeDecisionInputs in = Base();
+  in.inproc = true;
+  in.est_groups = kSharedMinGroups;
+  in.skew_q8 = kSharedSkewMaxQ8;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kShared);
+  in.skew_q8 = kSharedSkewMaxQ8 + 1;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, SharedRequiresInprocTransport) {
+  MergeDecisionInputs in = Base();
+  in.inproc = false;
+  in.est_groups = kSharedMinGroups;
+  EXPECT_EQ(DecideMergeTopology(in).topology, MergeTopology::kSeed);
+}
+
+TEST(MergeModel, DecisionEchoesItsInputs) {
+  MergeDecisionInputs in = Base();
+  in.inproc = true;
+  in.est_groups = 2'000;
+  in.max_hash_entries = 4'096;
+  in.skew_q8 = 300;
+  const MergeDecision d = DecideMergeTopology(in);
+  EXPECT_EQ(d.topology, MergeTopology::kShared);
+  EXPECT_EQ(d.est_groups, 2'000);
+  EXPECT_EQ(d.skew_q8, 300);
+}
+
+TEST(MergeModel, Names) {
+  EXPECT_STREQ(MergeModeToString(MergeMode::kAuto), "auto");
+  EXPECT_STREQ(MergeModeToString(MergeMode::kShared), "shared");
+  EXPECT_STREQ(MergeTopologyToString(MergeTopology::kSeed), "seed");
+  EXPECT_STREQ(MergeTopologyToString(MergeTopology::kTree), "tree");
+  EXPECT_STREQ(MergeTopologyToString(MergeTopology::kRadix), "radix");
+  EXPECT_STREQ(MergeTopologyToString(MergeTopology::kCentral), "central");
+  EXPECT_STREQ(MergeTopologyToString(MergeTopology::kShared), "shared");
+}
+
+}  // namespace
+}  // namespace adaptagg

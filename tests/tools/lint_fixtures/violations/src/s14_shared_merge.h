@@ -1,0 +1,12 @@
+#ifndef ADAPTAGG_S14_SHARED_MERGE_H_
+#define ADAPTAGG_S14_SHARED_MERGE_H_
+
+// S14 fixture: direct shared-merge-table use outside its module. Both
+// the type name and the concurrent upsert method must fire.
+inline void SideChannelSharedMerge(SharedAggHashTable* table,
+                                   const void* rec) {
+  (void)table->UpsertPartialConcurrent(
+      static_cast<const unsigned char*>(rec), 0);
+}
+
+#endif  // ADAPTAGG_S14_SHARED_MERGE_H_
